@@ -1,0 +1,227 @@
+//! Constructing the optimal allocation (§3.3.3).
+//!
+//! Given the allocation items of a task graph, the allocator:
+//!
+//! 1. routes zero-`ΔR` items (cases 1, 4 and 6 of Figure 4) to eDRAM —
+//!    their placement "will not influence the prologue time", so they
+//!    never occupy "the valuable space in on-chip cache";
+//! 2. sorts the remaining items by deadline (§3.3.1);
+//! 3. runs the dynamic program of §3.3.2 and reconstructs an optimal
+//!    subset for the on-chip cache.
+
+use std::collections::HashMap;
+
+use paraconv_graph::{EdgeId, Placement};
+
+use crate::{sort_by_deadline, AllocItem, DpTable};
+
+/// The result of cache allocation: a placement per intermediate
+/// processing result plus the achieved statistics.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_alloc::{AllocItem, CacheAllocator};
+/// use paraconv_graph::{EdgeId, Placement};
+///
+/// let items = vec![
+///     AllocItem::new(EdgeId::new(0), 1, 0, 1), // ΔR = 0 → eDRAM
+///     AllocItem::new(EdgeId::new(1), 1, 2, 2),
+///     AllocItem::new(EdgeId::new(2), 1, 1, 3),
+/// ];
+/// let allocation = CacheAllocator::new(1).allocate(items);
+/// assert_eq!(allocation.placement(EdgeId::new(0)), Some(Placement::Edram));
+/// assert_eq!(allocation.placement(EdgeId::new(1)), Some(Placement::Cache));
+/// assert_eq!(allocation.placement(EdgeId::new(2)), Some(Placement::Edram));
+/// assert_eq!(allocation.total_profit(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CacheAllocation {
+    placements: HashMap<EdgeId, Placement>,
+    cached: Vec<EdgeId>,
+    total_profit: u64,
+    used_capacity: u64,
+    capacity: u64,
+}
+
+impl CacheAllocation {
+    /// The placement decided for an IPR, or `None` for an edge that was
+    /// not among the items.
+    #[must_use]
+    pub fn placement(&self, edge: EdgeId) -> Option<Placement> {
+        self.placements.get(&edge).copied()
+    }
+
+    /// The IPRs allocated to the on-chip cache, in deadline order.
+    #[must_use]
+    pub fn cached(&self) -> &[EdgeId] {
+        &self.cached
+    }
+
+    /// Number of IPRs allocated to the on-chip cache — the metric of
+    /// the paper's Figure 6.
+    #[must_use]
+    pub fn cached_count(&self) -> usize {
+        self.cached.len()
+    }
+
+    /// Total `ΔR` bought by the allocation (the DP objective value).
+    #[must_use]
+    pub const fn total_profit(&self) -> u64 {
+        self.total_profit
+    }
+
+    /// Cache capacity units consumed.
+    #[must_use]
+    pub const fn used_capacity(&self) -> u64 {
+        self.used_capacity
+    }
+
+    /// The capacity the allocator ran with.
+    #[must_use]
+    pub const fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Materializes a dense placement vector for a graph with
+    /// `edge_count` edges; edges not covered by any item default to
+    /// eDRAM (the conservative placement).
+    #[must_use]
+    pub fn to_placement_vec(&self, edge_count: usize) -> Vec<Placement> {
+        let mut v = vec![Placement::Edram; edge_count];
+        for (&edge, &placement) in &self.placements {
+            if edge.index() < edge_count {
+                v[edge.index()] = placement;
+            }
+        }
+        v
+    }
+}
+
+/// The §3.3 allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAllocator {
+    capacity: u64,
+}
+
+impl CacheAllocator {
+    /// Creates an allocator for an aggregate on-chip cache of
+    /// `capacity` units.
+    #[must_use]
+    pub const fn new(capacity: u64) -> Self {
+        CacheAllocator { capacity }
+    }
+
+    /// Decides a placement for every item.
+    #[must_use]
+    pub fn allocate(&self, items: Vec<AllocItem>) -> CacheAllocation {
+        let mut placements = HashMap::with_capacity(items.len());
+        // Step 1: zero-ΔR items go to eDRAM for free.
+        let mut competing = Vec::new();
+        for item in items {
+            if item.delta_r() == 0 {
+                placements.insert(item.edge(), Placement::Edram);
+            } else {
+                competing.push(item);
+            }
+        }
+        // Step 2: deadline order.
+        let competing = sort_by_deadline(competing);
+        // Step 3: dynamic program + reconstruction.
+        let table = DpTable::fill(&competing, self.capacity);
+        let chosen = table.reconstruct();
+        let mut cached = Vec::new();
+        let mut used = 0u64;
+        for (item, take) in competing.iter().zip(&chosen) {
+            if *take {
+                placements.insert(item.edge(), Placement::Cache);
+                cached.push(item.edge());
+                used += item.space();
+            } else {
+                placements.insert(item.edge(), Placement::Edram);
+            }
+        }
+        CacheAllocation {
+            placements,
+            cached,
+            total_profit: table.max_profit(),
+            used_capacity: used,
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(id: u32, space: u64, profit: u64, deadline: u64) -> AllocItem {
+        AllocItem::new(EdgeId::new(id), space, profit, deadline)
+    }
+
+    #[test]
+    fn zero_delta_items_never_cached() {
+        let allocation = CacheAllocator::new(100).allocate(vec![
+            item(0, 1, 0, 1),
+            item(1, 1, 0, 2),
+            item(2, 1, 1, 3),
+        ]);
+        assert_eq!(allocation.placement(EdgeId::new(0)), Some(Placement::Edram));
+        assert_eq!(allocation.placement(EdgeId::new(1)), Some(Placement::Edram));
+        assert_eq!(allocation.placement(EdgeId::new(2)), Some(Placement::Cache));
+        assert_eq!(allocation.cached_count(), 1);
+    }
+
+    #[test]
+    fn respects_capacity() {
+        let allocation = CacheAllocator::new(3).allocate(vec![
+            item(0, 2, 5, 1),
+            item(1, 2, 4, 2),
+            item(2, 1, 3, 3),
+        ]);
+        assert!(allocation.used_capacity() <= 3);
+        assert_eq!(allocation.total_profit(), 8); // items 0 and 2
+        assert_eq!(allocation.cached(), &[EdgeId::new(0), EdgeId::new(2)]);
+    }
+
+    #[test]
+    fn cached_listed_in_deadline_order() {
+        let allocation = CacheAllocator::new(10).allocate(vec![
+            item(5, 1, 1, 30),
+            item(2, 1, 1, 10),
+            item(9, 1, 1, 20),
+        ]);
+        assert_eq!(
+            allocation.cached(),
+            &[EdgeId::new(2), EdgeId::new(9), EdgeId::new(5)]
+        );
+    }
+
+    #[test]
+    fn zero_capacity_puts_everything_in_edram() {
+        let allocation =
+            CacheAllocator::new(0).allocate(vec![item(0, 1, 9, 1), item(1, 1, 9, 2)]);
+        assert_eq!(allocation.cached_count(), 0);
+        assert_eq!(allocation.total_profit(), 0);
+        assert_eq!(allocation.placement(EdgeId::new(0)), Some(Placement::Edram));
+    }
+
+    #[test]
+    fn placement_vec_defaults_to_edram() {
+        let allocation = CacheAllocator::new(5).allocate(vec![item(1, 1, 1, 1)]);
+        let v = allocation.to_placement_vec(3);
+        assert_eq!(v[0], Placement::Edram); // not an item
+        assert_eq!(v[1], Placement::Cache);
+        assert_eq!(v[2], Placement::Edram); // not an item
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let allocation = CacheAllocator::new(5).allocate(Vec::new());
+        assert_eq!(allocation.cached_count(), 0);
+        assert_eq!(allocation.total_profit(), 0);
+        assert_eq!(allocation.used_capacity(), 0);
+        assert!(allocation.to_placement_vec(2).iter().all(|&p| p == Placement::Edram));
+    }
+}

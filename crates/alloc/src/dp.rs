@@ -1,0 +1,297 @@
+//! The dynamic program of §3.3.2.
+//!
+//! `B[S, m]` is the maximum total profit (total `ΔR`) achievable by a
+//! subset of the first `m` intermediate processing results (in
+//! deadline order) within cache capacity `S`:
+//!
+//! ```text
+//! B[S, m] = 0                                  if m = 0 or S = 0
+//! B[S, 1] = 0                                  if sp_1 > S
+//! B[S, 1] = ΔR(1)                              if sp_1 ≤ S
+//! B[S, m] = max(B[S, m-1],
+//!               B[S - sp_m, m-1] + ΔR(m))      if m > 1
+//! ```
+//!
+//! Each entry takes `O(1)`, so filling the table is `O(n · S)` — the
+//! paper's `O(n · d_n)` with its capacity expressed in deadline slots.
+
+use crate::AllocItem;
+
+/// The filled `B[S, m]` table with backtracking support.
+///
+/// Rows are item counts `0..=n`, columns capacities `0..=S`.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_alloc::{AllocItem, DpTable};
+/// use paraconv_graph::EdgeId;
+///
+/// let items = vec![
+///     AllocItem::new(EdgeId::new(0), 2, 3, 1),
+///     AllocItem::new(EdgeId::new(1), 2, 2, 2),
+///     AllocItem::new(EdgeId::new(2), 1, 2, 3),
+/// ];
+/// let table = DpTable::fill(&items, 3);
+/// assert_eq!(table.max_profit(), 5); // items 0 and 2
+/// let chosen = table.reconstruct();
+/// assert_eq!(chosen, vec![true, false, true]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpTable {
+    /// Row-major `B[m][s]`, `m ∈ 0..=n`, `s ∈ 0..=capacity`.
+    values: Vec<u64>,
+    capacity: u64,
+    items: Vec<AllocItem>,
+}
+
+impl DpTable {
+    /// Fills the table for items *already in deadline order* (use
+    /// [`sort_by_deadline`](crate::sort_by_deadline) first) and a cache
+    /// capacity `S`.
+    #[must_use]
+    pub fn fill(items: &[AllocItem], capacity: u64) -> Self {
+        let n = items.len();
+        let cols = capacity as usize + 1;
+        let mut values = vec![0u64; (n + 1) * cols];
+        for (m, item) in items.iter().enumerate() {
+            let row = m + 1;
+            for s in 0..cols {
+                let without = values[m * cols + s];
+                let with = if item.space() <= s as u64 {
+                    values[m * cols + (s - item.space() as usize)] + item.delta_r()
+                } else {
+                    0
+                };
+                values[row * cols + s] = without.max(with);
+            }
+        }
+        DpTable {
+            values,
+            capacity,
+            items: items.to_vec(),
+        }
+    }
+
+    /// The table entry `B[S, m]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > n` or `s > S`.
+    #[must_use]
+    pub fn entry(&self, s: u64, m: usize) -> u64 {
+        assert!(m <= self.items.len(), "m out of range");
+        assert!(s <= self.capacity, "capacity out of range");
+        let cols = self.capacity as usize + 1;
+        self.values[m * cols + s as usize]
+    }
+
+    /// The optimal total profit `B[S, n]`.
+    #[must_use]
+    pub fn max_profit(&self) -> u64 {
+        self.entry(self.capacity, self.items.len())
+    }
+
+    /// The capacity the table was filled for.
+    #[must_use]
+    pub const fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Backtracks an optimal subset: `result[m]` is `true` iff the
+    /// `m`-th item (deadline order) is allocated to cache.
+    #[must_use]
+    pub fn reconstruct(&self) -> Vec<bool> {
+        let n = self.items.len();
+        let mut chosen = vec![false; n];
+        let mut s = self.capacity;
+        for m in (1..=n).rev() {
+            let item = &self.items[m - 1];
+            // The item was taken iff skipping it loses profit at the
+            // current residual capacity.
+            if self.entry(s, m) != self.entry(s, m - 1) {
+                chosen[m - 1] = true;
+                s -= item.space();
+            }
+        }
+        chosen
+    }
+}
+
+/// Space-optimized variant of the dynamic program: computes `B[S, n]`
+/// with two rows (`O(S)` memory instead of `O(n·S)`), for use on very
+/// large instances where only the optimal *value* is needed (the full
+/// [`DpTable`] is required for reconstruction).
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_alloc::{max_profit_compact, AllocItem, DpTable};
+/// use paraconv_graph::EdgeId;
+///
+/// let items: Vec<AllocItem> = (0..20)
+///     .map(|i| AllocItem::new(EdgeId::new(i), 1 + u64::from(i % 3), u64::from(i % 4), u64::from(i)))
+///     .collect();
+/// assert_eq!(max_profit_compact(&items, 12), DpTable::fill(&items, 12).max_profit());
+/// ```
+#[must_use]
+pub fn max_profit_compact(items: &[AllocItem], capacity: u64) -> u64 {
+    let cols = capacity as usize + 1;
+    let mut row = vec![0u64; cols];
+    for item in items {
+        let sp = item.space() as usize;
+        // 0/1 knapsack over one row: iterate capacity downward so each
+        // item is used at most once.
+        if sp <= capacity as usize {
+            for s in (sp..cols).rev() {
+                row[s] = row[s].max(row[s - sp] + item.delta_r());
+            }
+        }
+    }
+    row[capacity as usize]
+}
+
+/// Exhaustive optimum for cross-checking the DP, `O(2^n)` — only for
+/// small `n` in tests and verification harnesses.
+///
+/// # Panics
+///
+/// Panics if `items.len() > 24` to keep runtime bounded.
+#[must_use]
+pub fn brute_force_max_profit(items: &[AllocItem], capacity: u64) -> u64 {
+    assert!(items.len() <= 24, "brute force limited to 24 items");
+    let mut best = 0u64;
+    for mask in 0u32..(1u32 << items.len()) {
+        let mut space = 0u64;
+        let mut profit = 0u64;
+        for (i, item) in items.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                space += item.space();
+                profit += item.delta_r();
+            }
+        }
+        if space <= capacity {
+            best = best.max(profit);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraconv_graph::EdgeId;
+
+    fn item(id: u32, space: u64, profit: u64) -> AllocItem {
+        AllocItem::new(EdgeId::new(id), space, profit, id as u64)
+    }
+
+    #[test]
+    fn base_cases_match_recurrence() {
+        let items = vec![item(0, 3, 5)];
+        let table = DpTable::fill(&items, 4);
+        // m = 0 or S = 0 → 0.
+        assert_eq!(table.entry(4, 0), 0);
+        assert_eq!(table.entry(0, 1), 0);
+        // m = 1, sp_1 ≤ S → ΔR(1).
+        assert_eq!(table.entry(3, 1), 5);
+        assert_eq!(table.entry(4, 1), 5);
+        // m = 1, sp_1 > S → 0.
+        assert_eq!(table.entry(2, 1), 0);
+    }
+
+    #[test]
+    fn classic_knapsack_instance() {
+        let items = vec![item(0, 1, 1), item(1, 3, 4), item(2, 4, 5), item(3, 5, 7)];
+        let table = DpTable::fill(&items, 7);
+        assert_eq!(table.max_profit(), 9); // items 1 and 2
+        let chosen = table.reconstruct();
+        let total_space: u64 = items
+            .iter()
+            .zip(&chosen)
+            .filter(|(_, &c)| c)
+            .map(|(i, _)| i.space())
+            .sum();
+        let total_profit: u64 = items
+            .iter()
+            .zip(&chosen)
+            .filter(|(_, &c)| c)
+            .map(|(i, _)| i.delta_r())
+            .sum();
+        assert!(total_space <= 7);
+        assert_eq!(total_profit, 9);
+    }
+
+    #[test]
+    fn zero_capacity_selects_nothing() {
+        let items = vec![item(0, 1, 10), item(1, 1, 10)];
+        let table = DpTable::fill(&items, 0);
+        assert_eq!(table.max_profit(), 0);
+        assert_eq!(table.reconstruct(), vec![false, false]);
+    }
+
+    #[test]
+    fn empty_items_profit_zero() {
+        let table = DpTable::fill(&[], 10);
+        assert_eq!(table.max_profit(), 0);
+        assert!(table.reconstruct().is_empty());
+    }
+
+    #[test]
+    fn all_fit_when_capacity_ample() {
+        let items = vec![item(0, 1, 1), item(1, 2, 2), item(2, 3, 3)];
+        let table = DpTable::fill(&items, 100);
+        assert_eq!(table.max_profit(), 6);
+        assert_eq!(table.reconstruct(), vec![true, true, true]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_instances() {
+        let instances: Vec<(Vec<AllocItem>, u64)> = vec![
+            (vec![item(0, 2, 3), item(1, 3, 4), item(2, 4, 5), item(3, 5, 6)], 5),
+            (vec![item(0, 1, 2), item(1, 1, 2), item(2, 1, 2)], 2),
+            (vec![item(0, 10, 100)], 9),
+            (vec![item(0, 6, 1), item(1, 6, 1), item(2, 6, 1), item(3, 5, 10)], 11),
+        ];
+        for (items, cap) in instances {
+            assert_eq!(
+                DpTable::fill(&items, cap).max_profit(),
+                brute_force_max_profit(&items, cap),
+            );
+        }
+    }
+
+    #[test]
+    fn reconstruction_profit_equals_table_profit() {
+        let items = vec![
+            item(0, 3, 2),
+            item(1, 2, 2),
+            item(2, 4, 10),
+            item(3, 1, 1),
+            item(4, 5, 3),
+        ];
+        let table = DpTable::fill(&items, 8);
+        let chosen = table.reconstruct();
+        let profit: u64 = items
+            .iter()
+            .zip(&chosen)
+            .filter(|(_, &c)| c)
+            .map(|(i, _)| i.delta_r())
+            .sum();
+        assert_eq!(profit, table.max_profit());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity out of range")]
+    fn entry_capacity_bound() {
+        let table = DpTable::fill(&[item(0, 1, 1)], 2);
+        let _ = table.entry(3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "m out of range")]
+    fn entry_item_bound() {
+        let table = DpTable::fill(&[item(0, 1, 1)], 2);
+        let _ = table.entry(0, 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Deadline feasibility of an allocation (§3.3.1's premise).
+//!
+//! The dynamic program considers intermediate processing results in
+//! increasing deadline order because "the subset of intermediate
+//! processing results that are scheduled will be done in increasing
+//! order of deadline" — i.e. the cached transfers themselves form an
+//! EDF schedule on the cache port. This module checks that premise for
+//! a concrete selection: given each cached IPR's transfer time and
+//! deadline, is the earliest-deadline-first order feasible on a single
+//! resource?
+
+use crate::AllocItem;
+
+/// The result of an EDF feasibility check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feasibility {
+    /// Every transfer meets its deadline in EDF order.
+    Feasible {
+        /// Total slack remaining at the last deadline.
+        slack: u64,
+    },
+    /// The first deadline miss in EDF order.
+    Infeasible {
+        /// Index (in deadline order) of the first item that misses.
+        item: usize,
+        /// Its completion time in EDF order.
+        completes_at: u64,
+        /// Its deadline.
+        deadline: u64,
+    },
+}
+
+impl Feasibility {
+    /// Returns `true` for the feasible case.
+    #[must_use]
+    pub const fn is_feasible(&self) -> bool {
+        matches!(self, Feasibility::Feasible { .. })
+    }
+}
+
+/// Checks single-resource EDF feasibility of a set of transfers, each
+/// described by `(service_time, deadline)` taken from the item's
+/// `space` (a proxy for transfer length in capacity units) and
+/// `deadline`.
+///
+/// EDF is optimal for single-resource deadline scheduling, so
+/// feasibility here is feasibility outright.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_alloc::{edf_feasibility, AllocItem, Feasibility};
+/// use paraconv_graph::EdgeId;
+///
+/// let items = vec![
+///     AllocItem::new(EdgeId::new(0), 2, 1, 2),
+///     AllocItem::new(EdgeId::new(1), 2, 1, 4),
+/// ];
+/// assert!(edf_feasibility(&items).is_feasible());
+///
+/// let tight = vec![AllocItem::new(EdgeId::new(0), 5, 1, 3)];
+/// assert!(matches!(
+///     edf_feasibility(&tight),
+///     Feasibility::Infeasible { completes_at: 5, deadline: 3, .. }
+/// ));
+/// ```
+#[must_use]
+pub fn edf_feasibility(items: &[AllocItem]) -> Feasibility {
+    let mut order: Vec<&AllocItem> = items.iter().collect();
+    order.sort_by_key(|i| (i.deadline(), i.edge()));
+    let mut clock = 0u64;
+    for (idx, item) in order.iter().enumerate() {
+        clock += item.space();
+        if clock > item.deadline() {
+            return Feasibility::Infeasible {
+                item: idx,
+                completes_at: clock,
+                deadline: item.deadline(),
+            };
+        }
+    }
+    let slack = order.last().map_or(0, |last| last.deadline() - clock);
+    Feasibility::Feasible { slack }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraconv_graph::EdgeId;
+
+    fn item(id: u32, space: u64, deadline: u64) -> AllocItem {
+        AllocItem::new(EdgeId::new(id), space, 1, deadline)
+    }
+
+    #[test]
+    fn empty_set_is_feasible() {
+        assert_eq!(edf_feasibility(&[]), Feasibility::Feasible { slack: 0 });
+    }
+
+    #[test]
+    fn feasible_with_slack() {
+        let items = vec![item(0, 1, 3), item(1, 1, 10)];
+        assert_eq!(edf_feasibility(&items), Feasibility::Feasible { slack: 8 });
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let a = vec![item(0, 2, 2), item(1, 2, 4), item(2, 2, 6)];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(edf_feasibility(&a), edf_feasibility(&b));
+        assert!(edf_feasibility(&a).is_feasible());
+    }
+
+    #[test]
+    fn first_miss_is_reported() {
+        // Deadlines 2, 3, 4 with unit-2 services: item 1 completes at 4
+        // > 3.
+        let items = vec![item(0, 2, 2), item(1, 2, 3), item(2, 2, 9)];
+        assert_eq!(
+            edf_feasibility(&items),
+            Feasibility::Infeasible {
+                item: 1,
+                completes_at: 4,
+                deadline: 3
+            }
+        );
+    }
+
+    #[test]
+    fn edf_succeeds_where_reverse_order_would_fail() {
+        // Served late-deadline-first this set would miss; EDF meets it.
+        let items = vec![item(0, 3, 10), item(1, 1, 1)];
+        assert!(edf_feasibility(&items).is_feasible());
+    }
+}

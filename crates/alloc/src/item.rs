@@ -1,0 +1,122 @@
+//! Allocation items: one per intermediate processing result competing
+//! for cache capacity.
+
+use core::fmt;
+
+use paraconv_graph::EdgeId;
+
+/// One candidate for on-chip cache allocation.
+///
+/// * `space` — the cache capacity the IPR occupies if allocated on
+///   chip (`sp_m` in §3.3.2). Callers typically scale the raw IPR size
+///   by the number of kernel instances the data stays resident
+///   (`k_cache + 1`), so capacity accounting stays sound in steady
+///   state.
+/// * `delta_r` — the reduction in retiming value `ΔR(m)` the cache
+///   placement buys (the knapsack profit).
+/// * `deadline` — the IPR's deadline `d_{i,j}` in the objective
+///   schedule; the DP considers items in increasing deadline order
+///   (§3.3.1).
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_alloc::AllocItem;
+/// use paraconv_graph::EdgeId;
+///
+/// let item = AllocItem::new(EdgeId::new(0), 2, 1, 7);
+/// assert_eq!(item.space(), 2);
+/// assert_eq!(item.delta_r(), 1);
+/// assert_eq!(item.deadline(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AllocItem {
+    edge: EdgeId,
+    space: u64,
+    delta_r: u64,
+    deadline: u64,
+}
+
+impl AllocItem {
+    /// Creates an allocation item.
+    #[must_use]
+    pub const fn new(edge: EdgeId, space: u64, delta_r: u64, deadline: u64) -> Self {
+        AllocItem {
+            edge,
+            space,
+            delta_r,
+            deadline,
+        }
+    }
+
+    /// The intermediate processing result this item stands for.
+    #[must_use]
+    pub const fn edge(self) -> EdgeId {
+        self.edge
+    }
+
+    /// Cache space requirement `sp_m` in capacity units.
+    #[must_use]
+    pub const fn space(self) -> u64 {
+        self.space
+    }
+
+    /// Retiming reduction `ΔR(m)` bought by caching this IPR.
+    #[must_use]
+    pub const fn delta_r(self) -> u64 {
+        self.delta_r
+    }
+
+    /// Deadline `d_{i,j}` used for the §3.3.1 ordering.
+    #[must_use]
+    pub const fn deadline(self) -> u64 {
+        self.deadline
+    }
+}
+
+impl fmt::Display for AllocItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (sp={}, ΔR={}, d={})",
+            self.edge, self.space, self.delta_r, self.deadline
+        )
+    }
+}
+
+/// Sorts items by increasing deadline (ties broken by edge ID for
+/// determinism), the precomputation of §3.3.1 — `O(n log n)`.
+#[must_use]
+pub fn sort_by_deadline(mut items: Vec<AllocItem>) -> Vec<AllocItem> {
+    items.sort_by_key(|item| (item.deadline(), item.edge()));
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_sort_is_stable_and_deterministic() {
+        let items = vec![
+            AllocItem::new(EdgeId::new(2), 1, 1, 9),
+            AllocItem::new(EdgeId::new(0), 1, 1, 3),
+            AllocItem::new(EdgeId::new(3), 1, 1, 3),
+            AllocItem::new(EdgeId::new(1), 1, 1, 1),
+        ];
+        let sorted = sort_by_deadline(items);
+        let ids: Vec<u32> = sorted.iter().map(|i| i.edge().index() as u32).collect();
+        assert_eq!(ids, vec![1, 0, 3, 2]);
+    }
+
+    #[test]
+    fn accessors() {
+        let item = AllocItem::new(EdgeId::new(5), 3, 2, 11);
+        assert_eq!(item.edge(), EdgeId::new(5));
+        assert_eq!(item.space(), 3);
+        assert_eq!(item.delta_r(), 2);
+        assert_eq!(item.deadline(), 11);
+        assert!(item.to_string().contains("I5"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests: the dynamic program is an exact optimum.
+
+use proptest::prelude::*;
+
+use paraconv_alloc::{
+    brute_force_max_profit, edf_feasibility, max_profit_compact, sort_by_deadline, AllocItem,
+    CacheAllocator, DpTable,
+};
+use paraconv_graph::EdgeId;
+
+fn arb_items(max_n: usize) -> impl Strategy<Value = Vec<AllocItem>> {
+    proptest::collection::vec((1u64..8, 0u64..4, 0u64..50), 0..max_n).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (space, profit, deadline))| {
+                AllocItem::new(EdgeId::new(i as u32), space, profit, deadline)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn dp_matches_brute_force(items in arb_items(12), capacity in 0u64..30) {
+        let sorted = sort_by_deadline(items.clone());
+        let table = DpTable::fill(&sorted, capacity);
+        prop_assert_eq!(table.max_profit(), brute_force_max_profit(&items, capacity));
+    }
+
+    #[test]
+    fn dp_profit_is_monotone_in_capacity(items in arb_items(10)) {
+        let sorted = sort_by_deadline(items);
+        let mut last = 0;
+        for capacity in 0..25 {
+            let profit = DpTable::fill(&sorted, capacity).max_profit();
+            prop_assert!(profit >= last);
+            last = profit;
+        }
+    }
+
+    #[test]
+    fn reconstruction_is_feasible_and_optimal(items in arb_items(12), capacity in 0u64..25) {
+        let sorted = sort_by_deadline(items);
+        let table = DpTable::fill(&sorted, capacity);
+        let chosen = table.reconstruct();
+        let space: u64 = sorted.iter().zip(&chosen).filter(|(_, &c)| c).map(|(i, _)| i.space()).sum();
+        let profit: u64 = sorted.iter().zip(&chosen).filter(|(_, &c)| c).map(|(i, _)| i.delta_r()).sum();
+        prop_assert!(space <= capacity);
+        prop_assert_eq!(profit, table.max_profit());
+    }
+
+    #[test]
+    fn allocator_profit_matches_dp_on_competing_items(items in arb_items(12), capacity in 0u64..25) {
+        let competing: Vec<AllocItem> = items.iter().copied().filter(|i| i.delta_r() > 0).collect();
+        let expected = DpTable::fill(&sort_by_deadline(competing), capacity).max_profit();
+        let allocation = CacheAllocator::new(capacity).allocate(items);
+        prop_assert_eq!(allocation.total_profit(), expected);
+        prop_assert!(allocation.used_capacity() <= capacity);
+    }
+
+    #[test]
+    fn allocator_never_caches_zero_profit(items in arb_items(12), capacity in 0u64..25) {
+        let allocation = CacheAllocator::new(capacity).allocate(items.clone());
+        for item in &items {
+            if item.delta_r() == 0 {
+                prop_assert_eq!(
+                    allocation.placement(item.edge()),
+                    Some(paraconv_graph::Placement::Edram)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compact_dp_matches_table_dp(items in arb_items(20), capacity in 0u64..40) {
+        let sorted = sort_by_deadline(items);
+        prop_assert_eq!(
+            max_profit_compact(&sorted, capacity),
+            DpTable::fill(&sorted, capacity).max_profit()
+        );
+    }
+
+    #[test]
+    fn edf_feasibility_is_order_invariant(items in arb_items(10), seed in 0usize..10) {
+        let mut shuffled = items.clone();
+        let rot = seed % shuffled.len().max(1);
+        shuffled.rotate_left(rot);
+        prop_assert_eq!(edf_feasibility(&items), edf_feasibility(&shuffled));
+    }
+
+    #[test]
+    fn edf_slack_zero_sets_are_tight(items in arb_items(8)) {
+        // Adding any positive-length item with the same final deadline
+        // to a zero-slack set makes it infeasible.
+        if let paraconv_alloc::Feasibility::Feasible { slack } = edf_feasibility(&items) {
+            if !items.is_empty() && slack == 0 {
+                let last_deadline = items.iter().map(|i| i.deadline()).max().unwrap();
+                let mut extended = items.clone();
+                extended.push(AllocItem::new(EdgeId::new(999), 1, 1, last_deadline));
+                prop_assert!(!edf_feasibility(&extended).is_feasible());
+            }
+        }
+    }
+
+    #[test]
+    fn allocator_covers_every_item(items in arb_items(12), capacity in 0u64..25) {
+        let allocation = CacheAllocator::new(capacity).allocate(items.clone());
+        for item in &items {
+            prop_assert!(allocation.placement(item.edge()).is_some());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion benches for the two schedulers across the paper's PE
+//! sweep: one group per table/figure workload axis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use paraconv::ParaConv;
+use paraconv_pim::PimConfig;
+use paraconv_synth::benchmarks;
+
+/// Table 1 axis: end-to-end compare (schedule + simulate, both
+/// schedulers) on representative benchmarks at the three PE counts.
+fn bench_table1_axis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_compare");
+    group.sample_size(10);
+    for name in ["cat", "flower", "stock-predict"] {
+        let graph = benchmarks::by_name(name).unwrap().graph().unwrap();
+        for pes in [16usize, 32, 64] {
+            let runner = ParaConv::new(PimConfig::neurocube(pes).unwrap());
+            group.bench_with_input(
+                BenchmarkId::new(name, pes),
+                &pes,
+                |b, _| b.iter(|| runner.compare(&graph, 20).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Table 2 / Figure 5 axis: Para-CONV scheduling alone (no baseline),
+/// which exposes the retiming + DP cost.
+fn bench_paraconv_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paraconv_schedule");
+    group.sample_size(10);
+    for name in ["character-1", "shortest-path", "protein"] {
+        let graph = benchmarks::by_name(name).unwrap().graph().unwrap();
+        let runner = ParaConv::new(PimConfig::neurocube(64).unwrap());
+        group.bench_function(name, |b| b.iter(|| runner.run(&graph, 10).unwrap()));
+    }
+    group.finish();
+}
+
+/// Baseline axis: SPARTA list scheduling on the same graphs.
+fn bench_sparta_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparta_schedule");
+    group.sample_size(10);
+    for name in ["character-1", "shortest-path"] {
+        let graph = benchmarks::by_name(name).unwrap().graph().unwrap();
+        let runner = ParaConv::new(PimConfig::neurocube(64).unwrap());
+        group.bench_function(name, |b| {
+            b.iter(|| runner.run_baseline(&graph, 10).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1_axis,
+    bench_paraconv_schedule,
+    bench_sparta_schedule
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablation studies: allocation-policy comparison, eDRAM-penalty
+//! sweep and cache-capacity sweep (experiment A1 of DESIGN.md).
+
+use paraconv::experiments::ablation;
+use paraconv_bench::{config_from_env, emit, suite_from_env};
+
+fn main() {
+    let config = config_from_env();
+    let suite = suite_from_env();
+
+    match ablation::policies(&config, &suite) {
+        Ok(rows) => emit(
+            "Ablation A1a: allocation policy (DP vs greedy vs all-eDRAM)",
+            &ablation::render_policies(&rows),
+        ),
+        Err(e) => {
+            eprintln!("policy ablation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    match ablation::unrolling(&config, &suite) {
+        Ok(rows) => emit(
+            "Ablation A1e: kernel unrolling contribution",
+            &ablation::render_unrolling(&rows),
+        ),
+        Err(e) => {
+            eprintln!("unrolling ablation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    match ablation::contributions(&config, &suite) {
+        Ok(rows) => emit(
+            "Ablation A1d: retiming vs allocation contributions",
+            &ablation::render_contributions(&rows),
+        ),
+        Err(e) => {
+            eprintln!("contribution ablation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // The sweeps run on a mid-size benchmark with interesting cache
+    // pressure.
+    let subject = paraconv_synth::benchmarks::by_name("stock-predict")
+        .expect("stock-predict is in the suite");
+
+    match ablation::penalty_sweep(&config, &subject, &[2, 4, 6, 8, 10]) {
+        Ok(rows) => emit(
+            "Ablation A1b: eDRAM penalty sweep (stock-predict)",
+            &ablation::render_penalties(&rows),
+        ),
+        Err(e) => {
+            eprintln!("penalty sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    match ablation::cache_sweep(&config, &subject, &[0, 1, 2, 4, 8, 16]) {
+        Ok(rows) => emit(
+            "Ablation A1c: per-PE cache capacity sweep (stock-predict)",
+            &ablation::render_cache(&rows),
+        ),
+        Err(e) => {
+            eprintln!("cache sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

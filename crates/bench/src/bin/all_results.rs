@@ -1,0 +1,77 @@
+//! Regenerates every table and figure in one run and writes both the
+//! aligned-text report (stdout) and machine-readable CSVs under
+//! `results/`.
+
+use std::fs;
+use std::path::Path;
+
+use paraconv::experiments::{
+    ablation, cases, energy, fig5, fig6, scalability, table1, table2, zoo,
+};
+use paraconv::TextTable;
+use paraconv_bench::{config_from_env, suite_from_env};
+
+fn write(dir: &Path, name: &str, table: &TextTable) {
+    let path = dir.join(format!("{name}.csv"));
+    if let Err(e) = fs::write(&path, table.to_csv()) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    println!("== {name} ==\n{table}");
+}
+
+fn main() {
+    let config = config_from_env();
+    let suite = suite_from_env();
+    let dir = Path::new("results");
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!("cannot create results/: {e}");
+        std::process::exit(1);
+    }
+
+    let fail = |what: &str, e: paraconv::CoreError| -> ! {
+        eprintln!("{what} failed: {e}");
+        std::process::exit(1);
+    };
+
+    match table1::run(&config, &suite) {
+        Ok(rows) => write(dir, "table1", &table1::render(&rows)),
+        Err(e) => fail("table1", e),
+    }
+    match table2::run(&config, &suite) {
+        Ok(rows) => write(dir, "table2", &table2::render(&config, &rows)),
+        Err(e) => fail("table2", e),
+    }
+    match fig5::run(&config, &suite) {
+        Ok(rows) => write(dir, "fig5", &fig5::render(&config, &rows)),
+        Err(e) => fail("fig5", e),
+    }
+    match fig6::run(&config, &suite) {
+        Ok(rows) => write(dir, "fig6", &fig6::render(&config, &rows)),
+        Err(e) => fail("fig6", e),
+    }
+    match cases::run(&config, &suite) {
+        Ok(rows) => write(dir, "cases", &cases::render(&rows)),
+        Err(e) => fail("cases", e),
+    }
+    match scalability::fetch_penalty(&config, &suite) {
+        Ok(rows) => write(dir, "fetch_penalty", &scalability::render_fetch_penalty(&rows)),
+        Err(e) => fail("fetch_penalty", e),
+    }
+    match ablation::policies(&config, &suite) {
+        Ok(rows) => write(dir, "ablation_policies", &ablation::render_policies(&rows)),
+        Err(e) => fail("ablation", e),
+    }
+    match ablation::contributions(&config, &suite) {
+        Ok(rows) => write(dir, "ablation_contributions", &ablation::render_contributions(&rows)),
+        Err(e) => fail("contributions", e),
+    }
+    match energy::run(&config, &suite) {
+        Ok(rows) => write(dir, "energy", &energy::render(&rows)),
+        Err(e) => fail("energy", e),
+    }
+    match zoo::run(&config) {
+        Ok(rows) => write(dir, "zoo", &zoo::render(&config, &rows)),
+        Err(e) => fail("zoo", e),
+    }
+    eprintln!("CSV files written under {}", dir.display());
+}

@@ -1,0 +1,20 @@
+//! Figure-4 case census: how the six retiming cases populate each
+//! benchmark, and which fraction competes for cache.
+
+use paraconv::experiments::cases;
+use paraconv_bench::{config_from_env, emit, suite_from_env};
+
+fn main() {
+    let config = config_from_env();
+    let suite = suite_from_env();
+    match cases::run(&config, &suite) {
+        Ok(rows) => emit(
+            "Figure 4 case census (c1..c6 per benchmark)",
+            &cases::render(&rows),
+        ),
+        Err(e) => {
+            eprintln!("case census failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

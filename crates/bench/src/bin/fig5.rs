@@ -1,0 +1,23 @@
+//! Regenerates Figure 5: per-iteration execution time of Para-CONV on
+//! 16, 32 and 64 processing elements, normalized to the 64-PE
+//! baseline.
+
+use paraconv::experiments::fig5;
+use paraconv_bench::{config_from_env, emit, suite_from_env};
+
+fn main() {
+    let config = config_from_env();
+    let suite = suite_from_env();
+    match fig5::run(&config, &suite) {
+        Ok(rows) => {
+            emit(
+                "Figure 5: per-iteration execution time (normalized to 64-PE baseline)",
+                &fig5::render(&config, &rows),
+            );
+        }
+        Err(e) => {
+            eprintln!("fig5 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates Figure 6: the number of intermediate processing results
+//! allocated to the on-chip cache on 16, 32 and 64 processing
+//! elements.
+
+use paraconv::experiments::fig6;
+use paraconv_bench::{config_from_env, emit, suite_from_env};
+
+fn main() {
+    let config = config_from_env();
+    let suite = suite_from_env();
+    match fig6::run(&config, &suite) {
+        Ok(rows) => {
+            emit(
+                "Figure 6: IPRs allocated to the on-chip cache",
+                &fig6::render(&config, &rows),
+            );
+        }
+        Err(e) => {
+            eprintln!("fig6 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

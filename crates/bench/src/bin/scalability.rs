@@ -1,0 +1,35 @@
+//! Scalability and off-chip fetching penalty (§1's remaining two
+//! evaluation axes): PE-count throughput sweep and data-movement
+//! comparison.
+
+use paraconv::experiments::scalability;
+use paraconv_bench::{config_from_env, emit, suite_from_env};
+
+fn main() {
+    let config = config_from_env();
+    let suite = suite_from_env();
+
+    let subject = paraconv_synth::benchmarks::by_name("shortest-path")
+        .expect("shortest-path is in the suite");
+    match scalability::pe_sweep(&config, &subject, &[2, 4, 8, 16, 32, 64, 128, 256]) {
+        Ok(points) => emit(
+            "Scalability: throughput vs PE count (shortest-path)",
+            &scalability::render_pe_sweep(&points),
+        ),
+        Err(e) => {
+            eprintln!("pe sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    match scalability::fetch_penalty(&config, &suite) {
+        Ok(rows) => emit(
+            "Off-chip fetching penalty: Para-CONV vs SPARTA",
+            &scalability::render_fetch_penalty(&rows),
+        ),
+        Err(e) => {
+            eprintln!("fetch penalty failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

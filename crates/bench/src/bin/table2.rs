@@ -1,0 +1,22 @@
+//! Regenerates Table 2: the maximum retiming value of Para-CONV on
+//! 16, 32 and 64 processing elements.
+
+use paraconv::experiments::table2;
+use paraconv_bench::{config_from_env, emit, suite_from_env};
+
+fn main() {
+    let config = config_from_env();
+    let suite = suite_from_env();
+    match table2::run(&config, &suite) {
+        Ok(rows) => {
+            emit(
+                "Table 2: maximum retiming value R_max",
+                &table2::render(&config, &rows),
+            );
+        }
+        Err(e) => {
+            eprintln!("table2 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Real-CNN comparison: the Table 1 measurement repeated on graphs
+//! partitioned from actual network descriptions (GoogLeNet-style
+//! inception, LeNet, autoencoder, sequence MLP, VGG stack).
+
+use paraconv::experiments::zoo;
+use paraconv_bench::{config_from_env, emit};
+
+fn main() {
+    let config = config_from_env();
+    match zoo::run(&config) {
+        Ok(rows) => emit(
+            "Real-CNN suite: Para-CONV vs SPARTA (IMP% per PE count)",
+            &zoo::render(&config, &rows),
+        ),
+        Err(e) => {
+            eprintln!("zoo comparison failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Each binary accepts the same environment knobs so CI and quick local
+//! runs can shrink the sweep without recompiling:
+//!
+//! * `PARACONV_ITERS` — iterations per run (default 50);
+//! * `PARACONV_QUICK` — any value restricts the suite to the four
+//!   smallest benchmarks;
+//! * `PARACONV_CSV` — any value switches output from aligned text to
+//!   CSV.
+
+use paraconv::{ExperimentConfig, TextTable};
+use paraconv_synth::Benchmark;
+
+/// Reads the experiment configuration from the environment.
+#[must_use]
+pub fn config_from_env() -> ExperimentConfig {
+    let mut config = ExperimentConfig::default();
+    if let Ok(iters) = std::env::var("PARACONV_ITERS") {
+        if let Ok(iters) = iters.parse::<u64>() {
+            config.iterations = iters.max(1);
+        }
+    }
+    config
+}
+
+/// Reads the benchmark suite from the environment.
+#[must_use]
+pub fn suite_from_env() -> Vec<Benchmark> {
+    if std::env::var_os("PARACONV_QUICK").is_some() {
+        paraconv::experiments::quick_suite()
+    } else {
+        paraconv::experiments::full_suite()
+    }
+}
+
+/// Prints a table as aligned text, or CSV when `PARACONV_CSV` is set.
+pub fn emit(title: &str, table: &TextTable) {
+    if std::env::var_os("PARACONV_CSV").is_some() {
+        print!("{}", table.to_csv());
+    } else {
+        println!("== {title} ==");
+        println!("{table}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_harness_default() {
+        // The env is not set under `cargo test`, so defaults apply.
+        let config = config_from_env();
+        assert_eq!(config.pe_counts, vec![16, 32, 64]);
+    }
+
+    #[test]
+    fn suite_is_full_by_default() {
+        assert_eq!(suite_from_env().len(), 12);
+    }
+}

@@ -1,0 +1,200 @@
+//! GoogLeNet-style inception networks (Szegedy et al., CVPR'15 — the
+//! paper's benchmark source [16]).
+//!
+//! The full GoogLeNet stacks a convolutional stem, nine inception
+//! modules interleaved with max-pooling, and an average-pool +
+//! fully-connected classifier. Each inception module runs four
+//! parallel branches (1×1; 1×1→3×3; 1×1→5×5; pool→1×1) whose outputs
+//! concatenate channel-wise — exactly the "deterministic convolutional
+//! connections" whose parallelism Para-CONV exploits.
+
+use crate::{Layer, LayerId, Network, NetworkBuilder, NetworkError, PoolKind, TensorShape};
+
+/// Channel widths of one inception module's branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InceptionWidths {
+    /// 1×1 branch output channels.
+    pub b1: usize,
+    /// 3×3 branch: reduction channels then output channels.
+    pub b3: (usize, usize),
+    /// 5×5 branch: reduction channels then output channels.
+    pub b5: (usize, usize),
+    /// Pool-projection branch output channels.
+    pub pool_proj: usize,
+}
+
+/// Appends one inception module after `input`, returning the concat
+/// layer's ID.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`] from the builder (shape mismatches are
+/// impossible for well-formed widths, but the error is surfaced rather
+/// than panicking).
+pub fn add_inception(
+    builder: &mut NetworkBuilder,
+    tag: &str,
+    input: LayerId,
+    widths: InceptionWidths,
+) -> Result<LayerId, NetworkError> {
+    let conv = |out, kernel, padding| Layer::Conv {
+        out_channels: out,
+        kernel,
+        stride: 1,
+        padding,
+    };
+    let b1 = builder.add(format!("{tag}.1x1"), conv(widths.b1, 1, 0), &[input])?;
+    let r3 = builder.add(format!("{tag}.3x3r"), conv(widths.b3.0, 1, 0), &[input])?;
+    let b3 = builder.add(format!("{tag}.3x3"), conv(widths.b3.1, 3, 1), &[r3])?;
+    let r5 = builder.add(format!("{tag}.5x5r"), conv(widths.b5.0, 1, 0), &[input])?;
+    let b5 = builder.add(format!("{tag}.5x5"), conv(widths.b5.1, 5, 2), &[r5])?;
+    let pool = builder.add(
+        format!("{tag}.pool"),
+        Layer::Pool {
+            kind: PoolKind::Max,
+            window: 3,
+            stride: 1,
+        },
+        &[input],
+    )?;
+    // A 3×3/1 pool without padding shrinks by 2; pad via a 1×1 conv on
+    // the pooled map only works if spatial sizes match at the concat,
+    // so the projection uses padding 1 on a 3×3 kernel to restore size.
+    let proj = builder.add(
+        format!("{tag}.proj"),
+        conv(widths.pool_proj, 3, 2),
+        &[pool],
+    )?;
+    builder.add(format!("{tag}.concat"), Layer::Concat, &[b1, b3, b5, proj])
+}
+
+/// Builds a GoogLeNet-style network with `modules` inception modules
+/// (the original uses nine; fewer modules give the smaller graphs the
+/// paper's application benchmarks exhibit).
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`]; all module counts `≥ 1` build
+/// successfully on the 3×224×224 input.
+///
+/// # Examples
+///
+/// ```
+/// let net = paraconv_cnn::googlenet(3)?;
+/// assert!(net.compute_layer_count() > 20);
+/// # Ok::<(), paraconv_cnn::NetworkError>(())
+/// ```
+pub fn googlenet(modules: usize) -> Result<Network, NetworkError> {
+    let mut b = NetworkBuilder::new(
+        format!("googlenet-{modules}"),
+        TensorShape::new(3, 224, 224),
+    );
+    // Stem: conv 7×7/2 → pool → conv 1×1 → conv 3×3 → pool.
+    let c1 = b.add(
+        "stem.conv7",
+        Layer::Conv { out_channels: 64, kernel: 7, stride: 2, padding: 3 },
+        &[],
+    )?;
+    let p1 = b.add(
+        "stem.pool1",
+        Layer::Pool { kind: PoolKind::Max, window: 2, stride: 2 },
+        &[c1],
+    )?;
+    let c2 = b.add(
+        "stem.conv1",
+        Layer::Conv { out_channels: 64, kernel: 1, stride: 1, padding: 0 },
+        &[p1],
+    )?;
+    let c3 = b.add(
+        "stem.conv3",
+        Layer::Conv { out_channels: 192, kernel: 3, stride: 1, padding: 1 },
+        &[c2],
+    )?;
+    let mut cursor = b.add(
+        "stem.pool2",
+        Layer::Pool { kind: PoolKind::Max, window: 2, stride: 2 },
+        &[c3],
+    )?;
+
+    // Inception stack, interleaving a stride-2 pool every third module
+    // as the original does between stages 3, 4 and 5.
+    let base = InceptionWidths {
+        b1: 64,
+        b3: (96, 128),
+        b5: (16, 32),
+        pool_proj: 32,
+    };
+    for m in 0..modules {
+        cursor = add_inception(&mut b, &format!("inc{m}"), cursor, base)?;
+        if m % 3 == 2 && m + 1 < modules {
+            cursor = b.add(
+                format!("stage{}.pool", m / 3),
+                Layer::Pool { kind: PoolKind::Max, window: 2, stride: 2 },
+                &[cursor],
+            )?;
+        }
+    }
+
+    // Classifier: global average pool + fully connected.
+    let spatial = b
+        .add(
+            "cls.avgpool",
+            Layer::Pool { kind: PoolKind::Average, window: 7, stride: 7 },
+            &[cursor],
+        )
+        .or_else(|_| {
+            // Deep stacks can shrink below 7×7; fall back to 2×2.
+            b.add(
+                "cls.avgpool",
+                Layer::Pool { kind: PoolKind::Average, window: 2, stride: 2 },
+                &[cursor],
+            )
+        })?;
+    b.add("cls.fc", Layer::FullyConnected { out_features: 1000 }, &[spatial])?;
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_counts_scale_the_network() {
+        let small = googlenet(1).unwrap();
+        let large = googlenet(9).unwrap();
+        assert!(large.layer_count() > small.layer_count());
+        // Each module adds 7 compute layers (6 conv/pool + projection)
+        // plus a concat.
+        assert_eq!(
+            large.layer_count() - small.layer_count(),
+            8 * 8 + 2 // 8 extra modules + 2 stage pools
+        );
+    }
+
+    #[test]
+    fn inception_concat_has_expected_channels() {
+        let net = googlenet(1).unwrap();
+        // Find the first concat and check channel arithmetic
+        // 64 + 128 + 32 + 32 = 256.
+        let concat = net
+            .layer_ids()
+            .find(|&id| matches!(net.layer(id), Some(Layer::Concat)))
+            .unwrap();
+        assert_eq!(net.output_shape(concat).unwrap().channels, 256);
+    }
+
+    #[test]
+    fn branches_agree_spatially() {
+        // Building at all proves every concat's branches matched.
+        for modules in [1, 2, 3, 6, 9] {
+            let net = googlenet(modules).unwrap();
+            assert!(net.total_macs() > 0, "modules={modules}");
+        }
+    }
+
+    #[test]
+    fn weights_dominated_by_classifier_and_convs() {
+        let net = googlenet(2).unwrap();
+        assert!(net.total_weights() > 1_000_000);
+    }
+}

@@ -1,0 +1,365 @@
+//! Typed CNN layers with shape inference and cost accounting.
+//!
+//! A CNN "has a standard structure with multiple stacked convolutional
+//! layers, pooling layers, and one or more fully-connected layers"
+//! (§2.2). Each convolutional layer applies three-dimensional filters
+//! over a three-dimensional input; pooling reduces a small window;
+//! fully-connected layers are inner products and can be treated as a
+//! special kind of convolution.
+
+use core::fmt;
+
+/// A `channels × height × width` feature-map shape.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_cnn::TensorShape;
+///
+/// let s = TensorShape::new(3, 224, 224);
+/// assert_eq!(s.elements(), 3 * 224 * 224);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TensorShape {
+    /// Number of channels (feature maps).
+    pub channels: usize,
+    /// Feature-map height in neurons.
+    pub height: usize,
+    /// Feature-map width in neurons.
+    pub width: usize,
+}
+
+impl TensorShape {
+    /// Creates a shape.
+    #[must_use]
+    pub const fn new(channels: usize, height: usize, width: usize) -> Self {
+        TensorShape {
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// Total neuron count `C·H·W`.
+    #[must_use]
+    pub const fn elements(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.channels, self.height, self.width)
+    }
+}
+
+/// The reduction applied by a pooling layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PoolKind {
+    /// Maximum over the window.
+    Max,
+    /// Average over the window.
+    Average,
+}
+
+/// Errors produced by shape inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ShapeError {
+    /// The (padded) input is smaller than the layer's window.
+    WindowLargerThanInput {
+        /// The layer's window edge length.
+        window: usize,
+        /// The padded input edge length.
+        input: usize,
+    },
+    /// A stride of zero makes no progress.
+    ZeroStride,
+    /// A kernel/window of zero size is meaningless.
+    ZeroWindow,
+    /// Concatenated inputs must agree on height and width.
+    ConcatMismatch {
+        /// First input shape.
+        a: TensorShape,
+        /// Mismatching input shape.
+        b: TensorShape,
+    },
+    /// A layer that needs input received none.
+    NoInput,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::WindowLargerThanInput { window, input } => {
+                write!(f, "window {window} exceeds padded input {input}")
+            }
+            ShapeError::ZeroStride => f.write_str("stride must be positive"),
+            ShapeError::ZeroWindow => f.write_str("kernel/window must be positive"),
+            ShapeError::ConcatMismatch { a, b } => {
+                write!(f, "concat inputs {a} and {b} disagree on spatial size")
+            }
+            ShapeError::NoInput => f.write_str("layer requires at least one input"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// One CNN layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Layer {
+    /// A 2-D convolution with square kernel.
+    Conv {
+        /// Output channel count (number of filters).
+        out_channels: usize,
+        /// Kernel edge length.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Symmetric zero padding.
+        padding: usize,
+    },
+    /// A pooling layer with square window.
+    Pool {
+        /// Max or average.
+        kind: PoolKind,
+        /// Window edge length.
+        window: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// A fully-connected layer ("a special kind of convolutional
+    /// layer", §2.2).
+    FullyConnected {
+        /// Output feature count.
+        out_features: usize,
+    },
+    /// Channel-wise concatenation of several branches (the inception
+    /// merge).
+    Concat,
+}
+
+impl Layer {
+    /// Infers the output shape for the given input shapes.
+    ///
+    /// All layers except [`Layer::Concat`] take exactly one input; the
+    /// first element of `inputs` is used and extras are rejected by the
+    /// network builder, not here.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] for degenerate geometry (zero stride or
+    /// window, window larger than the padded input, mismatched concat
+    /// branches, or missing input).
+    pub fn output_shape(&self, inputs: &[TensorShape]) -> Result<TensorShape, ShapeError> {
+        let first = *inputs.first().ok_or(ShapeError::NoInput)?;
+        match *self {
+            Layer::Conv {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            } => {
+                let (h, w) = conv_spatial(first, kernel, stride, padding)?;
+                Ok(TensorShape::new(out_channels, h, w))
+            }
+            Layer::Pool { window, stride, .. } => {
+                let (h, w) = conv_spatial(first, window, stride, 0)?;
+                Ok(TensorShape::new(first.channels, h, w))
+            }
+            Layer::FullyConnected { out_features } => Ok(TensorShape::new(out_features, 1, 1)),
+            Layer::Concat => {
+                let mut channels = first.channels;
+                for &s in &inputs[1..] {
+                    if s.height != first.height || s.width != first.width {
+                        return Err(ShapeError::ConcatMismatch { a: first, b: s });
+                    }
+                    channels += s.channels;
+                }
+                Ok(TensorShape::new(channels, first.height, first.width))
+            }
+        }
+    }
+
+    /// Multiply-accumulate operations to produce the output from the
+    /// given inputs — the execution-cost proxy used by the partitioner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference errors.
+    pub fn macs(&self, inputs: &[TensorShape]) -> Result<u64, ShapeError> {
+        let out = self.output_shape(inputs)?;
+        let first = *inputs.first().ok_or(ShapeError::NoInput)?;
+        Ok(match *self {
+            Layer::Conv { kernel, .. } => {
+                out.elements() as u64 * (kernel * kernel * first.channels) as u64
+            }
+            Layer::Pool { window, .. } => out.elements() as u64 * (window * window) as u64,
+            Layer::FullyConnected { .. } => (first.elements() * out.elements()) as u64,
+            Layer::Concat => 0,
+        })
+    }
+
+    /// Filter-weight count of the layer (zero for pooling and concat).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference errors (the weight count of a
+    /// fully-connected layer depends on its input size).
+    pub fn weights(&self, inputs: &[TensorShape]) -> Result<u64, ShapeError> {
+        let first = *inputs.first().ok_or(ShapeError::NoInput)?;
+        Ok(match *self {
+            Layer::Conv {
+                out_channels,
+                kernel,
+                ..
+            } => (out_channels * kernel * kernel * first.channels) as u64,
+            Layer::FullyConnected { out_features } => {
+                (first.elements() * out_features) as u64
+            }
+            Layer::Pool { .. } | Layer::Concat => 0,
+        })
+    }
+
+    /// Whether the layer carries computation (and therefore becomes a
+    /// task-graph vertex when partitioning). Concat is pure wiring.
+    #[must_use]
+    pub const fn is_compute(&self) -> bool {
+        !matches!(self, Layer::Concat)
+    }
+}
+
+fn conv_spatial(
+    input: TensorShape,
+    window: usize,
+    stride: usize,
+    padding: usize,
+) -> Result<(usize, usize), ShapeError> {
+    if stride == 0 {
+        return Err(ShapeError::ZeroStride);
+    }
+    if window == 0 {
+        return Err(ShapeError::ZeroWindow);
+    }
+    let padded_h = input.height + 2 * padding;
+    let padded_w = input.width + 2 * padding;
+    if window > padded_h || window > padded_w {
+        return Err(ShapeError::WindowLargerThanInput {
+            window,
+            input: padded_h.min(padded_w),
+        });
+    }
+    Ok(((padded_h - window) / stride + 1, (padded_w - window) / stride + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_classic() {
+        // 3x224x224 through 64 filters of 7x7, stride 2, padding 3 →
+        // 64x112x112 (the GoogLeNet stem).
+        let conv = Layer::Conv {
+            out_channels: 64,
+            kernel: 7,
+            stride: 2,
+            padding: 3,
+        };
+        let out = conv
+            .output_shape(&[TensorShape::new(3, 224, 224)])
+            .unwrap();
+        assert_eq!(out, TensorShape::new(64, 112, 112));
+    }
+
+    #[test]
+    fn pool_shape() {
+        let pool = Layer::Pool {
+            kind: PoolKind::Max,
+            window: 2,
+            stride: 2,
+        };
+        let out = pool.output_shape(&[TensorShape::new(8, 10, 10)]).unwrap();
+        assert_eq!(out, TensorShape::new(8, 5, 5));
+    }
+
+    #[test]
+    fn fully_connected_flattens() {
+        let fc = Layer::FullyConnected { out_features: 100 };
+        let out = fc.output_shape(&[TensorShape::new(8, 4, 4)]).unwrap();
+        assert_eq!(out, TensorShape::new(100, 1, 1));
+        assert_eq!(fc.weights(&[TensorShape::new(8, 4, 4)]).unwrap(), 12800);
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let concat = Layer::Concat;
+        let out = concat
+            .output_shape(&[
+                TensorShape::new(16, 7, 7),
+                TensorShape::new(32, 7, 7),
+                TensorShape::new(8, 7, 7),
+            ])
+            .unwrap();
+        assert_eq!(out, TensorShape::new(56, 7, 7));
+        assert_eq!(concat.macs(&[TensorShape::new(16, 7, 7)]).unwrap(), 0);
+    }
+
+    #[test]
+    fn concat_rejects_spatial_mismatch() {
+        let err = Layer::Concat
+            .output_shape(&[TensorShape::new(4, 7, 7), TensorShape::new(4, 6, 7)])
+            .unwrap_err();
+        assert!(matches!(err, ShapeError::ConcatMismatch { .. }));
+    }
+
+    #[test]
+    fn degenerate_geometry_rejected() {
+        let s = TensorShape::new(1, 5, 5);
+        assert_eq!(
+            Layer::Conv { out_channels: 1, kernel: 3, stride: 0, padding: 0 }
+                .output_shape(&[s])
+                .unwrap_err(),
+            ShapeError::ZeroStride
+        );
+        assert_eq!(
+            Layer::Conv { out_channels: 1, kernel: 0, stride: 1, padding: 0 }
+                .output_shape(&[s])
+                .unwrap_err(),
+            ShapeError::ZeroWindow
+        );
+        assert!(matches!(
+            Layer::Conv { out_channels: 1, kernel: 9, stride: 1, padding: 0 }
+                .output_shape(&[s])
+                .unwrap_err(),
+            ShapeError::WindowLargerThanInput { .. }
+        ));
+        assert_eq!(Layer::Concat.output_shape(&[]).unwrap_err(), ShapeError::NoInput);
+    }
+
+    #[test]
+    fn conv_macs_formula() {
+        // 1x4x4 input, 2 filters of 3x3, stride 1 → 2x2x2 output.
+        let conv = Layer::Conv {
+            out_channels: 2,
+            kernel: 3,
+            stride: 1,
+            padding: 0,
+        };
+        let input = TensorShape::new(1, 4, 4);
+        assert_eq!(conv.macs(&[input]).unwrap(), 8 * 9);
+        assert_eq!(conv.weights(&[input]).unwrap(), 2 * 9);
+    }
+
+    #[test]
+    fn compute_flag() {
+        assert!(Layer::Conv { out_channels: 1, kernel: 1, stride: 1, padding: 0 }.is_compute());
+        assert!(Layer::Pool { kind: PoolKind::Average, window: 2, stride: 2 }.is_compute());
+        assert!(Layer::FullyConnected { out_features: 1 }.is_compute());
+        assert!(!Layer::Concat.is_compute());
+    }
+}

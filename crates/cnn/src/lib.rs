@@ -1,0 +1,44 @@
+//! CNN application model for Para-CONV.
+//!
+//! The paper's benchmarks come from real CNN applications (several
+//! from GoogLeNet ConvNet) "partitioned based on the functionality
+//! (i.e., convolution, or pooling) to obtain CNN graphs" (§4.1). This
+//! crate provides the full lowering path:
+//!
+//! * [`Layer`] / [`TensorShape`] — typed layer definitions with shape
+//!   inference, MAC and weight accounting;
+//! * [`Network`] / [`NetworkBuilder`] — CNNs as DAGs of layers (with
+//!   branching for inception modules);
+//! * [`googlenet`] — a parameterized GoogLeNet-style inception network
+//!   builder;
+//! * [`partition`] — the functionality-based partitioner that lowers a
+//!   network into a [`paraconv_graph::TaskGraph`] (one vertex per
+//!   convolution/pooling operation, one intermediate processing result
+//!   per feature-map handoff, concat wiring dissolved).
+//!
+//! # Examples
+//!
+//! ```
+//! use paraconv_cnn::{googlenet, partition, PartitionConfig};
+//!
+//! let net = googlenet(3)?;
+//! let graph = partition(&net, PartitionConfig::default())?;
+//! assert_eq!(graph.node_count(), net.compute_layer_count());
+//! assert!(graph.max_width() >= 4); // four inception branches in flight
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod googlenet;
+mod layer;
+mod network;
+mod partition;
+pub mod zoo;
+
+pub use googlenet::{add_inception, googlenet, InceptionWidths};
+pub use layer::{Layer, PoolKind, ShapeError, TensorShape};
+pub use network::{LayerId, Network, NetworkBuilder, NetworkError};
+pub use partition::{partition, PartitionConfig, PartitionError};

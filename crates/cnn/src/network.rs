@@ -1,0 +1,325 @@
+//! Networks: DAGs of layers with inferred shapes.
+
+use core::fmt;
+
+use crate::{Layer, ShapeError, TensorShape};
+
+/// Identifier of a layer within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct LayerId(u32);
+
+impl LayerId {
+    /// The dense index of this layer.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LayerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Errors produced while assembling a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// A referenced input layer does not exist yet (layers can only
+    /// consume earlier layers, which also guarantees acyclicity).
+    UnknownInput(LayerId),
+    /// A single-input layer was given several inputs.
+    TooManyInputs {
+        /// The inputs supplied.
+        given: usize,
+    },
+    /// Shape inference failed for a layer.
+    Shape(ShapeError),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::UnknownInput(id) => write!(f, "unknown input layer {id}"),
+            NetworkError::TooManyInputs { given } => {
+                write!(f, "single-input layer given {given} inputs")
+            }
+            NetworkError::Shape(e) => write!(f, "shape inference failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetworkError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for NetworkError {
+    fn from(e: ShapeError) -> Self {
+        NetworkError::Shape(e)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub(crate) struct LayerNode {
+    pub(crate) name: String,
+    pub(crate) layer: Layer,
+    pub(crate) inputs: Vec<LayerId>,
+    pub(crate) output_shape: TensorShape,
+    pub(crate) macs: u64,
+    pub(crate) weights: u64,
+}
+
+/// A CNN as a DAG of layers, with every shape inferred at construction.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_cnn::{Layer, NetworkBuilder, PoolKind, TensorShape};
+///
+/// let mut b = NetworkBuilder::new("lenet-ish", TensorShape::new(1, 28, 28));
+/// let c1 = b.add("conv1", Layer::Conv { out_channels: 6, kernel: 5, stride: 1, padding: 2 }, &[])?;
+/// let p1 = b.add("pool1", Layer::Pool { kind: PoolKind::Max, window: 2, stride: 2 }, &[c1])?;
+/// let fc = b.add("fc", Layer::FullyConnected { out_features: 10 }, &[p1])?;
+/// let net = b.finish();
+/// assert_eq!(net.output_shape(fc).unwrap(), TensorShape::new(10, 1, 1));
+/// # Ok::<(), paraconv_cnn::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Network {
+    name: String,
+    input_shape: TensorShape,
+    pub(crate) layers: Vec<LayerNode>,
+}
+
+impl Network {
+    /// The network's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The input feature-map shape.
+    #[must_use]
+    pub const fn input_shape(&self) -> TensorShape {
+        self.input_shape
+    }
+
+    /// Number of layers (concat included).
+    #[must_use]
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of compute layers (the future task-graph vertices).
+    #[must_use]
+    pub fn compute_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.layer.is_compute()).count()
+    }
+
+    /// The inferred output shape of a layer.
+    #[must_use]
+    pub fn output_shape(&self, id: LayerId) -> Option<TensorShape> {
+        self.layers.get(id.index()).map(|l| l.output_shape)
+    }
+
+    /// The layer's name.
+    #[must_use]
+    pub fn layer_name(&self, id: LayerId) -> Option<&str> {
+        self.layers.get(id.index()).map(|l| l.name.as_str())
+    }
+
+    /// The layer's definition.
+    #[must_use]
+    pub fn layer(&self, id: LayerId) -> Option<&Layer> {
+        self.layers.get(id.index()).map(|l| &l.layer)
+    }
+
+    /// The IDs of the layer's inputs.
+    #[must_use]
+    pub fn layer_inputs(&self, id: LayerId) -> Option<&[LayerId]> {
+        self.layers.get(id.index()).map(|l| l.inputs.as_slice())
+    }
+
+    /// Iterates over all layer IDs in construction order (which is a
+    /// topological order, since layers only consume earlier layers).
+    pub fn layer_ids(&self) -> impl ExactSizeIterator<Item = LayerId> + Clone + '_ {
+        (0..self.layers.len() as u32).map(LayerId)
+    }
+
+    /// Total multiply-accumulate operations of one inference pass.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Total filter-weight count ("several hundreds of megabytes" in
+    /// state-of-the-art CNNs, §1 — here just the count).
+    #[must_use]
+    pub fn total_weights(&self) -> u64 {
+        self.layers.iter().map(|l| l.weights).sum()
+    }
+}
+
+/// Builder for [`Network`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    name: String,
+    input_shape: TensorShape,
+    layers: Vec<LayerNode>,
+}
+
+impl NetworkBuilder {
+    /// Starts a network with the given input shape.
+    #[must_use]
+    pub fn new(name: impl Into<String>, input_shape: TensorShape) -> Self {
+        NetworkBuilder {
+            name: name.into(),
+            input_shape,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer consuming the given earlier layers (empty
+    /// `inputs` means the network input) and returns its ID.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownInput`] for a forward reference,
+    /// [`NetworkError::TooManyInputs`] when a non-concat layer is given
+    /// several inputs, and [`NetworkError::Shape`] when inference
+    /// fails.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        layer: Layer,
+        inputs: &[LayerId],
+    ) -> Result<LayerId, NetworkError> {
+        for &input in inputs {
+            if input.index() >= self.layers.len() {
+                return Err(NetworkError::UnknownInput(input));
+            }
+        }
+        if !matches!(layer, Layer::Concat) && inputs.len() > 1 {
+            return Err(NetworkError::TooManyInputs {
+                given: inputs.len(),
+            });
+        }
+        let input_shapes: Vec<TensorShape> = if inputs.is_empty() {
+            vec![self.input_shape]
+        } else {
+            inputs
+                .iter()
+                .map(|&i| self.layers[i.index()].output_shape)
+                .collect()
+        };
+        let output_shape = layer.output_shape(&input_shapes)?;
+        let macs = layer.macs(&input_shapes)?;
+        let weights = layer.weights(&input_shapes)?;
+        let id = LayerId(self.layers.len() as u32);
+        self.layers.push(LayerNode {
+            name: name.into(),
+            layer,
+            inputs: inputs.to_vec(),
+            output_shape,
+            macs,
+            weights,
+        });
+        Ok(id)
+    }
+
+    /// Finishes the network.
+    #[must_use]
+    pub fn finish(self) -> Network {
+        Network {
+            name: self.name,
+            input_shape: self.input_shape,
+            layers: self.layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PoolKind;
+
+    fn conv(out: usize, k: usize) -> Layer {
+        Layer::Conv {
+            out_channels: out,
+            kernel: k,
+            stride: 1,
+            padding: k / 2,
+        }
+    }
+
+    #[test]
+    fn builds_branching_network() {
+        let mut b = NetworkBuilder::new("branchy", TensorShape::new(3, 8, 8));
+        let stem = b.add("stem", conv(8, 3), &[]).unwrap();
+        let left = b.add("left", conv(4, 1), &[stem]).unwrap();
+        let right = b.add("right", conv(4, 3), &[stem]).unwrap();
+        let merge = b.add("merge", Layer::Concat, &[left, right]).unwrap();
+        let net = b.finish();
+        assert_eq!(net.layer_count(), 4);
+        assert_eq!(net.compute_layer_count(), 3);
+        assert_eq!(net.output_shape(merge).unwrap(), TensorShape::new(8, 8, 8));
+        assert_eq!(net.layer_inputs(merge).unwrap(), &[left, right]);
+    }
+
+    #[test]
+    fn rejects_forward_reference() {
+        let mut b = NetworkBuilder::new("bad", TensorShape::new(1, 4, 4));
+        let ghost = LayerId(7);
+        assert_eq!(
+            b.add("x", conv(1, 1), &[ghost]).unwrap_err(),
+            NetworkError::UnknownInput(ghost)
+        );
+    }
+
+    #[test]
+    fn rejects_multi_input_conv() {
+        let mut b = NetworkBuilder::new("bad", TensorShape::new(1, 4, 4));
+        let a = b.add("a", conv(1, 1), &[]).unwrap();
+        let c = b.add("c", conv(1, 1), &[]).unwrap();
+        assert_eq!(
+            b.add("x", conv(1, 1), &[a, c]).unwrap_err(),
+            NetworkError::TooManyInputs { given: 2 }
+        );
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let mut b = NetworkBuilder::new("bad", TensorShape::new(1, 2, 2));
+        let err = b
+            .add(
+                "big",
+                Layer::Conv { out_channels: 1, kernel: 5, stride: 1, padding: 0 },
+                &[],
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetworkError::Shape(_)));
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut b = NetworkBuilder::new("t", TensorShape::new(1, 4, 4));
+        let a = b.add("a", conv(2, 3), &[]).unwrap();
+        b.add("p", Layer::Pool { kind: PoolKind::Max, window: 2, stride: 2 }, &[a])
+            .unwrap();
+        let net = b.finish();
+        assert!(net.total_macs() > 0);
+        assert!(net.total_weights() > 0);
+        assert_eq!(net.name(), "t");
+        assert_eq!(net.input_shape(), TensorShape::new(1, 4, 4));
+    }
+}

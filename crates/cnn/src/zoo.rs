@@ -1,0 +1,275 @@
+//! A small model zoo: representative networks for the application
+//! classes of the paper's benchmark list (§4.1).
+//!
+//! The paper's applications span image classification (`cat`, `car`,
+//! `flower`), character recognition, image compression, sequence tasks
+//! (stock prediction, string matching, speech) and protein analysis.
+//! Each class maps to a canonical CNN shape: LeNet-style stacks for
+//! character recognition, inception stacks for image classification,
+//! autoencoder-shaped networks for compression, and
+//! fully-connected-heavy networks for the sequence tasks. These build
+//! real [`Network`]s that the partitioner lowers to task graphs — an
+//! alternative, end-to-end route to benchmarks beside the pinned
+//! synthetic suite.
+
+use crate::{googlenet, Layer, Network, NetworkBuilder, NetworkError, PoolKind, TensorShape};
+
+/// LeNet-5-shaped network for character recognition
+/// (conv–pool–conv–pool–fc–fc on a 1×28×28 bitmap).
+///
+/// # Errors
+///
+/// Never fails for the fixed geometry; the `Result` mirrors the
+/// builder API.
+///
+/// # Examples
+///
+/// ```
+/// let net = paraconv_cnn::zoo::lenet5()?;
+/// assert_eq!(net.compute_layer_count(), 7);
+/// # Ok::<(), paraconv_cnn::NetworkError>(())
+/// ```
+pub fn lenet5() -> Result<Network, NetworkError> {
+    let mut b = NetworkBuilder::new("lenet5", TensorShape::new(1, 28, 28));
+    let c1 = b.add(
+        "c1",
+        Layer::Conv { out_channels: 6, kernel: 5, stride: 1, padding: 2 },
+        &[],
+    )?;
+    let s2 = b.add(
+        "s2",
+        Layer::Pool { kind: PoolKind::Average, window: 2, stride: 2 },
+        &[c1],
+    )?;
+    let c3 = b.add(
+        "c3",
+        Layer::Conv { out_channels: 16, kernel: 5, stride: 1, padding: 0 },
+        &[s2],
+    )?;
+    let s4 = b.add(
+        "s4",
+        Layer::Pool { kind: PoolKind::Average, window: 2, stride: 2 },
+        &[c3],
+    )?;
+    let c5 = b.add(
+        "c5",
+        Layer::Conv { out_channels: 120, kernel: 5, stride: 1, padding: 0 },
+        &[s4],
+    )?;
+    let f6 = b.add("f6", Layer::FullyConnected { out_features: 84 }, &[c5])?;
+    b.add("output", Layer::FullyConnected { out_features: 10 }, &[f6])?;
+    Ok(b.finish())
+}
+
+/// A VGG-style stack: `blocks` blocks of two 3×3 convolutions plus a
+/// max pool, then two fully-connected layers. Deep and branch-free —
+/// the stress case for retiming (long dependency chains).
+///
+/// # Errors
+///
+/// Returns a shape error if `blocks` shrinks the map below the 2×2
+/// pooling window (at most 6 blocks on the 224-pixel input).
+///
+/// # Examples
+///
+/// ```
+/// let net = paraconv_cnn::zoo::vgg_stack(3)?;
+/// assert_eq!(net.compute_layer_count(), 3 * 3 + 2);
+/// # Ok::<(), paraconv_cnn::NetworkError>(())
+/// ```
+pub fn vgg_stack(blocks: usize) -> Result<Network, NetworkError> {
+    let mut b = NetworkBuilder::new(
+        format!("vgg-{blocks}"),
+        TensorShape::new(3, 224, 224),
+    );
+    let mut cursor = None;
+    let mut channels = 32;
+    for blk in 0..blocks {
+        for half in 0..2 {
+            let inputs: Vec<_> = cursor.into_iter().collect();
+            cursor = Some(b.add(
+                format!("b{blk}.c{half}"),
+                Layer::Conv { out_channels: channels, kernel: 3, stride: 1, padding: 1 },
+                &inputs,
+            )?);
+        }
+        cursor = Some(b.add(
+            format!("b{blk}.pool"),
+            Layer::Pool { kind: PoolKind::Max, window: 2, stride: 2 },
+            &[cursor.expect("block added layers")],
+        )?);
+        channels = (channels * 2).min(256);
+    }
+    let fc1 = b.add(
+        "fc1",
+        Layer::FullyConnected { out_features: 512 },
+        &[cursor.expect("at least one block")],
+    )?;
+    b.add("fc2", Layer::FullyConnected { out_features: 100 }, &[fc1])?;
+    Ok(b.finish())
+}
+
+/// An autoencoder-shaped network for the `image-compress` class:
+/// a pooling encoder narrowing the map, a 1×1 bottleneck and a
+/// widening decoder approximated with 3×3 convolutions.
+///
+/// # Errors
+///
+/// Never fails for the fixed geometry.
+pub fn autoencoder() -> Result<Network, NetworkError> {
+    let mut b = NetworkBuilder::new("autoencoder", TensorShape::new(3, 64, 64));
+    let e1 = b.add(
+        "enc1",
+        Layer::Conv { out_channels: 32, kernel: 3, stride: 1, padding: 1 },
+        &[],
+    )?;
+    let p1 = b.add(
+        "down1",
+        Layer::Pool { kind: PoolKind::Max, window: 2, stride: 2 },
+        &[e1],
+    )?;
+    let e2 = b.add(
+        "enc2",
+        Layer::Conv { out_channels: 64, kernel: 3, stride: 1, padding: 1 },
+        &[p1],
+    )?;
+    let p2 = b.add(
+        "down2",
+        Layer::Pool { kind: PoolKind::Max, window: 2, stride: 2 },
+        &[e2],
+    )?;
+    let code = b.add(
+        "code",
+        Layer::Conv { out_channels: 8, kernel: 1, stride: 1, padding: 0 },
+        &[p2],
+    )?;
+    let d1 = b.add(
+        "dec1",
+        Layer::Conv { out_channels: 64, kernel: 3, stride: 1, padding: 1 },
+        &[code],
+    )?;
+    let d2 = b.add(
+        "dec2",
+        Layer::Conv { out_channels: 32, kernel: 3, stride: 1, padding: 1 },
+        &[d1],
+    )?;
+    b.add(
+        "out",
+        Layer::Conv { out_channels: 3, kernel: 3, stride: 1, padding: 1 },
+        &[d2],
+    )?;
+    Ok(b.finish())
+}
+
+/// A fully-connected-heavy network for the sequence classes
+/// (`stock-predict`, `string-matching`, `speech`): a 1-D-style conv
+/// front end over a `features × window × 1` input followed by `depth`
+/// dense layers.
+///
+/// # Errors
+///
+/// Never fails for `depth ≥ 1` on the fixed geometry.
+///
+/// # Examples
+///
+/// ```
+/// let net = paraconv_cnn::zoo::sequence_mlp(4)?;
+/// assert_eq!(net.compute_layer_count(), 2 + 4);
+/// # Ok::<(), paraconv_cnn::NetworkError>(())
+/// ```
+pub fn sequence_mlp(depth: usize) -> Result<Network, NetworkError> {
+    let mut b = NetworkBuilder::new(
+        format!("sequence-mlp-{depth}"),
+        TensorShape::new(16, 32, 1),
+    );
+    let c1 = b.add(
+        "conv1d-a",
+        Layer::Conv { out_channels: 32, kernel: 1, stride: 1, padding: 0 },
+        &[],
+    )?;
+    let mut cursor = b.add(
+        "conv1d-b",
+        Layer::Conv { out_channels: 32, kernel: 1, stride: 1, padding: 0 },
+        &[c1],
+    )?;
+    let mut features = 256;
+    for d in 0..depth {
+        cursor = b.add(
+            format!("fc{d}"),
+            Layer::FullyConnected { out_features: features },
+            &[cursor],
+        )?;
+        features = (features / 2).max(16);
+    }
+    Ok(b.finish())
+}
+
+/// Every zoo network paired with the paper application class it
+/// represents.
+///
+/// # Errors
+///
+/// Propagates builder errors (none occur for the fixed geometries).
+pub fn all() -> Result<Vec<(&'static str, Network)>, NetworkError> {
+    Ok(vec![
+        ("image-classification (cat/car/flower)", googlenet(3)?),
+        ("character-recognition", lenet5()?),
+        ("image-compress", autoencoder()?),
+        ("sequence (stock/string/speech)", sequence_mlp(5)?),
+        ("deep-stack (protein)", vgg_stack(5)?),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{partition, PartitionConfig};
+
+    #[test]
+    fn lenet_shapes() {
+        let net = lenet5().unwrap();
+        // Classic LeNet: 28→28(c1)→14(s2)→10(c3)→5(s4)→1(c5).
+        let last_conv = net
+            .layer_ids()
+            .find(|&id| net.layer_name(id) == Some("c5"))
+            .unwrap();
+        assert_eq!(net.output_shape(last_conv).unwrap(), TensorShape::new(120, 1, 1));
+    }
+
+    #[test]
+    fn vgg_depth_scales() {
+        let shallow = vgg_stack(2).unwrap();
+        let deep = vgg_stack(5).unwrap();
+        assert!(deep.layer_count() > shallow.layer_count());
+        assert!(deep.total_macs() > shallow.total_macs());
+    }
+
+    #[test]
+    fn all_zoo_networks_partition_and_are_dags() {
+        for (class, net) in all().unwrap() {
+            let graph = partition(&net, PartitionConfig::default())
+                .unwrap_or_else(|e| panic!("{class}: {e}"));
+            assert_eq!(graph.node_count(), net.compute_layer_count(), "{class}");
+            assert!(graph.topological_order().is_ok(), "{class}");
+        }
+    }
+
+    #[test]
+    fn sequence_mlp_is_fc_dominated() {
+        let net = sequence_mlp(6).unwrap();
+        let graph = partition(&net, PartitionConfig::default()).unwrap();
+        let fc = graph
+            .nodes()
+            .filter(|n| n.kind() == paraconv_graph::OpKind::FullyConnected)
+            .count();
+        assert!(fc > graph.node_count() / 2);
+    }
+
+    #[test]
+    fn autoencoder_is_chain_shaped() {
+        let net = autoencoder().unwrap();
+        let graph = partition(&net, PartitionConfig::default()).unwrap();
+        assert_eq!(graph.max_width(), 1);
+        assert_eq!(graph.depth(), graph.node_count());
+    }
+}

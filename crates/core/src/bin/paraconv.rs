@@ -1,0 +1,157 @@
+//! The `paraconv` command-line interface.
+//!
+//! ```console
+//! $ paraconv list
+//! $ paraconv show cat
+//! $ paraconv dot flower > flower.dot
+//! $ paraconv run protein --pes 64 --iters 100
+//! $ paraconv compare speech-1 --pes 32
+//! $ paraconv gantt cat --pes 4 --window 40
+//! ```
+
+use std::process::ExitCode;
+
+use paraconv::graph::TaskGraph;
+use paraconv::pim::PimConfig;
+use paraconv::synth::benchmarks;
+use paraconv::ParaConv;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  paraconv list                         list the benchmark suite
+  paraconv show <benchmark>             structural summary of a benchmark
+  paraconv dot <benchmark>              Graphviz DOT on stdout
+  paraconv run <benchmark> [opts]       schedule + simulate with Para-CONV
+  paraconv compare <benchmark> [opts]   Para-CONV vs the SPARTA baseline
+  paraconv gantt <benchmark> [opts]     ASCII Gantt of the Para-CONV plan
+
+options:
+  --pes <n>      processing engines (default 16)
+  --iters <n>    iterations (default 50)
+  --window <n>   gantt window length in time units (default 60)";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().ok_or("missing command")?;
+    match command.as_str() {
+        "list" => {
+            println!("{:<16} {:>8} {:>7}", "benchmark", "vertices", "edges");
+            for b in benchmarks::all() {
+                println!("{:<16} {:>8} {:>7}", b.name(), b.vertices(), b.edges());
+            }
+            Ok(())
+        }
+        "show" => {
+            let graph = load(args.get(1))?;
+            let s = graph.summary();
+            println!("name:            {}", s.name);
+            println!("vertices:        {} ({} conv-like, {} pool)", s.vertices, s.conv_ops, s.pool_ops);
+            println!("edges (IPRs):    {}", s.edges);
+            println!("depth:           {}", s.depth);
+            println!("peak width:      {}", s.max_width);
+            println!("serial work:     {}", s.total_exec_time);
+            println!("critical path:   {}", s.critical_path);
+            Ok(())
+        }
+        "dot" => {
+            let graph = load(args.get(1))?;
+            print!("{}", graph.to_dot());
+            Ok(())
+        }
+        "run" => {
+            let graph = load(args.get(1))?;
+            let (pes, iters, _) = options(args)?;
+            let runner = ParaConv::new(config(pes)?);
+            let result = runner.run(&graph, iters).map_err(|e| e.to_string())?;
+            println!(
+                "kernel p = {} ({} iters/kernel), R_max = {}, prologue = {}",
+                result.outcome.period(),
+                result.outcome.unroll(),
+                result.outcome.rmax(),
+                result.outcome.prologue_time()
+            );
+            println!(
+                "{} of {} IPRs cached; case histogram (1..6): {:?}",
+                result.outcome.cached_iprs(),
+                graph.edge_count(),
+                result.outcome.analysis.case_histogram()
+            );
+            println!("{}", result.report);
+            Ok(())
+        }
+        "compare" => {
+            let graph = load(args.get(1))?;
+            let (pes, iters, _) = options(args)?;
+            let runner = ParaConv::new(config(pes)?);
+            let cmp = runner.compare(&graph, iters).map_err(|e| e.to_string())?;
+            println!(
+                "Para-CONV: {}   SPARTA: {}   IMP: {:.2}%   speedup: {:.2}x",
+                cmp.paraconv.report.total_time,
+                cmp.sparta.report.total_time,
+                cmp.improvement_percent(),
+                cmp.speedup()
+            );
+            Ok(())
+        }
+        "gantt" => {
+            let graph = load(args.get(1))?;
+            let (pes, iters, window) = options(args)?;
+            let cfg = config(pes)?;
+            let result = ParaConv::new(cfg.clone())
+                .run(&graph, iters)
+                .map_err(|e| e.to_string())?;
+            print!(
+                "{}",
+                paraconv::pim::gantt(&graph, &result.outcome.plan, &cfg, 0, window)
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn load(name: Option<&String>) -> Result<TaskGraph, String> {
+    let name = name.ok_or("missing benchmark name")?;
+    let bench = benchmarks::by_name(name)
+        .ok_or_else(|| format!("unknown benchmark `{name}` (try `paraconv list`)"))?;
+    bench.graph().map_err(|e| e.to_string())
+}
+
+fn config(pes: usize) -> Result<PimConfig, String> {
+    PimConfig::neurocube(pes).map_err(|e| e.to_string())
+}
+
+/// Parses `--pes`, `--iters` and `--window` with defaults.
+fn options(args: &[String]) -> Result<(usize, u64, u64), String> {
+    let mut pes = 16usize;
+    let mut iters = 50u64;
+    let mut window = 60u64;
+    let mut i = 2;
+    while i < args.len() {
+        let flag = &args[i];
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--pes" => pes = value.parse().map_err(|_| format!("bad --pes `{value}`"))?,
+            "--iters" => iters = value.parse().map_err(|_| format!("bad --iters `{value}`"))?,
+            "--window" => {
+                window = value.parse().map_err(|_| format!("bad --window `{value}`"))?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 2;
+    }
+    Ok((pes, iters, window))
+}

@@ -1,0 +1,114 @@
+//! The facade's error type.
+
+use core::fmt;
+
+use paraconv_cnn::{NetworkError, PartitionError};
+use paraconv_pim::{ConfigError, SimError};
+use paraconv_sched::SchedError;
+use paraconv_synth::SynthError;
+
+/// Any failure surfaced by the high-level Para-CONV API.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Architecture configuration was invalid.
+    Config(ConfigError),
+    /// A scheduler rejected its input.
+    Sched(SchedError),
+    /// The simulator rejected an emitted plan (indicates a scheduler
+    /// bug; surfaced for debuggability).
+    Sim(SimError),
+    /// Benchmark generation failed.
+    Synth(SynthError),
+    /// A CNN description could not be built.
+    Network(NetworkError),
+    /// A network could not be partitioned into a task graph.
+    Partition(PartitionError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Config(e) => write!(f, "configuration error: {e}"),
+            CoreError::Sched(e) => write!(f, "scheduling error: {e}"),
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::Synth(e) => write!(f, "benchmark generation error: {e}"),
+            CoreError::Network(e) => write!(f, "network construction error: {e}"),
+            CoreError::Partition(e) => write!(f, "partitioning error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Config(e) => Some(e),
+            CoreError::Sched(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            CoreError::Synth(e) => Some(e),
+            CoreError::Network(e) => Some(e),
+            CoreError::Partition(e) => Some(e),
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<ConfigError> for CoreError {
+    fn from(e: ConfigError) -> Self {
+        CoreError::Config(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<SchedError> for CoreError {
+    fn from(e: SchedError) -> Self {
+        CoreError::Sched(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<SynthError> for CoreError {
+    fn from(e: SynthError) -> Self {
+        CoreError::Synth(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<NetworkError> for CoreError {
+    fn from(e: NetworkError) -> Self {
+        CoreError::Network(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<PartitionError> for CoreError {
+    fn from(e: PartitionError) -> Self {
+        CoreError::Partition(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = SchedError::ZeroIterations.into();
+        assert!(e.to_string().contains("scheduling"));
+        let e: CoreError = SynthError::NoVertices.into();
+        assert!(e.to_string().contains("generation"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Figure 5: per-iteration execution time of Para-CONV on 16, 32 and
+//! 64 processing elements, normalized to the baseline on 64 PEs.
+
+use paraconv_synth::Benchmark;
+
+use crate::{CoreError, ExperimentConfig, ParaConv, TextTable};
+
+/// One benchmark series of Figure 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Para-CONV per-iteration execution time (initiation interval
+    /// `p/u`) per PE count, in raw time units.
+    pub period: Vec<f64>,
+    /// The same values normalized by the baseline's per-iteration time
+    /// on the largest PE count in the sweep (the paper normalizes to
+    /// the 64-PE baseline).
+    pub normalized: Vec<f64>,
+}
+
+/// Runs Figure 5 over a benchmark suite.
+///
+/// # Errors
+///
+/// Propagates configuration, generation, scheduling and simulation
+/// errors.
+pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<Fig5Row>, CoreError> {
+    let &reference_pes = config
+        .pe_counts
+        .iter()
+        .max()
+        .expect("at least one PE count in the sweep");
+    let mut rows = Vec::with_capacity(suite.len());
+    for bench in suite {
+        let graph = bench.graph()?;
+        // Normalization base: the baseline's steady-state
+        // per-iteration time on the reference machine.
+        let reference = ParaConv::new(config.pim_config(reference_pes)?)
+            .run_baseline(&graph, config.iterations)?
+            .outcome
+            .time_per_iteration();
+        let mut period = Vec::with_capacity(config.pe_counts.len());
+        let mut normalized = Vec::with_capacity(config.pe_counts.len());
+        for &pes in &config.pe_counts {
+            let result =
+                ParaConv::new(config.pim_config(pes)?).run(&graph, config.iterations)?;
+            let p = result.outcome.time_per_iteration();
+            period.push(p);
+            normalized.push(p / reference);
+        }
+        rows.push(Fig5Row {
+            name: bench.name().to_owned(),
+            period,
+            normalized,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the series as an aligned text table.
+#[must_use]
+pub fn render(config: &ExperimentConfig, rows: &[Fig5Row]) -> TextTable {
+    let mut headers = vec!["benchmark".to_owned()];
+    for &pes in &config.pe_counts {
+        headers.push(format!("p@{pes}"));
+        headers.push(format!("norm@{pes}"));
+    }
+    let mut table = TextTable::new(headers);
+    for row in rows {
+        let mut cells = vec![row.name.clone()];
+        for (p, n) in row.period.iter().zip(&row.normalized) {
+            cells.push(format!("{p:.2}"));
+            cells.push(format!("{n:.3}"));
+        }
+        table.push_row(cells);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::quick_suite;
+
+    #[test]
+    fn periods_shrink_with_more_pes() {
+        let config = ExperimentConfig {
+            pe_counts: vec![16, 32, 64],
+            iterations: 4,
+            ..ExperimentConfig::default()
+        };
+        let rows = run(&config, &quick_suite()[2..4]).unwrap();
+        for row in &rows {
+            assert!(row.period[0] >= row.period[1], "{}", row.name);
+            assert!(row.period[1] >= row.period[2], "{}", row.name);
+            // Para-CONV on the reference machine beats the reference
+            // baseline (normalized < 1).
+            assert!(row.normalized[2] <= 1.0, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn render_shape() {
+        let config = ExperimentConfig {
+            pe_counts: vec![16],
+            iterations: 4,
+            ..ExperimentConfig::default()
+        };
+        let rows = run(&config, &quick_suite()[..1]).unwrap();
+        let text = render(&config, &rows).to_string();
+        assert!(text.contains("p@16"));
+        assert!(text.contains("norm@16"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Scalability and off-chip fetching penalty (§1: "we compare
+//! Para-CONV with the baseline scheme in terms of throughput, and
+//! evaluate the scalability and off-chip fetching penalty").
+//!
+//! Two sweeps beyond the three-point tables:
+//!
+//! * [`pe_sweep`] — throughput versus PE count from 2 to 256, showing
+//!   where each benchmark stops scaling;
+//! * [`fetch_penalty`] — off-chip fetches and moved units, Para-CONV
+//!   versus SPARTA, quantifying the "minimum overall data movement
+//!   penalty" claim.
+
+use paraconv_synth::Benchmark;
+
+use crate::{CoreError, ExperimentConfig, ParaConv, TextTable};
+
+/// One point of the PE-count scalability sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Processing engines.
+    pub pes: usize,
+    /// Para-CONV steady-state throughput (iterations per time unit).
+    pub paraconv_throughput: f64,
+    /// Baseline throughput.
+    pub sparta_throughput: f64,
+    /// Para-CONV PE utilization over the run.
+    pub utilization: f64,
+}
+
+/// Sweeps PE counts on one benchmark.
+///
+/// # Errors
+///
+/// Propagates configuration, generation, scheduling and simulation
+/// errors.
+pub fn pe_sweep(
+    config: &ExperimentConfig,
+    bench: &Benchmark,
+    pe_counts: &[usize],
+) -> Result<Vec<ScalePoint>, CoreError> {
+    let graph = bench.graph()?;
+    let mut points = Vec::with_capacity(pe_counts.len());
+    for &pes in pe_counts {
+        let mut cfg = config.clone();
+        cfg.pe_counts = vec![pes];
+        let comparison =
+            ParaConv::new(cfg.pim_config(pes)?).compare(&graph, config.iterations)?;
+        points.push(ScalePoint {
+            pes,
+            paraconv_throughput: comparison.paraconv.report.throughput(),
+            sparta_throughput: comparison.sparta.report.throughput(),
+            utilization: comparison.paraconv.report.avg_pe_utilization,
+        });
+    }
+    Ok(points)
+}
+
+/// One row of the off-chip fetch-penalty comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Para-CONV off-chip fetches over the run.
+    pub paraconv_fetches: u64,
+    /// Baseline off-chip fetches.
+    pub sparta_fetches: u64,
+    /// Para-CONV capacity units moved off chip.
+    pub paraconv_units: u64,
+    /// Baseline units moved off chip.
+    pub sparta_units: u64,
+}
+
+impl FetchRow {
+    /// Off-chip fetches avoided relative to the baseline, in percent
+    /// (positive = Para-CONV moves less).
+    #[must_use]
+    pub fn reduction_percent(&self) -> f64 {
+        if self.sparta_fetches == 0 {
+            return 0.0;
+        }
+        (1.0 - self.paraconv_fetches as f64 / self.sparta_fetches as f64) * 100.0
+    }
+}
+
+/// Compares off-chip movement over a suite at the first PE count of
+/// the sweep.
+///
+/// # Errors
+///
+/// Propagates configuration, generation, scheduling and simulation
+/// errors.
+pub fn fetch_penalty(
+    config: &ExperimentConfig,
+    suite: &[Benchmark],
+) -> Result<Vec<FetchRow>, CoreError> {
+    let pes = *config.pe_counts.first().expect("non-empty sweep");
+    let mut rows = Vec::with_capacity(suite.len());
+    for bench in suite {
+        let graph = bench.graph()?;
+        let comparison =
+            ParaConv::new(config.pim_config(pes)?).compare(&graph, config.iterations)?;
+        rows.push(FetchRow {
+            name: bench.name().to_owned(),
+            paraconv_fetches: comparison.paraconv.report.offchip_fetches,
+            sparta_fetches: comparison.sparta.report.offchip_fetches,
+            paraconv_units: comparison.paraconv.report.offchip_units_moved,
+            sparta_units: comparison.sparta.report.offchip_units_moved,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the PE sweep.
+#[must_use]
+pub fn render_pe_sweep(points: &[ScalePoint]) -> TextTable {
+    let mut table = TextTable::new(["PEs", "Para-CONV thpt", "SPARTA thpt", "PE util"]);
+    for p in points {
+        table.push_row([
+            p.pes.to_string(),
+            format!("{:.4}", p.paraconv_throughput),
+            format!("{:.4}", p.sparta_throughput),
+            format!("{:.1}%", p.utilization * 100.0),
+        ]);
+    }
+    table
+}
+
+/// Renders the fetch-penalty comparison.
+#[must_use]
+pub fn render_fetch_penalty(rows: &[FetchRow]) -> TextTable {
+    let mut table = TextTable::new([
+        "benchmark",
+        "Para fetches",
+        "SPARTA fetches",
+        "reduction",
+        "Para units",
+        "SPARTA units",
+    ]);
+    for row in rows {
+        table.push_row([
+            row.name.clone(),
+            row.paraconv_fetches.to_string(),
+            row.sparta_fetches.to_string(),
+            format!("{:.1}%", row.reduction_percent()),
+            row.paraconv_units.to_string(),
+            row.sparta_units.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::quick_suite;
+
+    fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            pe_counts: vec![16],
+            iterations: 10,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn throughput_scales_up_then_saturates() {
+        let suite = quick_suite();
+        let points = pe_sweep(&quick(), &suite[3], &[2, 8, 32, 128]).unwrap();
+        assert_eq!(points.len(), 4);
+        // Monotone non-decreasing throughput for Para-CONV.
+        for w in points.windows(2) {
+            assert!(w[1].paraconv_throughput >= w[0].paraconv_throughput * 0.99);
+        }
+        // Utilization falls once the graph's parallelism is exhausted.
+        assert!(points.last().unwrap().utilization <= points[0].utilization);
+    }
+
+    #[test]
+    fn paraconv_moves_less_offchip() {
+        let rows = fetch_penalty(&quick(), &quick_suite()[..3]).unwrap();
+        for row in &rows {
+            assert!(
+                row.paraconv_fetches <= row.sparta_fetches,
+                "{}: {} > {}",
+                row.name,
+                row.paraconv_fetches,
+                row.sparta_fetches
+            );
+        }
+        let text = render_fetch_penalty(&rows).to_string();
+        assert!(text.contains("reduction"));
+    }
+
+    #[test]
+    fn render_pe_sweep_shape() {
+        let suite = quick_suite();
+        let points = pe_sweep(&quick(), &suite[0], &[4]).unwrap();
+        let text = render_pe_sweep(&points).to_string();
+        assert!(text.contains("PE util"));
+        assert!(text.contains('4'));
+    }
+}

@@ -1,0 +1,173 @@
+//! Table 1: total execution time of SPARTA and Para-CONV on 16, 32
+//! and 64 processing elements.
+
+use paraconv_synth::Benchmark;
+
+use crate::{CoreError, ExperimentConfig, ParaConv, TextTable};
+
+/// One PE-count cell of a Table 1 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Cell {
+    /// Processing engines used.
+    pub pes: usize,
+    /// SPARTA total execution time (time units).
+    pub sparta_time: u64,
+    /// Para-CONV total execution time (time units).
+    pub paraconv_time: u64,
+    /// The paper's IMP(%): Para-CONV time as a percentage of SPARTA's.
+    pub imp_percent: f64,
+}
+
+/// One benchmark row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: String,
+    /// "# of vertex".
+    pub vertices: usize,
+    /// "# of edge".
+    pub edges: usize,
+    /// One cell per PE count, in sweep order.
+    pub cells: Vec<Table1Cell>,
+}
+
+/// Runs Table 1 over a benchmark suite.
+///
+/// # Errors
+///
+/// Propagates configuration, generation, scheduling and simulation
+/// errors.
+pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<Table1Row>, CoreError> {
+    let mut rows = Vec::with_capacity(suite.len());
+    for bench in suite {
+        let graph = bench.graph()?;
+        let mut cells = Vec::with_capacity(config.pe_counts.len());
+        for &pes in &config.pe_counts {
+            let runner = ParaConv::new(config.pim_config(pes)?);
+            let comparison = runner.compare(&graph, config.iterations)?;
+            cells.push(Table1Cell {
+                pes,
+                sparta_time: comparison.sparta.report.total_time,
+                paraconv_time: comparison.paraconv.report.total_time,
+                imp_percent: comparison.improvement_percent(),
+            });
+        }
+        rows.push(Table1Row {
+            name: bench.name().to_owned(),
+            vertices: bench.vertices(),
+            edges: bench.edges(),
+            cells,
+        });
+    }
+    Ok(rows)
+}
+
+/// Mean IMP(%) per PE count (the table's "Average" row), in sweep
+/// order.
+#[must_use]
+pub fn averages(rows: &[Table1Row]) -> Vec<f64> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let sweeps = rows[0].cells.len();
+    (0..sweeps)
+        .map(|i| rows.iter().map(|r| r.cells[i].imp_percent).sum::<f64>() / rows.len() as f64)
+        .collect()
+}
+
+/// Renders the rows as an aligned text table shaped like the paper's.
+#[must_use]
+pub fn render(rows: &[Table1Row]) -> TextTable {
+    let mut headers = vec![
+        "benchmark".to_owned(),
+        "#vertex".to_owned(),
+        "#edge".to_owned(),
+    ];
+    if let Some(first) = rows.first() {
+        for cell in &first.cells {
+            headers.push(format!("SPARTA@{}", cell.pes));
+            headers.push(format!("Para-CONV@{}", cell.pes));
+            headers.push(format!("IMP%@{}", cell.pes));
+        }
+    }
+    let mut table = TextTable::new(headers);
+    for row in rows {
+        let mut cells = vec![
+            row.name.clone(),
+            row.vertices.to_string(),
+            row.edges.to_string(),
+        ];
+        for c in &row.cells {
+            cells.push(c.sparta_time.to_string());
+            cells.push(c.paraconv_time.to_string());
+            cells.push(format!("{:.2}", c.imp_percent));
+        }
+        table.push_row(cells);
+    }
+    if !rows.is_empty() {
+        let mut avg_row = vec!["Average".to_owned(), String::new(), String::new()];
+        for avg in averages(rows) {
+            avg_row.push(String::new());
+            avg_row.push(String::new());
+            avg_row.push(format!("{avg:.2}"));
+        }
+        table.push_row(avg_row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::quick_suite;
+
+    fn quick_rows() -> Vec<Table1Row> {
+        let config = ExperimentConfig {
+            pe_counts: vec![16, 32],
+            iterations: 8,
+            ..ExperimentConfig::default()
+        };
+        run(&config, &quick_suite()[..2]).unwrap()
+    }
+
+    #[test]
+    fn rows_cover_suite_and_sweep() {
+        let rows = quick_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "cat");
+        assert_eq!(rows[0].cells.len(), 2);
+        for row in &rows {
+            for cell in &row.cells {
+                assert!(cell.sparta_time > 0);
+                assert!(cell.paraconv_time > 0);
+                assert!(cell.imp_percent > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn imp_is_ratio_of_times() {
+        for row in quick_rows() {
+            for c in &row.cells {
+                let expected = c.paraconv_time as f64 / c.sparta_time as f64 * 100.0;
+                assert!((c.imp_percent - expected).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn render_includes_average_row() {
+        let rows = quick_rows();
+        let text = render(&rows).to_string();
+        assert!(text.contains("Average"));
+        assert!(text.contains("cat"));
+        assert!(text.contains("SPARTA@16"));
+    }
+
+    #[test]
+    fn averages_have_one_entry_per_pe_count() {
+        let rows = quick_rows();
+        assert_eq!(averages(&rows).len(), 2);
+        assert!(averages(&[]).is_empty());
+    }
+}

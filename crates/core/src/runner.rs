@@ -1,0 +1,185 @@
+//! High-level entry points: schedule, simulate and compare in one call.
+
+use paraconv_graph::TaskGraph;
+use paraconv_pim::{simulate, PimConfig, SimReport};
+use paraconv_sched::{
+    AllocationPolicy, ParaConvOutcome, ParaConvScheduler, SpartaOutcome, SpartaScheduler,
+};
+
+use crate::CoreError;
+
+/// A Para-CONV schedule together with its validated simulation report.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The scheduler's full output (plan, kernel, retiming,
+    /// allocation, analysis).
+    pub outcome: ParaConvOutcome,
+    /// The simulator's report for the emitted plan.
+    pub report: SimReport,
+}
+
+/// A SPARTA-baseline schedule together with its simulation report.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// The baseline scheduler's output.
+    pub outcome: SpartaOutcome,
+    /// The simulator's report for the emitted plan.
+    pub report: SimReport,
+}
+
+/// A side-by-side run of Para-CONV and the SPARTA baseline on the same
+/// graph, architecture and iteration count.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// The Para-CONV run.
+    pub paraconv: RunResult,
+    /// The baseline run.
+    pub sparta: BaselineResult,
+}
+
+impl Comparison {
+    /// The paper's "IMP (%)" column: Para-CONV's total execution time
+    /// as a percentage of SPARTA's (lower is better; the paper's
+    /// reported 53.42% average corresponds to a 1.87× speedup).
+    #[must_use]
+    pub fn improvement_percent(&self) -> f64 {
+        if self.sparta.report.total_time == 0 {
+            return 100.0;
+        }
+        self.paraconv.report.total_time as f64 / self.sparta.report.total_time as f64 * 100.0
+    }
+
+    /// Throughput acceleration `SPARTA time / Para-CONV time`.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.paraconv.report.total_time == 0 {
+            return 1.0;
+        }
+        self.sparta.report.total_time as f64 / self.paraconv.report.total_time as f64
+    }
+}
+
+/// The one-stop Para-CONV runner: owns an architecture configuration
+/// and produces validated runs.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv::ParaConv;
+/// use paraconv_graph::examples;
+/// use paraconv_pim::PimConfig;
+///
+/// let runner = ParaConv::new(PimConfig::neurocube(16)?);
+/// let comparison = runner.compare(&examples::motivational(), 50)?;
+/// // Para-CONV never loses to the baseline on the motivational graph.
+/// assert!(comparison.speedup() >= 1.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParaConv {
+    config: PimConfig,
+    policy: AllocationPolicy,
+}
+
+impl ParaConv {
+    /// Creates a runner for the given architecture.
+    #[must_use]
+    pub fn new(config: PimConfig) -> Self {
+        ParaConv {
+            config,
+            policy: AllocationPolicy::DynamicProgram,
+        }
+    }
+
+    /// Overrides the allocation policy (ablation studies).
+    #[must_use]
+    pub fn with_policy(mut self, policy: AllocationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The architecture this runner targets.
+    #[must_use]
+    pub const fn config(&self) -> &PimConfig {
+        &self.config
+    }
+
+    /// Schedules `iterations` iterations with Para-CONV and replays
+    /// the plan on the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for zero iterations or if the emitted plan
+    /// fails validation (a bug, surfaced rather than hidden).
+    pub fn run(&self, graph: &TaskGraph, iterations: u64) -> Result<RunResult, CoreError> {
+        let outcome = ParaConvScheduler::new(self.config.clone())
+            .with_policy(self.policy)
+            .schedule(graph, iterations)?;
+        let report = simulate(graph, &outcome.plan, &self.config)?;
+        Ok(RunResult { outcome, report })
+    }
+
+    /// Schedules `iterations` iterations with the SPARTA baseline and
+    /// replays the plan on the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_baseline(
+        &self,
+        graph: &TaskGraph,
+        iterations: u64,
+    ) -> Result<BaselineResult, CoreError> {
+        let outcome = SpartaScheduler::new(self.config.clone()).schedule(graph, iterations)?;
+        let report = simulate(graph, &outcome.plan, &self.config)?;
+        Ok(BaselineResult { outcome, report })
+    }
+
+    /// Runs both schedulers on identical inputs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn compare(&self, graph: &TaskGraph, iterations: u64) -> Result<Comparison, CoreError> {
+        Ok(Comparison {
+            paraconv: self.run(graph, iterations)?,
+            sparta: self.run_baseline(graph, iterations)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraconv_graph::examples;
+
+    #[test]
+    fn comparison_metrics_are_consistent() {
+        let runner = ParaConv::new(PimConfig::neurocube(8).unwrap());
+        let cmp = runner.compare(&examples::fork_join(12), 20).unwrap();
+        let imp = cmp.improvement_percent();
+        let speedup = cmp.speedup();
+        assert!((imp / 100.0 - 1.0 / speedup).abs() < 1e-9);
+        assert!(cmp.paraconv.report.iterations == 20);
+        assert!(cmp.sparta.report.iterations == 20);
+    }
+
+    #[test]
+    fn run_results_expose_reports() {
+        let runner = ParaConv::new(PimConfig::neurocube(4).unwrap());
+        let r = runner.run(&examples::motivational(), 10).unwrap();
+        assert_eq!(r.report.iterations, 10);
+        assert_eq!(r.outcome.plan.iterations(), 10);
+        let b = runner.run_baseline(&examples::motivational(), 10).unwrap();
+        assert_eq!(b.report.iterations, 10);
+    }
+
+    #[test]
+    fn zero_iterations_surface_as_core_error() {
+        let runner = ParaConv::new(PimConfig::neurocube(4).unwrap());
+        assert!(matches!(
+            runner.run(&examples::motivational(), 0).unwrap_err(),
+            CoreError::Sched(_)
+        ));
+    }
+}

@@ -1,0 +1,101 @@
+//! Graphviz DOT export for task graphs.
+
+use std::fmt::Write as _;
+
+use crate::TaskGraph;
+
+impl TaskGraph {
+    /// Renders the graph in Graphviz DOT syntax.
+    ///
+    /// Convolution nodes are boxes, pooling nodes ellipses,
+    /// fully-connected nodes hexagons; edges are labelled with their IPR
+    /// id and size. Useful for inspecting generated benchmarks:
+    ///
+    /// ```
+    /// use paraconv_graph::{OpKind, TaskGraphBuilder};
+    ///
+    /// let mut b = TaskGraphBuilder::new("tiny");
+    /// let a = b.add_conv(1);
+    /// let c = b.add_conv(1);
+    /// b.add_edge(a, c, 2)?;
+    /// let dot = b.build()?.to_dot();
+    /// assert!(dot.starts_with("digraph"));
+    /// assert!(dot.contains("T0 -> T1"));
+    /// # Ok::<(), paraconv_graph::GraphError>(())
+    /// ```
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", sanitize(self.name()));
+        let _ = writeln!(out, "  rankdir=TB;");
+        for node in self.nodes() {
+            let shape = match node.kind() {
+                crate::OpKind::Convolution => "box",
+                crate::OpKind::Pooling => "ellipse",
+                crate::OpKind::FullyConnected => "hexagon",
+            };
+            let _ = writeln!(
+                out,
+                "  {} [label=\"{}\\nc={}\" shape={}];",
+                node.id(),
+                sanitize(node.name()),
+                node.exec_time(),
+                shape
+            );
+        }
+        for edge in self.edges() {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{} sp={}\"];",
+                edge.src(),
+                edge.dst(),
+                edge.id(),
+                edge.size()
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Strips characters that would break DOT string literals.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c == '"' || c == '\\' { '_' } else { c })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{OpKind, TaskGraphBuilder};
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = TaskGraphBuilder::new("dot-test");
+        let c = b.add_node("c", OpKind::Convolution, 1);
+        let p = b.add_node("p", OpKind::Pooling, 2);
+        let f = b.add_node("f", OpKind::FullyConnected, 3);
+        b.add_edge(c, p, 1).unwrap();
+        b.add_edge(p, f, 4).unwrap();
+        let dot = b.build().unwrap().to_dot();
+        assert!(dot.contains("T0"));
+        assert!(dot.contains("T1"));
+        assert!(dot.contains("T2"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("shape=hexagon"));
+        assert!(dot.contains("T0 -> T1"));
+        assert!(dot.contains("T1 -> T2"));
+        assert!(dot.contains("sp=4"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_sanitizes_quotes() {
+        let mut b = TaskGraphBuilder::new("evil\"name");
+        b.add_node("n\"ode", OpKind::Convolution, 1);
+        let dot = b.build().unwrap().to_dot();
+        assert!(!dot.contains("evil\"name"));
+        assert!(!dot.contains("n\"ode"));
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types for task-graph construction and queries.
+
+use core::fmt;
+
+use crate::{EdgeId, NodeId};
+
+/// Errors produced while building or querying a [`TaskGraph`].
+///
+/// [`TaskGraph`]: crate::TaskGraph
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node ID did not refer to any node in the graph.
+    UnknownNode(NodeId),
+    /// An edge ID did not refer to any edge in the graph.
+    UnknownEdge(EdgeId),
+    /// An edge from a node to itself was requested; the application model
+    /// is a DAG of distinct operations, so self-loops are rejected.
+    SelfLoop(NodeId),
+    /// A second edge between the same ordered node pair was requested.
+    /// Each producer/consumer pair exchanges exactly one intermediate
+    /// processing result per iteration.
+    DuplicateEdge(NodeId, NodeId),
+    /// The finished graph contains a dependency cycle; a CNN is modelled
+    /// as a *directed acyclic* graph (§2.2).
+    Cycle(NodeId),
+    /// The graph has no nodes; an empty application cannot be scheduled.
+    Empty,
+    /// A node was given a zero execution time; every operation occupies
+    /// its PE for at least one time unit.
+    ZeroExecTime(NodeId),
+    /// An edge was given a zero data size; every intermediate processing
+    /// result occupies at least one capacity unit.
+    ZeroIprSize(NodeId, NodeId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            GraphError::UnknownEdge(id) => write!(f, "unknown edge {id}"),
+            GraphError::SelfLoop(id) => write!(f, "self-loop on node {id}"),
+            GraphError::DuplicateEdge(src, dst) => {
+                write!(f, "duplicate edge {src} -> {dst}")
+            }
+            GraphError::Cycle(id) => {
+                write!(f, "dependency cycle through node {id}")
+            }
+            GraphError::Empty => f.write_str("graph has no nodes"),
+            GraphError::ZeroExecTime(id) => {
+                write!(f, "node {id} has zero execution time")
+            }
+            GraphError::ZeroIprSize(src, dst) => {
+                write!(f, "edge {src} -> {dst} has zero data size")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn error_is_send_sync() {
+        assert_send_sync::<GraphError>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errors = [
+            GraphError::UnknownNode(NodeId::new(1)),
+            GraphError::UnknownEdge(EdgeId::new(2)),
+            GraphError::SelfLoop(NodeId::new(3)),
+            GraphError::DuplicateEdge(NodeId::new(0), NodeId::new(1)),
+            GraphError::Cycle(NodeId::new(4)),
+            GraphError::Empty,
+            GraphError::ZeroExecTime(NodeId::new(5)),
+            GraphError::ZeroIprSize(NodeId::new(0), NodeId::new(2)),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Strongly-typed identifiers for task-graph entities.
+//!
+//! Nodes (convolution/pooling operations) and edges (intermediate
+//! processing results) are referred to by index-based IDs. Newtypes keep
+//! the two index spaces from being confused at compile time (C-NEWTYPE).
+
+use core::fmt;
+
+/// Identifier of a task node (a convolution or pooling operation `V_i`).
+///
+/// IDs are dense indices assigned by [`TaskGraphBuilder`] in insertion
+/// order, so they can be used to index per-node side tables.
+///
+/// [`TaskGraphBuilder`]: crate::TaskGraphBuilder
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_graph::NodeId;
+///
+/// let id = NodeId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(id.to_string(), "T3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node ID from a dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the dense index of this node, suitable for indexing
+    /// per-node side tables.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+/// Identifier of an intermediate processing result `I_{i,j}` (a graph
+/// edge carrying data from `V_i` to `V_j`).
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_graph::EdgeId;
+///
+/// let id = EdgeId::new(7);
+/// assert_eq!(id.index(), 7);
+/// assert_eq!(id.to_string(), "I7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge ID from a dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        EdgeId(index)
+    }
+
+    /// Returns the dense index of this edge, suitable for indexing
+    /// per-edge side tables.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}", self.0)
+    }
+}
+
+impl From<EdgeId> for usize {
+    fn from(id: EdgeId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_roundtrip() {
+        for i in [0u32, 1, 42, u32::MAX] {
+            assert_eq!(NodeId::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        for i in [0u32, 1, 42, u32::MAX] {
+            assert_eq!(EdgeId::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId::new(0).to_string(), "T0");
+        assert_eq!(EdgeId::new(12).to_string(), "I12");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(EdgeId::new(3) > EdgeId::new(0));
+    }
+
+    #[test]
+    fn usize_conversion() {
+        assert_eq!(usize::from(NodeId::new(5)), 5);
+        assert_eq!(usize::from(EdgeId::new(6)), 6);
+    }
+}

@@ -1,0 +1,153 @@
+//! Timing tuples for periodically executed operations (§2.2).
+//!
+//! Each operation `V_i` is associated with `(s_i, c_i, d_i)` — start
+//! time, execution time, deadline. For the `ℓ`-th iteration (`ℓ ≥ 1`)
+//! these become `s_i^ℓ = s_i + (ℓ-1)·p`, `c_i^ℓ = c_i`,
+//! `d_i^ℓ = d_i + (ℓ-1)·p`, where `p` is the iteration period.
+//! Intermediate processing results carry the same style of tuple.
+
+use core::fmt;
+
+/// The `(s, c, d)` tuple of a periodically executed entity — either an
+/// operation `V_i(s_i, c_i, d_i)` or an intermediate processing result
+/// `I_{i,j}(s_{i,j}, c_{i,j}, d_{i,j})`.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_graph::TimingTuple;
+///
+/// let t = TimingTuple::new(2, 3, 6);
+/// assert_eq!(t.start(), 2);
+/// assert_eq!(t.exec(), 3);
+/// assert_eq!(t.deadline(), 6);
+/// assert_eq!(t.finish(), 5);
+/// assert!(t.meets_deadline());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TimingTuple {
+    start: u64,
+    exec: u64,
+    deadline: u64,
+}
+
+impl TimingTuple {
+    /// Creates a timing tuple for the first iteration.
+    #[must_use]
+    pub const fn new(start: u64, exec: u64, deadline: u64) -> Self {
+        TimingTuple {
+            start,
+            exec,
+            deadline,
+        }
+    }
+
+    /// Returns the start time `s`.
+    #[must_use]
+    pub const fn start(self) -> u64 {
+        self.start
+    }
+
+    /// Returns the execution time `c`.
+    #[must_use]
+    pub const fn exec(self) -> u64 {
+        self.exec
+    }
+
+    /// Returns the deadline `d`.
+    #[must_use]
+    pub const fn deadline(self) -> u64 {
+        self.deadline
+    }
+
+    /// Returns the finish time `s + c`.
+    #[must_use]
+    pub const fn finish(self) -> u64 {
+        self.start + self.exec
+    }
+
+    /// Returns `true` if the entity finishes no later than its deadline.
+    #[must_use]
+    pub const fn meets_deadline(self) -> bool {
+        self.finish() <= self.deadline
+    }
+
+    /// Returns the tuple of the `iteration`-th iteration (`iteration ≥ 1`)
+    /// for period `p`: `(s + (ℓ-1)·p, c, d + (ℓ-1)·p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iteration == 0`; iterations are 1-based as in the paper.
+    #[must_use]
+    pub fn at_iteration(self, period: u64, iteration: u64) -> TimingTuple {
+        assert!(iteration >= 1, "iterations are 1-based (ℓ ≥ 1)");
+        let shift = (iteration - 1) * period;
+        TimingTuple {
+            start: self.start + shift,
+            exec: self.exec,
+            deadline: self.deadline + shift,
+        }
+    }
+
+    /// Returns `true` if the half-open execution windows `[s, s+c)` of
+    /// `self` and `other` overlap.
+    #[must_use]
+    pub const fn overlaps(self, other: TimingTuple) -> bool {
+        self.start < other.finish() && other.start < self.finish()
+    }
+}
+
+impl fmt::Display for TimingTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(s={}, c={}, d={})", self.start, self.exec, self.deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_shift_matches_paper_formula() {
+        let t = TimingTuple::new(3, 2, 7);
+        let p = 10;
+        // ℓ = 1 is the base tuple.
+        assert_eq!(t.at_iteration(p, 1), t);
+        // ℓ = 4: s + 3p, d + 3p, c unchanged.
+        let t4 = t.at_iteration(p, 4);
+        assert_eq!(t4.start(), 3 + 30);
+        assert_eq!(t4.exec(), 2);
+        assert_eq!(t4.deadline(), 7 + 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zeroth_iteration_panics() {
+        let _ = TimingTuple::new(0, 1, 1).at_iteration(5, 0);
+    }
+
+    #[test]
+    fn deadline_check() {
+        assert!(TimingTuple::new(0, 3, 3).meets_deadline());
+        assert!(!TimingTuple::new(1, 3, 3).meets_deadline());
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_half_open() {
+        let a = TimingTuple::new(0, 3, 10); // [0,3)
+        let b = TimingTuple::new(3, 2, 10); // [3,5) — touching, not overlapping
+        let c = TimingTuple::new(2, 2, 10); // [2,4)
+        assert!(!a.overlaps(b));
+        assert!(!b.overlaps(a));
+        assert!(a.overlaps(c));
+        assert!(c.overlaps(a));
+        assert!(b.overlaps(c));
+    }
+
+    #[test]
+    fn display_shows_all_fields() {
+        let t = TimingTuple::new(1, 2, 3).to_string();
+        assert!(t.contains("s=1") && t.contains("c=2") && t.contains("d=3"));
+    }
+}

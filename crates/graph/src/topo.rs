@@ -1,0 +1,184 @@
+//! Topological ordering and level (ASAP) analysis.
+
+use crate::{GraphError, NodeId, TaskGraph};
+
+impl TaskGraph {
+    /// Computes a topological order of all operations (Kahn's algorithm,
+    /// deterministic: ties broken by node ID).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Cycle`] naming a node on a cycle if the
+    /// graph is not acyclic. Graphs produced by
+    /// [`TaskGraphBuilder::build`](crate::TaskGraphBuilder::build) are
+    /// validated, so for them this never fails.
+    pub fn topological_order(&self) -> Result<Vec<NodeId>, GraphError> {
+        let n = self.node_count();
+        let mut in_deg: Vec<usize> = (0..n)
+            .map(|i| self.in_edges(NodeId::new(i as u32)).map(<[_]>::len))
+            .collect::<Result<_, _>>()?;
+        // Min-ID-first ready queue for determinism.
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<NodeId>> = in_deg
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(i, _)| std::cmp::Reverse(NodeId::new(i as u32)))
+            .collect();
+
+        let mut order = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(id)) = ready.pop() {
+            order.push(id);
+            for &e in self.out_edges(id)? {
+                let dst = self.edge(e)?.dst();
+                in_deg[dst.index()] -= 1;
+                if in_deg[dst.index()] == 0 {
+                    ready.push(std::cmp::Reverse(dst));
+                }
+            }
+        }
+
+        if order.len() != n {
+            // Some node still has positive in-degree: it is on a cycle.
+            let culprit = in_deg
+                .iter()
+                .position(|&d| d > 0)
+                .map(|i| NodeId::new(i as u32))
+                .expect("order shorter than node count implies a leftover node");
+            return Err(GraphError::Cycle(culprit));
+        }
+        Ok(order)
+    }
+
+    /// Computes the ASAP level of each node: sources are level 0 and
+    /// every other node is one more than its deepest predecessor.
+    ///
+    /// Levels ignore execution times; for weighted depth see
+    /// [`critical_path_length`](TaskGraph::critical_path_length).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use paraconv_graph::{OpKind, TaskGraphBuilder};
+    ///
+    /// let mut b = TaskGraphBuilder::new("chain");
+    /// let a = b.add_conv(1);
+    /// let c = b.add_conv(1);
+    /// b.add_edge(a, c, 1)?;
+    /// let g = b.build()?;
+    /// let levels = g.levels();
+    /// assert_eq!(levels[a.index()], 0);
+    /// assert_eq!(levels[c.index()], 1);
+    /// # Ok::<(), paraconv_graph::GraphError>(())
+    /// ```
+    #[must_use]
+    pub fn levels(&self) -> Vec<usize> {
+        let order = self
+            .topological_order()
+            .expect("built graphs are acyclic");
+        let mut level = vec![0usize; self.node_count()];
+        for &id in &order {
+            for &e in self.out_edges(id).expect("node from topological order") {
+                let dst = self.edge(e).expect("edge from adjacency").dst();
+                level[dst.index()] = level[dst.index()].max(level[id.index()] + 1);
+            }
+        }
+        level
+    }
+
+    /// Returns the number of distinct levels (the unweighted depth of
+    /// the graph plus one).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels().iter().copied().max().map_or(0, |d| d + 1)
+    }
+
+    /// Returns, per level, how many operations sit at that level — the
+    /// *width profile*, an upper bound on exploitable intra-iteration
+    /// parallelism under ASAP scheduling.
+    #[must_use]
+    pub fn width_profile(&self) -> Vec<usize> {
+        let levels = self.levels();
+        let depth = levels.iter().copied().max().map_or(0, |d| d + 1);
+        let mut width = vec![0usize; depth];
+        for l in levels {
+            width[l] += 1;
+        }
+        width
+    }
+
+    /// Returns the maximum width over all levels — the peak number of
+    /// operations that could run concurrently.
+    #[must_use]
+    pub fn max_width(&self) -> usize {
+        self.width_profile().into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{NodeId, TaskGraphBuilder};
+
+    fn fork_join() -> crate::TaskGraph {
+        // 0 -> {1,2,3} -> 4
+        let mut b = TaskGraphBuilder::new("forkjoin");
+        let s = b.add_conv(1);
+        let m1 = b.add_conv(1);
+        let m2 = b.add_conv(1);
+        let m3 = b.add_conv(1);
+        let t = b.add_conv(1);
+        for m in [m1, m2, m3] {
+            b.add_edge(s, m, 1).unwrap();
+            b.add_edge(m, t, 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = fork_join();
+        let order = g.topological_order().unwrap();
+        assert_eq!(order.len(), g.node_count());
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.node_count()];
+            for (i, id) in order.iter().enumerate() {
+                p[id.index()] = i;
+            }
+            p
+        };
+        for e in g.edges() {
+            assert!(pos[e.src().index()] < pos[e.dst().index()]);
+        }
+    }
+
+    #[test]
+    fn topo_order_is_deterministic_min_id_first() {
+        let g = fork_join();
+        let order = g.topological_order().unwrap();
+        assert_eq!(order[0], NodeId::new(0));
+        assert_eq!(order[1], NodeId::new(1));
+        assert_eq!(order[2], NodeId::new(2));
+        assert_eq!(order[3], NodeId::new(3));
+        assert_eq!(order[4], NodeId::new(4));
+    }
+
+    #[test]
+    fn levels_and_width() {
+        let g = fork_join();
+        assert_eq!(g.levels(), vec![0, 1, 1, 1, 2]);
+        assert_eq!(g.depth(), 3);
+        assert_eq!(g.width_profile(), vec![1, 3, 1]);
+        assert_eq!(g.max_width(), 3);
+    }
+
+    #[test]
+    fn independent_nodes_all_level_zero() {
+        let mut b = TaskGraphBuilder::new("independent");
+        for _ in 0..4 {
+            b.add_conv(1);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(g.levels(), vec![0; 4]);
+        assert_eq!(g.depth(), 1);
+        assert_eq!(g.max_width(), 4);
+    }
+}

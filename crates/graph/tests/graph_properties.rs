@@ -1,0 +1,119 @@
+//! Property-based tests for the task-graph invariants.
+
+use proptest::prelude::*;
+
+use paraconv_graph::{GraphError, NodeId, OpKind, TaskGraph, TaskGraphBuilder};
+
+/// Strategy: a random DAG described by node count, per-node execution
+/// times, and a set of forward edges (src < dst guarantees acyclicity).
+fn arb_dag() -> impl Strategy<Value = TaskGraph> {
+    (2usize..40).prop_flat_map(|n| {
+        let exec_times = proptest::collection::vec(1u64..10, n);
+        let edges = proptest::collection::btree_set((0..n, 0..n), 0..(n * 2));
+        (exec_times, edges).prop_map(move |(times, edges)| {
+            let mut b = TaskGraphBuilder::new("prop");
+            let ids: Vec<NodeId> = times
+                .iter()
+                .map(|&c| b.add_node("n", OpKind::Convolution, c))
+                .collect();
+            for (a, z) in edges {
+                let (lo, hi) = (a.min(z), a.max(z));
+                if lo != hi {
+                    // Duplicate (lo,hi) pairs are skipped; the builder
+                    // rejects them and that is fine for generation.
+                    let _ = b.add_edge(ids[lo], ids[hi], 1 + ((lo + hi) as u64 % 5));
+                }
+            }
+            b.build().expect("forward edges cannot form a cycle")
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn topological_order_is_a_permutation_respecting_edges(g in arb_dag()) {
+        let order = g.topological_order().unwrap();
+        prop_assert_eq!(order.len(), g.node_count());
+        let mut pos = vec![usize::MAX; g.node_count()];
+        for (i, id) in order.iter().enumerate() {
+            prop_assert_eq!(pos[id.index()], usize::MAX, "node repeated in order");
+            pos[id.index()] = i;
+        }
+        for e in g.edges() {
+            prop_assert!(pos[e.src().index()] < pos[e.dst().index()]);
+        }
+    }
+
+    #[test]
+    fn critical_path_bounds(g in arb_dag()) {
+        let cp = g.critical_path_length();
+        let max_node = g.nodes().map(|n| n.exec_time()).max().unwrap();
+        // The critical path is at least the longest single node and at
+        // most the serial sum of all nodes.
+        prop_assert!(cp >= max_node);
+        prop_assert!(cp <= g.total_exec_time());
+    }
+
+    #[test]
+    fn bottom_level_of_source_on_critical_path_equals_cp(g in arb_dag()) {
+        let bl = g.bottom_levels();
+        let cp = g.critical_path_length();
+        // The maximum bottom level over all nodes is the critical path.
+        prop_assert_eq!(bl.iter().copied().max().unwrap(), cp);
+    }
+
+    #[test]
+    fn width_profile_sums_to_node_count(g in arb_dag()) {
+        let total: usize = g.width_profile().iter().sum();
+        prop_assert_eq!(total, g.node_count());
+        prop_assert!(g.max_width() >= 1);
+        prop_assert_eq!(g.width_profile().len(), g.depth());
+    }
+
+    #[test]
+    fn degrees_are_consistent_with_edge_count(g in arb_dag()) {
+        let out_sum: usize = g.node_ids().map(|id| g.out_degree(id).unwrap()).sum();
+        let in_sum: usize = g.node_ids().map(|id| g.in_degree(id).unwrap()).sum();
+        prop_assert_eq!(out_sum, g.edge_count());
+        prop_assert_eq!(in_sum, g.edge_count());
+    }
+
+    #[test]
+    fn sources_have_no_predecessors_sinks_no_successors(g in arb_dag()) {
+        for s in g.sources() {
+            prop_assert!(g.predecessors(s).unwrap().is_empty());
+        }
+        for s in g.sinks() {
+            prop_assert!(g.successors(s).unwrap().is_empty());
+        }
+        prop_assert!(!g.sources().is_empty());
+        prop_assert!(!g.sinks().is_empty());
+    }
+
+    #[test]
+    fn find_edge_agrees_with_edges(g in arb_dag()) {
+        for e in g.edges() {
+            prop_assert_eq!(g.find_edge(e.src(), e.dst()), Some(e.id()));
+        }
+    }
+
+    #[test]
+    fn dot_output_mentions_every_node(g in arb_dag()) {
+        let dot = g.to_dot();
+        for id in g.node_ids() {
+            let needle = format!("{id} ");
+            prop_assert!(dot.contains(&needle));
+        }
+    }
+}
+
+#[test]
+fn cycle_detection_on_back_edge() {
+    let mut b = TaskGraphBuilder::new("cyc");
+    let n: Vec<NodeId> = (0..5).map(|_| b.add_conv(1)).collect();
+    for w in n.windows(2) {
+        b.add_edge(w[0], w[1], 1).unwrap();
+    }
+    b.add_edge(n[4], n[0], 1).unwrap();
+    assert!(matches!(b.build(), Err(GraphError::Cycle(_))));
+}

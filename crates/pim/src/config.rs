@@ -1,0 +1,376 @@
+//! Architecture configuration for the 3D-stacked PIM accelerator.
+//!
+//! Mirrors the Neurocube organisation (Kim et al., ISCA'16) the paper
+//! evaluates on: a logic die holding an array of processing engines
+//! (PEs) under multiple tiers of DRAM partitioned into *vaults*, each
+//! vault reached through its own TSV bundle. Each PE integrates a small
+//! data cache for intermediate CNN processing results; the whole PE
+//! array offers only 100–300 KB of cache (§2.3), so cache capacity is
+//! the scarce resource the Para-CONV dynamic program manages.
+
+use core::fmt;
+
+/// Errors produced when validating a [`PimConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The PE array must contain at least one processing engine.
+    NoProcessingEngines,
+    /// The stacked memory must expose at least one vault.
+    NoVaults,
+    /// The eDRAM penalty must be at least 2× (the paper cites 2–10×).
+    PenaltyOutOfRange(u64),
+    /// Cache transfer cost per capacity unit must be positive.
+    ZeroCacheCost,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoProcessingEngines => {
+                f.write_str("configuration has no processing engines")
+            }
+            ConfigError::NoVaults => f.write_str("configuration has no DRAM vaults"),
+            ConfigError::PenaltyOutOfRange(p) => write!(
+                f,
+                "eDRAM penalty {p} outside the 2-10x range reported for 3D PIM"
+            ),
+            ConfigError::ZeroCacheCost => f.write_str("cache transfer cost must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Configuration of the simulated PIM accelerator.
+///
+/// Construct with [`PimConfig::builder`] or use the Neurocube presets
+/// ([`PimConfig::neurocube`]) that match the paper's 16/32/64-PE
+/// evaluation points.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_pim::PimConfig;
+///
+/// let cfg = PimConfig::neurocube(32)?;
+/// assert_eq!(cfg.num_pes(), 32);
+/// assert_eq!(cfg.vaults(), 16); // HMC vault count is fixed
+/// assert!(cfg.total_cache_units() > PimConfig::neurocube(16)?.total_cache_units());
+/// # Ok::<(), paraconv_pim::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PimConfig {
+    num_pes: usize,
+    per_pe_cache_units: u64,
+    vaults: usize,
+    edram_penalty: u64,
+    cache_cost_per_unit: u64,
+    vault_queue_cost: u64,
+    pfifo_depth: usize,
+    max_vault_concurrency: Option<usize>,
+}
+
+impl PimConfig {
+    /// Starts building a configuration with the given PE count.
+    #[must_use]
+    pub fn builder(num_pes: usize) -> PimConfigBuilder {
+        PimConfigBuilder {
+            num_pes,
+            per_pe_cache_units: 4,
+            vaults: 16,
+            edram_penalty: 4,
+            cache_cost_per_unit: 1,
+            vault_queue_cost: 0,
+            pfifo_depth: 256,
+            max_vault_concurrency: None,
+        }
+    }
+
+    /// Returns the Neurocube-style preset used throughout the paper's
+    /// evaluation: `num_pes` processing engines (the paper sweeps 16,
+    /// 32 and 64), 16 HMC vaults, per-PE cache of 4 capacity units,
+    /// and a 4× eDRAM penalty (middle of the cited 2–10× band).
+    ///
+    /// Any PE count ≥ 1 is accepted so scalability sweeps beyond the
+    /// paper's points are possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NoProcessingEngines`] if `num_pes == 0`.
+    pub fn neurocube(num_pes: usize) -> Result<PimConfig, ConfigError> {
+        PimConfig::builder(num_pes).build()
+    }
+
+    /// Number of processing engines in the PE array.
+    #[must_use]
+    pub const fn num_pes(&self) -> usize {
+        self.num_pes
+    }
+
+    /// Data-cache capacity of one PE, in IPR capacity units.
+    #[must_use]
+    pub const fn per_pe_cache_units(&self) -> u64 {
+        self.per_pe_cache_units
+    }
+
+    /// Aggregate on-chip cache of the PE array — the knapsack capacity
+    /// `S` of the paper's dynamic program. Grows linearly with the PE
+    /// count, which is why larger arrays can keep more intermediate
+    /// processing results on chip.
+    #[must_use]
+    pub const fn total_cache_units(&self) -> u64 {
+        self.per_pe_cache_units * self.num_pes as u64
+    }
+
+    /// Number of DRAM vaults in the 3D stack (fixed at 16 for HMC-style
+    /// stacks regardless of PE count).
+    #[must_use]
+    pub const fn vaults(&self) -> usize {
+        self.vaults
+    }
+
+    /// Latency/energy multiplier for fetching from stacked eDRAM
+    /// relative to the on-chip cache (the paper cites 2–10×).
+    #[must_use]
+    pub const fn edram_penalty(&self) -> u64 {
+        self.edram_penalty
+    }
+
+    /// Transfer time per IPR capacity unit when served from the
+    /// on-chip cache.
+    #[must_use]
+    pub const fn cache_cost_per_unit(&self) -> u64 {
+        self.cache_cost_per_unit
+    }
+
+    /// Additional queuing delay contributed by each eDRAM-resident IPR
+    /// competing for the same vault's TSV bundle.
+    #[must_use]
+    pub const fn vault_queue_cost(&self) -> u64 {
+        self.vault_queue_cost
+    }
+
+    /// Depth of each PE's pFIFO in entries.
+    #[must_use]
+    pub const fn pfifo_depth(&self) -> usize {
+        self.pfifo_depth
+    }
+
+    /// Optional hard limit on simultaneously in-flight eDRAM transfers
+    /// per vault (`None` = track the statistic without enforcing; the
+    /// default, since the cost model already charges queuing through
+    /// [`vault_queue_cost`](Self::vault_queue_cost)).
+    #[must_use]
+    pub const fn max_vault_concurrency(&self) -> Option<usize> {
+        self.max_vault_concurrency
+    }
+}
+
+/// Builder for [`PimConfig`] (C-BUILDER).
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_pim::PimConfig;
+///
+/// let cfg = PimConfig::builder(8)
+///     .per_pe_cache_units(2)
+///     .edram_penalty(10)
+///     .build()?;
+/// assert_eq!(cfg.total_cache_units(), 16);
+/// assert_eq!(cfg.edram_penalty(), 10);
+/// # Ok::<(), paraconv_pim::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PimConfigBuilder {
+    num_pes: usize,
+    per_pe_cache_units: u64,
+    vaults: usize,
+    edram_penalty: u64,
+    cache_cost_per_unit: u64,
+    vault_queue_cost: u64,
+    pfifo_depth: usize,
+    max_vault_concurrency: Option<usize>,
+}
+
+impl PimConfigBuilder {
+    /// Sets the per-PE data-cache capacity in IPR units.
+    #[must_use]
+    pub fn per_pe_cache_units(mut self, units: u64) -> Self {
+        self.per_pe_cache_units = units;
+        self
+    }
+
+    /// Sets the number of DRAM vaults.
+    #[must_use]
+    pub fn vaults(mut self, vaults: usize) -> Self {
+        self.vaults = vaults;
+        self
+    }
+
+    /// Sets the eDRAM latency/energy penalty factor (must end up in
+    /// `2..=10`).
+    #[must_use]
+    pub fn edram_penalty(mut self, penalty: u64) -> Self {
+        self.edram_penalty = penalty;
+        self
+    }
+
+    /// Sets the cache transfer cost per capacity unit.
+    #[must_use]
+    pub fn cache_cost_per_unit(mut self, cost: u64) -> Self {
+        self.cache_cost_per_unit = cost;
+        self
+    }
+
+    /// Sets the per-IPR vault queuing cost.
+    #[must_use]
+    pub fn vault_queue_cost(mut self, cost: u64) -> Self {
+        self.vault_queue_cost = cost;
+        self
+    }
+
+    /// Sets the pFIFO depth.
+    #[must_use]
+    pub fn pfifo_depth(mut self, depth: usize) -> Self {
+        self.pfifo_depth = depth;
+        self
+    }
+
+    /// Enforces a hard per-vault limit on in-flight eDRAM transfers
+    /// (the default only tracks the statistic).
+    #[must_use]
+    pub fn max_vault_concurrency(mut self, limit: usize) -> Self {
+        self.max_vault_concurrency = Some(limit);
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the PE count or vault count is
+    /// zero, the penalty is outside `2..=10`, or the cache cost is
+    /// zero.
+    pub fn build(self) -> Result<PimConfig, ConfigError> {
+        if self.num_pes == 0 {
+            return Err(ConfigError::NoProcessingEngines);
+        }
+        if self.vaults == 0 {
+            return Err(ConfigError::NoVaults);
+        }
+        if !(2..=10).contains(&self.edram_penalty) {
+            return Err(ConfigError::PenaltyOutOfRange(self.edram_penalty));
+        }
+        if self.cache_cost_per_unit == 0 {
+            return Err(ConfigError::ZeroCacheCost);
+        }
+        Ok(PimConfig {
+            num_pes: self.num_pes,
+            per_pe_cache_units: self.per_pe_cache_units,
+            vaults: self.vaults,
+            edram_penalty: self.edram_penalty,
+            cache_cost_per_unit: self.cache_cost_per_unit,
+            vault_queue_cost: self.vault_queue_cost,
+            pfifo_depth: self.pfifo_depth,
+            max_vault_concurrency: self.max_vault_concurrency,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neurocube_presets() {
+        for pes in [16, 32, 64] {
+            let cfg = PimConfig::neurocube(pes).unwrap();
+            assert_eq!(cfg.num_pes(), pes);
+            assert_eq!(cfg.vaults(), 16);
+            assert_eq!(cfg.edram_penalty(), 4);
+            assert_eq!(cfg.total_cache_units(), 4 * pes as u64);
+        }
+    }
+
+    #[test]
+    fn cache_scales_with_pes() {
+        let c16 = PimConfig::neurocube(16).unwrap();
+        let c64 = PimConfig::neurocube(64).unwrap();
+        assert_eq!(c64.total_cache_units(), 4 * c16.total_cache_units());
+    }
+
+    #[test]
+    fn rejects_zero_pes() {
+        assert_eq!(
+            PimConfig::neurocube(0).unwrap_err(),
+            ConfigError::NoProcessingEngines
+        );
+    }
+
+    #[test]
+    fn rejects_zero_vaults() {
+        assert_eq!(
+            PimConfig::builder(4).vaults(0).build().unwrap_err(),
+            ConfigError::NoVaults
+        );
+    }
+
+    #[test]
+    fn rejects_penalty_outside_band() {
+        assert_eq!(
+            PimConfig::builder(4).edram_penalty(1).build().unwrap_err(),
+            ConfigError::PenaltyOutOfRange(1)
+        );
+        assert_eq!(
+            PimConfig::builder(4).edram_penalty(11).build().unwrap_err(),
+            ConfigError::PenaltyOutOfRange(11)
+        );
+        assert!(PimConfig::builder(4).edram_penalty(2).build().is_ok());
+        assert!(PimConfig::builder(4).edram_penalty(10).build().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_cache_cost() {
+        assert_eq!(
+            PimConfig::builder(4)
+                .cache_cost_per_unit(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroCacheCost
+        );
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let cfg = PimConfig::builder(3)
+            .per_pe_cache_units(7)
+            .vaults(8)
+            .edram_penalty(9)
+            .cache_cost_per_unit(2)
+            .vault_queue_cost(3)
+            .pfifo_depth(32)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.per_pe_cache_units(), 7);
+        assert_eq!(cfg.vaults(), 8);
+        assert_eq!(cfg.edram_penalty(), 9);
+        assert_eq!(cfg.cache_cost_per_unit(), 2);
+        assert_eq!(cfg.vault_queue_cost(), 3);
+        assert_eq!(cfg.pfifo_depth(), 32);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ConfigError::NoProcessingEngines,
+            ConfigError::NoVaults,
+            ConfigError::PenaltyOutOfRange(1),
+            ConfigError::ZeroCacheCost,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

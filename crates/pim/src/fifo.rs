@@ -1,0 +1,169 @@
+//! Bounded FIFO model for PE input/output queues.
+//!
+//! Each PE communicates with the rest of the array through an iFIFO /
+//! oFIFO pair and feeds its datapath through a pFIFO (§2.1, Figure 1).
+//! The simulator uses this model to check that in-flight transfers
+//! destined to one PE never exceed the configured FIFO depth, and to
+//! report peak occupancies.
+
+use core::fmt;
+
+/// Error returned when pushing into a full FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoOverflow {
+    /// The configured capacity that was exceeded.
+    pub capacity: usize,
+}
+
+impl fmt::Display for FifoOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fifo overflow beyond capacity {}", self.capacity)
+    }
+}
+
+impl std::error::Error for FifoOverflow {}
+
+/// A bounded FIFO with occupancy statistics.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_pim::Fifo;
+///
+/// let mut fifo = Fifo::new(2);
+/// fifo.push(10u64)?;
+/// fifo.push(20u64)?;
+/// assert!(fifo.push(30u64).is_err());
+/// assert_eq!(fifo.pop(), Some(10));
+/// assert_eq!(fifo.peak_occupancy(), 2);
+/// # Ok::<(), paraconv_pim::FifoOverflow>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fifo<T> {
+    items: std::collections::VecDeque<T>,
+    capacity: usize,
+    peak: usize,
+    total_pushed: u64,
+}
+
+impl<T> Fifo<T> {
+    /// Creates an empty FIFO with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        Fifo {
+            items: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            peak: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Enqueues an item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FifoOverflow`] if the FIFO is full; the item is
+    /// dropped in that case (the caller models back-pressure).
+    pub fn push(&mut self, item: T) -> Result<(), FifoOverflow> {
+        if self.items.len() == self.capacity {
+            return Err(FifoOverflow {
+                capacity: self.capacity,
+            });
+        }
+        self.items.push_back(item);
+        self.peak = self.peak.max(self.items.len());
+        self.total_pushed += 1;
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Current number of queued items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if no items are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The highest occupancy ever observed.
+    #[must_use]
+    pub const fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    /// Total number of items ever pushed successfully.
+    #[must_use]
+    pub const fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_ordering() {
+        let mut f = Fifo::new(3);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.push(3).unwrap();
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn overflow_is_reported_and_item_dropped() {
+        let mut f = Fifo::new(1);
+        f.push('a').unwrap();
+        assert_eq!(f.push('b').unwrap_err(), FifoOverflow { capacity: 1 });
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.total_pushed(), 1);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut f = Fifo::new(4);
+        f.push(1).unwrap();
+        f.push(2).unwrap();
+        f.pop();
+        f.push(3).unwrap();
+        assert_eq!(f.peak_occupancy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = Fifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let mut f = Fifo::new(2);
+        assert!(f.is_empty());
+        f.push(9).unwrap();
+        assert!(!f.is_empty());
+        assert_eq!(f.capacity(), 2);
+    }
+}

@@ -1,0 +1,206 @@
+//! DESTINY-style latency modeling for the memory hierarchy.
+//!
+//! The paper grounds its 2–10× eDRAM penalty in DESTINY (Poremba et
+//! al., DATE'15), a tool that models 3D NVM and eDRAM cache latencies
+//! as functions of capacity and technology. This module provides a
+//! compact analytical stand-in: access latency grows with the square
+//! root of capacity (wordline/bitline RC scaling), with per-technology
+//! base latencies calibrated so the cache/eDRAM ratio of typical PIM
+//! configurations lands inside the paper's cited band.
+
+use core::fmt;
+
+/// Memory technology of an array in the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum MemoryTech {
+    /// SRAM data cache inside a PE.
+    Sram,
+    /// Embedded DRAM tier in the 3D stack.
+    Edram,
+    /// Commodity DRAM tier in the 3D stack.
+    Dram,
+}
+
+impl fmt::Display for MemoryTech {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MemoryTech::Sram => "SRAM",
+            MemoryTech::Edram => "eDRAM",
+            MemoryTech::Dram => "DRAM",
+        })
+    }
+}
+
+impl MemoryTech {
+    /// Base access latency of a minimum-size array, in picoseconds.
+    const fn base_ps(self) -> u64 {
+        match self {
+            MemoryTech::Sram => 250,
+            MemoryTech::Edram => 900,
+            MemoryTech::Dram => 1_800,
+        }
+    }
+
+    /// Per-`sqrt(KB)` latency growth, in picoseconds. Stacked tiers
+    /// grow slower per capacity than SRAM (they are banked), which is
+    /// what keeps multi-MB tiers inside the cited 2–10× band against
+    /// multi-KB PE caches.
+    const fn growth_ps(self) -> u64 {
+        match self {
+            MemoryTech::Sram => 60,
+            MemoryTech::Edram => 40,
+            MemoryTech::Dram => 80,
+        }
+    }
+
+    /// Access energy per access of a minimum-size array, in femtojoules.
+    const fn base_fj(self) -> u64 {
+        match self {
+            MemoryTech::Sram => 50,
+            MemoryTech::Edram => 260,
+            MemoryTech::Dram => 600,
+        }
+    }
+}
+
+/// An analytical latency/energy model for one memory array.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_pim::{LatencyModel, MemoryTech};
+///
+/// // A 16 KB PE cache vs a 2 MB eDRAM tier: the ratio lands in the
+/// // paper's 2-10x band.
+/// let cache = LatencyModel::new(MemoryTech::Sram, 16);
+/// let edram = LatencyModel::new(MemoryTech::Edram, 2 * 1024);
+/// let ratio = edram.access_ps() as f64 / cache.access_ps() as f64;
+/// assert!((2.0..=10.0).contains(&ratio), "ratio {ratio}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LatencyModel {
+    tech: MemoryTech,
+    capacity_kb: u64,
+}
+
+impl LatencyModel {
+    /// Creates a model for an array of `capacity_kb` kilobytes.
+    #[must_use]
+    pub const fn new(tech: MemoryTech, capacity_kb: u64) -> Self {
+        LatencyModel { tech, capacity_kb }
+    }
+
+    /// The modelled technology.
+    #[must_use]
+    pub const fn tech(&self) -> MemoryTech {
+        self.tech
+    }
+
+    /// The modelled capacity in kilobytes.
+    #[must_use]
+    pub const fn capacity_kb(&self) -> u64 {
+        self.capacity_kb
+    }
+
+    /// Random-access latency in picoseconds:
+    /// `base + growth · sqrt(capacity_kb)`.
+    #[must_use]
+    pub fn access_ps(&self) -> u64 {
+        self.tech.base_ps() + self.tech.growth_ps() * isqrt(self.capacity_kb)
+    }
+
+    /// Access energy in femtojoules (same scaling law).
+    #[must_use]
+    pub fn access_fj(&self) -> u64 {
+        self.tech.base_fj() + self.tech.base_fj() * isqrt(self.capacity_kb) / 4
+    }
+
+    /// Derives the architecture's eDRAM penalty factor (rounded to the
+    /// nearest integer, clamped to the `2..=10` band the
+    /// [`crate::PimConfig`] accepts) for a given PE-cache and stacked
+    /// tier.
+    #[must_use]
+    pub fn penalty_against(&self, cache: &LatencyModel) -> u64 {
+        let ratio = self.access_ps() as f64 / cache.access_ps().max(1) as f64;
+        (ratio.round() as u64).clamp(2, 10)
+    }
+}
+
+/// Integer square root (floor).
+fn isqrt(v: u64) -> u64 {
+    if v == 0 {
+        return 0;
+    }
+    let mut x = v;
+    let mut y = x.div_ceil(2);
+    while y < x {
+        x = y;
+        y = (x + v / x) / 2;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_correct() {
+        for v in 0u64..1000 {
+            let r = isqrt(v);
+            assert!(r * r <= v);
+            assert!((r + 1) * (r + 1) > v);
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_capacity() {
+        let small = LatencyModel::new(MemoryTech::Sram, 4);
+        let large = LatencyModel::new(MemoryTech::Sram, 256);
+        assert!(large.access_ps() > small.access_ps());
+        assert!(large.access_fj() > small.access_fj());
+    }
+
+    #[test]
+    fn tech_ordering_holds_at_equal_capacity() {
+        let kb = 64;
+        let sram = LatencyModel::new(MemoryTech::Sram, kb).access_ps();
+        let edram = LatencyModel::new(MemoryTech::Edram, kb).access_ps();
+        let dram = LatencyModel::new(MemoryTech::Dram, kb).access_ps();
+        assert!(sram < edram);
+        assert!(edram < dram);
+    }
+
+    #[test]
+    fn paper_configuration_lands_in_band() {
+        // §2.3: "100-300KB cache capacity for the entire PE array";
+        // per-PE slices of a 64-PE array are a few KB against multi-MB
+        // stacked tiers.
+        for (cache_kb, tier_kb) in [(2, 2048), (4, 4096), (16, 8192)] {
+            let cache = LatencyModel::new(MemoryTech::Sram, cache_kb);
+            for tech in [MemoryTech::Edram, MemoryTech::Dram] {
+                let tier = LatencyModel::new(tech, tier_kb);
+                let p = tier.penalty_against(&cache);
+                assert!((2..=10).contains(&p), "{tech} {tier_kb}KB -> {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn penalty_clamps() {
+        let cache = LatencyModel::new(MemoryTech::Sram, 1);
+        let same = LatencyModel::new(MemoryTech::Sram, 1);
+        assert_eq!(same.penalty_against(&cache), 2); // clamped up
+        let huge = LatencyModel::new(MemoryTech::Dram, 1 << 40);
+        assert_eq!(huge.penalty_against(&cache), 10); // clamped down
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MemoryTech::Sram.to_string(), "SRAM");
+        assert_eq!(MemoryTech::Edram.to_string(), "eDRAM");
+        assert_eq!(MemoryTech::Dram.to_string(), "DRAM");
+    }
+}

@@ -1,0 +1,121 @@
+//! Processing-engine accounting during simulation.
+//!
+//! Each PE of the Neurocube-style array integrates a pFIFO, an ALU
+//! datapath, a register file and a slice of the data cache (§2.1). The
+//! simulator tracks per-PE busy intervals and statistics with this
+//! type; cache capacity is accounted globally (the dynamic program
+//! treats the array cache as one pooled capacity `S`).
+
+use crate::PeId;
+
+/// Runtime state and statistics of one processing engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pe {
+    id: PeId,
+    /// Executed task intervals as `(start, finish)`, kept sorted by
+    /// insertion (the simulator feeds tasks in time order per PE).
+    intervals: Vec<(u64, u64)>,
+    busy_time: u64,
+    tasks_executed: u64,
+}
+
+impl Pe {
+    /// Creates an idle PE.
+    #[must_use]
+    pub fn new(id: PeId) -> Self {
+        Pe {
+            id,
+            intervals: Vec::new(),
+            busy_time: 0,
+            tasks_executed: 0,
+        }
+    }
+
+    /// Returns this PE's identifier.
+    #[must_use]
+    pub const fn id(&self) -> PeId {
+        self.id
+    }
+
+    /// Records execution of a task during `[start, finish)`.
+    ///
+    /// Returns `false` (and records nothing) if the interval overlaps a
+    /// previously recorded one — a double-booked PE.
+    pub fn record_task(&mut self, start: u64, finish: u64) -> bool {
+        debug_assert!(start < finish, "task intervals are non-empty");
+        let overlaps = self
+            .intervals
+            .iter()
+            .any(|&(s, f)| start < f && s < finish);
+        if overlaps {
+            return false;
+        }
+        self.intervals.push((start, finish));
+        self.busy_time += finish - start;
+        self.tasks_executed += 1;
+        true
+    }
+
+    /// Total time units this PE spent executing tasks.
+    #[must_use]
+    pub const fn busy_time(&self) -> u64 {
+        self.busy_time
+    }
+
+    /// Number of task instances executed.
+    #[must_use]
+    pub const fn tasks_executed(&self) -> u64 {
+        self.tasks_executed
+    }
+
+    /// Utilization of this PE over a horizon of `total_time` units
+    /// (1.0 = always busy). Returns 0 for a zero horizon.
+    #[must_use]
+    pub fn utilization(&self, total_time: u64) -> f64 {
+        if total_time == 0 {
+            0.0
+        } else {
+            self.busy_time as f64 / total_time as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_disjoint_tasks() {
+        let mut pe = Pe::new(PeId::new(0));
+        assert!(pe.record_task(0, 2));
+        assert!(pe.record_task(2, 3));
+        assert!(pe.record_task(10, 12));
+        assert_eq!(pe.busy_time(), 5);
+        assert_eq!(pe.tasks_executed(), 3);
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        let mut pe = Pe::new(PeId::new(1));
+        assert!(pe.record_task(0, 5));
+        assert!(!pe.record_task(4, 6));
+        assert!(!pe.record_task(0, 1));
+        assert_eq!(pe.tasks_executed(), 1);
+        assert_eq!(pe.busy_time(), 5);
+    }
+
+    #[test]
+    fn touching_intervals_are_fine() {
+        let mut pe = Pe::new(PeId::new(2));
+        assert!(pe.record_task(0, 3));
+        assert!(pe.record_task(3, 6));
+    }
+
+    #[test]
+    fn utilization_math() {
+        let mut pe = Pe::new(PeId::new(0));
+        pe.record_task(0, 5);
+        assert!((pe.utilization(10) - 0.5).abs() < 1e-9);
+        assert_eq!(pe.utilization(0), 0.0);
+    }
+}

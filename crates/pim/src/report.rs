@@ -1,0 +1,149 @@
+//! Simulation reports.
+
+use core::fmt;
+
+/// Statistics produced by replaying an execution plan on the PIM
+/// architecture model.
+///
+/// All times are in abstract time units; energies in abstract units
+/// where one cache access of one capacity unit costs 1.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimReport {
+    /// Total execution time (the plan's makespan).
+    pub total_time: u64,
+    /// Number of logical iterations executed.
+    pub iterations: u64,
+    /// Steady-state time per iteration (total time divided by
+    /// iterations; prologue amortized).
+    pub time_per_iteration: f64,
+    /// Number of IPR fetches served from stacked eDRAM (off the PE
+    /// array — the movement Para-CONV minimizes).
+    pub offchip_fetches: u64,
+    /// Number of IPR fetches served from the on-chip cache.
+    pub onchip_hits: u64,
+    /// Capacity units moved from eDRAM.
+    pub offchip_units_moved: u64,
+    /// Capacity units moved from cache.
+    pub onchip_units_moved: u64,
+    /// Total transfer energy (cache + eDRAM, with the 2–10× penalty).
+    pub transfer_energy: u64,
+    /// Total compute energy (one unit per PE-busy time unit).
+    pub compute_energy: u64,
+    /// Mean PE utilization over the makespan, in `[0, 1]`.
+    pub avg_pe_utilization: f64,
+    /// Peak concurrent cache occupancy in capacity units.
+    pub peak_cache_occupancy: u64,
+    /// The aggregate cache capacity the plan was validated against.
+    pub cache_capacity: u64,
+    /// Highest in-flight transfer count observed at any PE's iFIFO.
+    pub peak_fifo_occupancy: usize,
+    /// Highest per-vault fetch count (hot-spotting indicator).
+    pub peak_vault_fetches: u64,
+    /// Highest number of simultaneously in-flight eDRAM transfers on
+    /// one vault's TSV bundle (contention indicator; the cost model's
+    /// vault-queue term approximates the delay this causes).
+    pub peak_vault_concurrency: usize,
+}
+
+impl SimReport {
+    /// Total energy: compute plus transfers.
+    #[must_use]
+    pub const fn total_energy(&self) -> u64 {
+        self.transfer_energy + self.compute_energy
+    }
+
+    /// Fraction of IPR fetches served on chip, in `[0, 1]`; 0 when no
+    /// fetches occurred.
+    #[must_use]
+    pub fn onchip_hit_rate(&self) -> f64 {
+        let total = self.onchip_hits + self.offchip_fetches;
+        if total == 0 {
+            0.0
+        } else {
+            self.onchip_hits as f64 / total as f64
+        }
+    }
+
+    /// Throughput in iterations per time unit; 0 for an empty run.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.total_time == 0 {
+            0.0
+        } else {
+            self.iterations as f64 / self.total_time as f64
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total time:        {}", self.total_time)?;
+        writeln!(f, "iterations:        {}", self.iterations)?;
+        writeln!(f, "time/iteration:    {:.2}", self.time_per_iteration)?;
+        writeln!(f, "off-chip fetches:  {}", self.offchip_fetches)?;
+        writeln!(f, "on-chip hits:      {}", self.onchip_hits)?;
+        writeln!(f, "hit rate:          {:.1}%", self.onchip_hit_rate() * 100.0)?;
+        writeln!(f, "energy (total):    {}", self.total_energy())?;
+        writeln!(
+            f,
+            "PE utilization:    {:.1}%",
+            self.avg_pe_utilization * 100.0
+        )?;
+        write!(
+            f,
+            "peak cache:        {}/{}",
+            self.peak_cache_occupancy, self.cache_capacity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            total_time: 100,
+            iterations: 10,
+            time_per_iteration: 10.0,
+            offchip_fetches: 3,
+            onchip_hits: 7,
+            offchip_units_moved: 3,
+            onchip_units_moved: 7,
+            transfer_energy: 19,
+            compute_energy: 50,
+            avg_pe_utilization: 0.5,
+            peak_cache_occupancy: 4,
+            cache_capacity: 8,
+            peak_fifo_occupancy: 2,
+            peak_vault_fetches: 1,
+            peak_vault_concurrency: 1,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert_eq!(r.total_energy(), 69);
+        assert!((r.onchip_hit_rate() - 0.7).abs() < 1e-9);
+        assert!((r.throughput() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let mut r = report();
+        r.total_time = 0;
+        r.onchip_hits = 0;
+        r.offchip_fetches = 0;
+        assert_eq!(r.throughput(), 0.0);
+        assert_eq!(r.onchip_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_is_multiline_and_nonempty() {
+        let s = report().to_string();
+        assert!(s.lines().count() >= 5);
+        assert!(s.contains("off-chip fetches:  3"));
+    }
+}

@@ -1,0 +1,571 @@
+//! The execution-plan simulator.
+//!
+//! [`simulate`] replays a fully concrete [`ExecutionPlan`] on the
+//! architecture described by a [`PimConfig`], validating every
+//! architectural constraint and producing a [`SimReport`]:
+//!
+//! * every `(node, iteration)` instance planned exactly once, with the
+//!   node's execution time;
+//! * no processing engine executes two instances at once;
+//! * every data dependency `I_{i,j}^ℓ` is realized by a transfer that
+//!   starts after the producer finishes, completes before the consumer
+//!   starts, is routed to the consumer's PE, and is no shorter than the
+//!   latency of its placement;
+//! * cache-resident IPRs never exceed the aggregate on-chip capacity;
+//! * in-flight transfers to one PE never exceed its iFIFO depth.
+//!
+//! The simulator is the ground truth for the evaluation: both SPARTA
+//! and Para-CONV plans are replayed here, so reported improvements are
+//! measured under identical architectural rules.
+
+use std::collections::HashMap;
+
+use paraconv_graph::{EdgeId, NodeId, Placement, TaskGraph};
+
+use crate::{
+    CostModel, Crossbar, ExecutionPlan, Pe, PeId, PimConfig, SimError, SimReport, VaultArray,
+};
+
+/// Replays `plan` for `graph` on the architecture `config`.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] describing why the plan is invalid;
+/// see the module docs for the validated constraints.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_graph::examples;
+/// use paraconv_pim::{simulate, ExecutionPlan, PimConfig, PlannedTask, PeId};
+///
+/// // A single-node graph needs one planned instance and no transfers.
+/// let g = examples::chain(1);
+/// let cfg = PimConfig::neurocube(16)?;
+/// let mut plan = ExecutionPlan::new(1);
+/// plan.push_task(PlannedTask {
+///     node: g.node_ids().next().unwrap(),
+///     iteration: 1,
+///     pe: PeId::new(0),
+///     start: 0,
+///     duration: 1,
+/// });
+/// let report = simulate(&g, &plan, &cfg)?;
+/// assert_eq!(report.total_time, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn simulate(
+    graph: &TaskGraph,
+    plan: &ExecutionPlan,
+    config: &PimConfig,
+) -> Result<SimReport, SimError> {
+    let cost = CostModel::new(config, graph.edge_count());
+    let mut pes: Vec<Pe> = (0..config.num_pes())
+        .map(|i| Pe::new(PeId::new(i as u32)))
+        .collect();
+    let mut vaults = VaultArray::new(config.vaults());
+    let mut crossbar = Crossbar::new(config.num_pes());
+
+    // ---- index and validate tasks -------------------------------------
+    let mut task_index: HashMap<(NodeId, u64), usize> = HashMap::new();
+    for (idx, t) in plan.tasks().iter().enumerate() {
+        let node = graph.node(t.node).map_err(|_| SimError::UnknownNode(t.node))?;
+        if t.pe.index() >= config.num_pes() {
+            return Err(SimError::UnknownPe(t.pe));
+        }
+        if t.duration != node.exec_time() {
+            return Err(SimError::WrongTaskDuration {
+                node: t.node,
+                planned: t.duration,
+                expected: node.exec_time(),
+            });
+        }
+        if task_index.insert((t.node, t.iteration), idx).is_some() {
+            return Err(SimError::DuplicateTask(t.node, t.iteration));
+        }
+        if !pes[t.pe.index()].record_task(t.start, t.finish()) {
+            return Err(SimError::PeConflict {
+                pe: t.pe,
+                node: t.node,
+                iteration: t.iteration,
+            });
+        }
+    }
+
+    // ---- index and validate transfers ----------------------------------
+    let mut transfer_index: HashMap<(EdgeId, u64), usize> = HashMap::new();
+    let mut transfer_energy = 0u64;
+    let mut offchip_fetches = 0u64;
+    let mut onchip_hits = 0u64;
+    let mut offchip_units = 0u64;
+    let mut onchip_units = 0u64;
+    // Cache-occupancy sweep events: (time, +size at producer finish /
+    // -size at transfer completion).
+    let mut cache_events: Vec<(u64, i64)> = Vec::new();
+    // Per-PE in-flight transfer events for the iFIFO check.
+    let mut fifo_events: HashMap<PeId, Vec<(u64, i32)>> = HashMap::new();
+    // Per-vault in-flight transfer events for the contention stat.
+    let mut vault_events: HashMap<usize, Vec<(u64, i32)>> = HashMap::new();
+
+    for (idx, x) in plan.transfers().iter().enumerate() {
+        let ipr = graph.edge(x.edge).map_err(|_| SimError::UnknownEdge(x.edge))?;
+        if x.dst_pe.index() >= config.num_pes() {
+            return Err(SimError::UnknownPe(x.dst_pe));
+        }
+        if transfer_index.insert((x.edge, x.iteration), idx).is_some() {
+            return Err(SimError::DuplicateTransfer(x.edge, x.iteration));
+        }
+        let required = cost.transfer_time(ipr.size(), x.placement);
+        if x.duration < required {
+            return Err(SimError::TransferTooShort {
+                edge: x.edge,
+                planned: x.duration,
+                required,
+            });
+        }
+        // Producer must exist and finish before the transfer starts.
+        let producer = task_index
+            .get(&(ipr.src(), x.iteration))
+            .map(|&i| &plan.tasks()[i])
+            .ok_or(SimError::MissingProducer(ipr.src(), x.iteration))?;
+        if x.start < producer.finish() {
+            return Err(SimError::TransferBeforeProduction(x.edge, x.iteration));
+        }
+
+        transfer_energy += cost.transfer_energy(ipr.size(), x.placement);
+        crossbar.record_transfer(x.dst_pe, ipr.size());
+        match x.placement {
+            Placement::Cache => {
+                onchip_hits += 1;
+                onchip_units += ipr.size();
+                // Cache residency: production until the transfer drains.
+                cache_events.push((producer.finish(), ipr.size() as i64));
+                cache_events.push((x.finish(), -(ipr.size() as i64)));
+            }
+            Placement::Edram => {
+                offchip_fetches += 1;
+                offchip_units += ipr.size();
+                vaults.record_fetch(x.edge, ipr.size(), x.duration);
+                let v = vaults.vault_of(x.edge);
+                vault_events.entry(v).or_default().push((x.start, 1));
+                vault_events.entry(v).or_default().push((x.finish(), -1));
+            }
+        }
+        fifo_events
+            .entry(x.dst_pe)
+            .or_default()
+            .push((x.start, 1));
+        fifo_events
+            .entry(x.dst_pe)
+            .or_default()
+            .push((x.finish(), -1));
+    }
+
+    // ---- dependency coverage -------------------------------------------
+    for t in plan.tasks() {
+        for &e in graph.in_edges(t.node).map_err(|_| SimError::UnknownNode(t.node))? {
+            let x = transfer_index
+                .get(&(e, t.iteration))
+                .map(|&i| &plan.transfers()[i])
+                .ok_or(SimError::MissingTransfer(e, t.iteration))?;
+            if x.finish() > t.start {
+                return Err(SimError::ConsumerBeforeTransfer(e, t.iteration));
+            }
+            if x.dst_pe != t.pe {
+                return Err(SimError::WrongDestination {
+                    edge: e,
+                    iteration: t.iteration,
+                    routed: x.dst_pe,
+                    consumer: t.pe,
+                });
+            }
+        }
+    }
+
+    // ---- completeness ------------------------------------------------------
+    // The plan declares coverage of `iterations` iterations; every
+    // `(node, iteration)` instance must therefore be present.
+    for iter in 1..=plan.iterations() {
+        for id in graph.node_ids() {
+            if !task_index.contains_key(&(id, iter)) {
+                return Err(SimError::MissingTask(id, iter));
+            }
+        }
+    }
+
+    // ---- cache capacity sweep --------------------------------------------
+    // Releases (-) sort before acquisitions (+) at equal times: a slot
+    // freed at t is available to data produced at t.
+    cache_events.sort_by_key(|&(t, delta)| (t, delta));
+    let capacity = config.total_cache_units();
+    let mut occupancy = 0i64;
+    let mut peak_cache = 0i64;
+    for (time, delta) in cache_events {
+        occupancy += delta;
+        peak_cache = peak_cache.max(occupancy);
+        if occupancy > capacity as i64 {
+            return Err(SimError::CacheOverflow {
+                time,
+                occupancy: occupancy as u64,
+                capacity,
+            });
+        }
+    }
+
+    // ---- iFIFO sweep -------------------------------------------------------
+    let mut peak_fifo = 0usize;
+    for (pe, mut events) in fifo_events {
+        events.sort_by_key(|&(t, delta)| (t, delta));
+        let mut in_flight = 0i32;
+        for (_, delta) in events {
+            in_flight += delta;
+            peak_fifo = peak_fifo.max(in_flight as usize);
+            if in_flight as usize > config.pfifo_depth() {
+                return Err(SimError::FifoOverflow {
+                    pe,
+                    in_flight: in_flight as usize,
+                    depth: config.pfifo_depth(),
+                });
+            }
+        }
+    }
+
+    // ---- vault contention sweep (statistic; enforced when the
+    // configuration sets a port limit) ----------------------------------------
+    let mut peak_vault_concurrency = 0usize;
+    for (vault, mut events) in vault_events {
+        events.sort_by_key(|&(t, delta)| (t, delta));
+        let mut in_flight = 0i32;
+        for (_, delta) in events {
+            in_flight += delta;
+            peak_vault_concurrency = peak_vault_concurrency.max(in_flight as usize);
+            if let Some(limit) = config.max_vault_concurrency() {
+                if in_flight as usize > limit {
+                    return Err(SimError::VaultOverload {
+                        vault,
+                        in_flight: in_flight as usize,
+                        limit,
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- statistics -----------------------------------------------------
+    let total_time = plan.makespan();
+    let compute_energy: u64 = pes.iter().map(Pe::busy_time).sum();
+    let avg_pe_utilization = if config.num_pes() == 0 {
+        0.0
+    } else {
+        pes.iter()
+            .map(|pe| pe.utilization(total_time))
+            .sum::<f64>()
+            / config.num_pes() as f64
+    };
+    let time_per_iteration = if plan.iterations() == 0 {
+        0.0
+    } else {
+        total_time as f64 / plan.iterations() as f64
+    };
+
+    Ok(SimReport {
+        total_time,
+        iterations: plan.iterations(),
+        time_per_iteration,
+        offchip_fetches,
+        onchip_hits,
+        offchip_units_moved: offchip_units,
+        onchip_units_moved: onchip_units,
+        transfer_energy,
+        compute_energy,
+        avg_pe_utilization,
+        peak_cache_occupancy: peak_cache.max(0) as u64,
+        cache_capacity: capacity,
+        peak_fifo_occupancy: peak_fifo,
+        peak_vault_fetches: vaults.peak_fetches(),
+        peak_vault_concurrency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraconv_graph::{OpKind, TaskGraphBuilder};
+    use crate::{PlannedTask, PlannedTransfer};
+
+    /// a -> b with an IPR of size 1.
+    fn two_node_graph() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new("two");
+        let a = b.add_node("a", OpKind::Convolution, 2);
+        let z = b.add_node("z", OpKind::Convolution, 1);
+        b.add_edge(a, z, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    fn config() -> PimConfig {
+        PimConfig::neurocube(4).unwrap()
+    }
+
+    fn task(node: u32, iter: u64, pe: u32, start: u64, dur: u64) -> PlannedTask {
+        PlannedTask {
+            node: NodeId::new(node),
+            iteration: iter,
+            pe: PeId::new(pe),
+            start,
+            duration: dur,
+        }
+    }
+
+    fn xfer(edge: u32, iter: u64, placement: Placement, start: u64, dur: u64, dst: u32) -> PlannedTransfer {
+        PlannedTransfer {
+            edge: EdgeId::new(edge),
+            iteration: iter,
+            placement,
+            start,
+            duration: dur,
+            dst_pe: PeId::new(dst),
+        }
+    }
+
+    /// A valid plan for the two-node graph: a on PE0 [0,2), transfer
+    /// via cache [2,3), b on PE1 [3,4).
+    fn valid_plan() -> ExecutionPlan {
+        let mut plan = ExecutionPlan::new(1);
+        plan.push_task(task(0, 1, 0, 0, 2));
+        plan.push_transfer(xfer(0, 1, Placement::Cache, 2, 1, 1));
+        plan.push_task(task(1, 1, 1, 3, 1));
+        plan
+    }
+
+    #[test]
+    fn valid_plan_simulates() {
+        let report = simulate(&two_node_graph(), &valid_plan(), &config()).unwrap();
+        assert_eq!(report.total_time, 4);
+        assert_eq!(report.onchip_hits, 1);
+        assert_eq!(report.offchip_fetches, 0);
+        assert_eq!(report.compute_energy, 3);
+        assert_eq!(report.peak_cache_occupancy, 1);
+    }
+
+    #[test]
+    fn edram_transfer_counts_offchip() {
+        let g = two_node_graph();
+        let cfg = config();
+        let edram_time = CostModel::new(&cfg, g.edge_count()).edram_transfer_time(1);
+        let mut plan = ExecutionPlan::new(1);
+        plan.push_task(task(0, 1, 0, 0, 2));
+        plan.push_transfer(xfer(0, 1, Placement::Edram, 2, edram_time, 1));
+        plan.push_task(task(1, 1, 1, 2 + edram_time, 1));
+        let report = simulate(&g, &plan, &cfg).unwrap();
+        assert_eq!(report.offchip_fetches, 1);
+        assert_eq!(report.onchip_hits, 0);
+        assert_eq!(report.peak_vault_fetches, 1);
+        assert!(report.transfer_energy >= cfg.edram_penalty());
+    }
+
+    #[test]
+    fn detects_pe_conflict() {
+        let g = two_node_graph();
+        let mut plan = ExecutionPlan::new(1);
+        plan.push_task(task(0, 1, 0, 0, 2));
+        plan.push_transfer(xfer(0, 1, Placement::Cache, 2, 1, 0));
+        // b overlaps a on the same PE.
+        plan.push_task(task(1, 1, 0, 1, 1));
+        assert!(matches!(
+            simulate(&g, &plan, &config()).unwrap_err(),
+            SimError::PeConflict { .. }
+        ));
+    }
+
+    #[test]
+    fn detects_missing_transfer() {
+        let g = two_node_graph();
+        let mut plan = ExecutionPlan::new(1);
+        plan.push_task(task(0, 1, 0, 0, 2));
+        plan.push_task(task(1, 1, 1, 3, 1));
+        assert_eq!(
+            simulate(&g, &plan, &config()).unwrap_err(),
+            SimError::MissingTransfer(EdgeId::new(0), 1)
+        );
+    }
+
+    #[test]
+    fn detects_missing_producer() {
+        let g = two_node_graph();
+        let mut plan = ExecutionPlan::new(1);
+        plan.push_transfer(xfer(0, 1, Placement::Cache, 2, 1, 1));
+        plan.push_task(task(1, 1, 1, 3, 1));
+        assert_eq!(
+            simulate(&g, &plan, &config()).unwrap_err(),
+            SimError::MissingProducer(NodeId::new(0), 1)
+        );
+    }
+
+    #[test]
+    fn detects_transfer_before_production() {
+        let g = two_node_graph();
+        let mut plan = ExecutionPlan::new(1);
+        plan.push_task(task(0, 1, 0, 0, 2));
+        plan.push_transfer(xfer(0, 1, Placement::Cache, 1, 1, 1));
+        plan.push_task(task(1, 1, 1, 3, 1));
+        assert_eq!(
+            simulate(&g, &plan, &config()).unwrap_err(),
+            SimError::TransferBeforeProduction(EdgeId::new(0), 1)
+        );
+    }
+
+    #[test]
+    fn detects_consumer_before_transfer() {
+        let g = two_node_graph();
+        let mut plan = ExecutionPlan::new(1);
+        plan.push_task(task(0, 1, 0, 0, 2));
+        plan.push_transfer(xfer(0, 1, Placement::Cache, 2, 1, 1));
+        plan.push_task(task(1, 1, 1, 2, 1));
+        assert_eq!(
+            simulate(&g, &plan, &config()).unwrap_err(),
+            SimError::ConsumerBeforeTransfer(EdgeId::new(0), 1)
+        );
+    }
+
+    #[test]
+    fn detects_wrong_destination() {
+        let g = two_node_graph();
+        let mut plan = ExecutionPlan::new(1);
+        plan.push_task(task(0, 1, 0, 0, 2));
+        plan.push_transfer(xfer(0, 1, Placement::Cache, 2, 1, 3));
+        plan.push_task(task(1, 1, 1, 3, 1));
+        assert!(matches!(
+            simulate(&g, &plan, &config()).unwrap_err(),
+            SimError::WrongDestination { .. }
+        ));
+    }
+
+    #[test]
+    fn detects_wrong_task_duration() {
+        let g = two_node_graph();
+        let mut plan = ExecutionPlan::new(1);
+        plan.push_task(task(0, 1, 0, 0, 5));
+        assert_eq!(
+            simulate(&g, &plan, &config()).unwrap_err(),
+            SimError::WrongTaskDuration {
+                node: NodeId::new(0),
+                planned: 5,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn detects_short_transfer() {
+        let g = two_node_graph();
+        let cfg = config();
+        let mut plan = ExecutionPlan::new(1);
+        plan.push_task(task(0, 1, 0, 0, 2));
+        plan.push_transfer(xfer(0, 1, Placement::Edram, 2, 1, 1)); // needs 4
+        plan.push_task(task(1, 1, 1, 10, 1));
+        assert!(matches!(
+            simulate(&g, &plan, &cfg).unwrap_err(),
+            SimError::TransferTooShort { .. }
+        ));
+    }
+
+    #[test]
+    fn detects_duplicate_task() {
+        let g = two_node_graph();
+        let mut plan = ExecutionPlan::new(1);
+        plan.push_task(task(0, 1, 0, 0, 2));
+        plan.push_task(task(0, 1, 1, 5, 2));
+        assert_eq!(
+            simulate(&g, &plan, &config()).unwrap_err(),
+            SimError::DuplicateTask(NodeId::new(0), 1)
+        );
+    }
+
+    #[test]
+    fn detects_unknown_pe() {
+        let g = two_node_graph();
+        let mut plan = ExecutionPlan::new(1);
+        plan.push_task(task(0, 1, 99, 0, 2));
+        assert_eq!(
+            simulate(&g, &plan, &config()).unwrap_err(),
+            SimError::UnknownPe(PeId::new(99))
+        );
+    }
+
+    #[test]
+    fn detects_cache_overflow() {
+        // One producer feeding many cached consumers concurrently, with
+        // a tiny cache.
+        let mut b = TaskGraphBuilder::new("fanout");
+        let src = b.add_node("s", OpKind::Convolution, 1);
+        let sinks: Vec<NodeId> = (0..3)
+            .map(|i| b.add_node(format!("k{i}"), OpKind::Convolution, 1))
+            .collect();
+        for &k in &sinks {
+            b.add_edge(src, k, 2).unwrap();
+        }
+        let g = b.build().unwrap();
+        let cfg = PimConfig::builder(4).per_pe_cache_units(1).build().unwrap(); // capacity 4 < 6
+        let mut plan = ExecutionPlan::new(1);
+        plan.push_task(task(0, 1, 0, 0, 1));
+        for (i, &k) in sinks.iter().enumerate() {
+            plan.push_transfer(xfer(i as u32, 1, Placement::Cache, 1, 2, (i + 1) as u32));
+            plan.push_task(PlannedTask {
+                node: k,
+                iteration: 1,
+                pe: PeId::new((i + 1) as u32),
+                start: 3,
+                duration: 1,
+            });
+        }
+        assert!(matches!(
+            simulate(&g, &plan, &cfg).unwrap_err(),
+            SimError::CacheOverflow { .. }
+        ));
+    }
+
+    #[test]
+    fn vault_port_limit_enforced_when_configured() {
+        // Two eDRAM transfers of the same edge class overlapping on
+        // one vault: fine by default, rejected with a limit of 1.
+        let mut b = TaskGraphBuilder::new("two-sinks");
+        let src = b.add_node("s", OpKind::Convolution, 1);
+        let k0 = b.add_node("k0", OpKind::Convolution, 1);
+        let k1 = b.add_node("k1", OpKind::Convolution, 1);
+        // One vault so both transfers share it.
+        b.add_edge(src, k0, 1).unwrap();
+        b.add_edge(src, k1, 1).unwrap();
+        let g = b.build().unwrap();
+        let mk = |limit: Option<usize>| {
+            let builder = PimConfig::builder(4).vaults(1);
+            match limit {
+                Some(l) => builder.max_vault_concurrency(l).build().unwrap(),
+                None => builder.build().unwrap(),
+            }
+        };
+        let plan = {
+            let mut plan = ExecutionPlan::new(1);
+            plan.push_task(task(0, 1, 0, 0, 1));
+            plan.push_transfer(xfer(0, 1, Placement::Edram, 1, 4, 1));
+            plan.push_transfer(xfer(1, 1, Placement::Edram, 1, 4, 2));
+            plan.push_task(task(1, 1, 1, 5, 1));
+            plan.push_task(task(2, 1, 2, 5, 1));
+            plan
+        };
+        let relaxed = simulate(&g, &plan, &mk(None)).unwrap();
+        assert_eq!(relaxed.peak_vault_concurrency, 2);
+        assert!(matches!(
+            simulate(&g, &plan, &mk(Some(1))).unwrap_err(),
+            SimError::VaultOverload { in_flight: 2, limit: 1, .. }
+        ));
+        assert!(simulate(&g, &plan, &mk(Some(2))).is_ok());
+    }
+
+    #[test]
+    fn utilization_and_throughput_reported() {
+        let report = simulate(&two_node_graph(), &valid_plan(), &config()).unwrap();
+        // 3 busy units over 4 PEs × 4 time units.
+        assert!((report.avg_pe_utilization - 3.0 / 16.0).abs() < 1e-9);
+        assert!((report.throughput() - 0.25).abs() < 1e-9);
+    }
+}

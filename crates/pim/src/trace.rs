@@ -1,0 +1,241 @@
+//! Plan visualization: ASCII Gantt charts and event traces.
+//!
+//! Debugging a scheduler means looking at the schedule. This module
+//! renders an [`ExecutionPlan`] as a per-PE timeline (one row per
+//! engine, one column per time unit) and as a flat event trace, both
+//! over a caller-chosen window so steady-state kernels and prologues
+//! can be inspected separately.
+
+use std::fmt::Write as _;
+
+use paraconv_graph::{Placement, TaskGraph};
+
+use crate::{ExecutionPlan, PimConfig};
+
+/// Renders the plan's PE occupancy as an ASCII Gantt chart over
+/// `[from, to)`.
+///
+/// Each row is one PE; a task instance prints its node index digit
+/// (modulo 10) for every unit it occupies, idle units print `.`.
+/// Windows wider than 200 units are truncated to keep output readable.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_graph::examples;
+/// use paraconv_pim::{gantt, ExecutionPlan, PeId, PimConfig, PlannedTask};
+///
+/// let g = examples::chain(1);
+/// let cfg = PimConfig::neurocube(2)?;
+/// let mut plan = ExecutionPlan::new(1);
+/// plan.push_task(PlannedTask {
+///     node: g.node_ids().next().unwrap(),
+///     iteration: 1,
+///     pe: PeId::new(0),
+///     start: 1,
+///     duration: 1,
+/// });
+/// let chart = gantt(&g, &plan, &cfg, 0, 4);
+/// assert!(chart.contains("PE0 |.0.."));
+/// assert!(chart.contains("PE1 |...."));
+/// # Ok::<(), paraconv_pim::ConfigError>(())
+/// ```
+#[must_use]
+pub fn gantt(
+    graph: &TaskGraph,
+    plan: &ExecutionPlan,
+    config: &PimConfig,
+    from: u64,
+    to: u64,
+) -> String {
+    let to = to.min(from + 200);
+    let width = to.saturating_sub(from) as usize;
+    let mut rows = vec![vec![b'.'; width]; config.num_pes()];
+    for task in plan.tasks() {
+        let Some(row) = rows.get_mut(task.pe.index()) else {
+            continue;
+        };
+        let digit = b'0' + (task.node.index() % 10) as u8;
+        for t in task.start.max(from)..task.finish().min(to) {
+            row[(t - from) as usize] = digit;
+        }
+    }
+    let _ = graph; // reserved for richer labels
+    let mut out = String::new();
+    let _ = writeln!(out, "time {from}..{to} (node index mod 10; '.' = idle)");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "PE{i} |{}",
+            String::from_utf8_lossy(row)
+        );
+    }
+    out
+}
+
+/// One row of the flat event trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event start time.
+    pub start: u64,
+    /// Event end time.
+    pub end: u64,
+    /// Human-readable description.
+    pub what: String,
+}
+
+/// Produces the plan's events inside `[from, to)`, sorted by start
+/// time (tasks before transfers on ties).
+#[must_use]
+pub fn trace_events(
+    graph: &TaskGraph,
+    plan: &ExecutionPlan,
+    from: u64,
+    to: u64,
+) -> Vec<TraceEvent> {
+    let mut events = Vec::new();
+    for task in plan.tasks() {
+        if task.start < to && task.finish() > from {
+            let name = graph
+                .node(task.node)
+                .map(|n| n.name().to_owned())
+                .unwrap_or_else(|_| task.node.to_string());
+            events.push(TraceEvent {
+                start: task.start,
+                end: task.finish(),
+                what: format!(
+                    "exec {name} ({}) iter {} on {}",
+                    task.node, task.iteration, task.pe
+                ),
+            });
+        }
+    }
+    for x in plan.transfers() {
+        if x.start < to && x.finish() > from {
+            let loc = match x.placement {
+                Placement::Cache => "cache",
+                Placement::Edram => "eDRAM",
+            };
+            events.push(TraceEvent {
+                start: x.start,
+                end: x.finish(),
+                what: format!(
+                    "xfer {} iter {} via {loc} -> {}",
+                    x.edge, x.iteration, x.dst_pe
+                ),
+            });
+        }
+    }
+    events.sort_by(|a, b| (a.start, a.end, &a.what).cmp(&(b.start, b.end, &b.what)));
+    events
+}
+
+/// Renders [`trace_events`] one per line.
+#[must_use]
+pub fn trace(graph: &TaskGraph, plan: &ExecutionPlan, from: u64, to: u64) -> String {
+    let mut out = String::new();
+    for e in trace_events(graph, plan, from, to) {
+        let _ = writeln!(out, "[{:>6}..{:>6}) {}", e.start, e.end, e.what);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PeId, PlannedTask, PlannedTransfer};
+    use paraconv_graph::{examples, EdgeId, NodeId};
+
+    fn demo_plan() -> (TaskGraph, ExecutionPlan) {
+        let g = examples::chain(2);
+        let mut plan = ExecutionPlan::new(1);
+        plan.push_task(PlannedTask {
+            node: NodeId::new(0),
+            iteration: 1,
+            pe: PeId::new(0),
+            start: 0,
+            duration: 1,
+        });
+        plan.push_transfer(PlannedTransfer {
+            edge: EdgeId::new(0),
+            iteration: 1,
+            placement: Placement::Cache,
+            start: 1,
+            duration: 1,
+            dst_pe: PeId::new(1),
+        });
+        plan.push_task(PlannedTask {
+            node: NodeId::new(1),
+            iteration: 1,
+            pe: PeId::new(1),
+            start: 2,
+            duration: 1,
+        });
+        (g, plan)
+    }
+
+    #[test]
+    fn gantt_places_tasks_on_their_pes() {
+        let (g, plan) = demo_plan();
+        let cfg = PimConfig::neurocube(2).unwrap();
+        let chart = gantt(&g, &plan, &cfg, 0, 3);
+        assert!(chart.contains("PE0 |0.."), "{chart}");
+        assert!(chart.contains("PE1 |..1"), "{chart}");
+    }
+
+    /// The timeline cells after the `|` separator, concatenated.
+    fn cells(chart: &str) -> String {
+        chart
+            .lines()
+            .filter_map(|l| l.split_once('|').map(|(_, c)| c))
+            .collect()
+    }
+
+    #[test]
+    fn gantt_windows_clip() {
+        let (g, plan) = demo_plan();
+        let cfg = PimConfig::neurocube(2).unwrap();
+        let chart = gantt(&g, &plan, &cfg, 2, 3);
+        assert!(chart.contains("PE1 |1"), "{chart}");
+        assert!(!cells(&chart).contains('0'), "{chart}");
+        // Giant windows are truncated, not OOM.
+        let big = gantt(&g, &plan, &cfg, 0, u64::MAX);
+        assert!(big.len() < 1000);
+    }
+
+    #[test]
+    fn trace_lists_events_in_order() {
+        let (g, plan) = demo_plan();
+        let events = trace_events(&g, &plan, 0, 10);
+        assert_eq!(events.len(), 3);
+        assert!(events[0].what.starts_with("exec"));
+        assert!(events[1].what.starts_with("xfer"));
+        assert!(events[2].what.contains("iter 1 on PE1"));
+        assert!(events.windows(2).all(|w| w[0].start <= w[1].start));
+    }
+
+    #[test]
+    fn trace_window_filters() {
+        let (g, plan) = demo_plan();
+        assert_eq!(trace_events(&g, &plan, 0, 1).len(), 1);
+        assert_eq!(trace_events(&g, &plan, 5, 10).len(), 0);
+        let text = trace(&g, &plan, 0, 10);
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn gantt_ignores_out_of_range_pes() {
+        let g = examples::chain(1);
+        let mut plan = ExecutionPlan::new(1);
+        plan.push_task(PlannedTask {
+            node: NodeId::new(0),
+            iteration: 1,
+            pe: PeId::new(9),
+            start: 0,
+            duration: 1,
+        });
+        let cfg = PimConfig::neurocube(2).unwrap();
+        let chart = gantt(&g, &plan, &cfg, 0, 2);
+        assert!(!cells(&chart).contains('0'), "{chart}");
+    }
+}

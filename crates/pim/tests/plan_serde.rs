@@ -1,0 +1,75 @@
+//! Serde roundtrips for plans and reports (run with
+//! `cargo test -p paraconv-pim --features serde`).
+
+#![cfg(feature = "serde")]
+
+use paraconv_graph::{EdgeId, NodeId, Placement};
+use paraconv_pim::{ExecutionPlan, PeId, PimConfig, PlannedTask, PlannedTransfer, SimReport};
+
+fn demo_plan() -> ExecutionPlan {
+    let mut plan = ExecutionPlan::new(2);
+    plan.push_task(PlannedTask {
+        node: NodeId::new(0),
+        iteration: 1,
+        pe: PeId::new(3),
+        start: 5,
+        duration: 2,
+    });
+    plan.push_transfer(PlannedTransfer {
+        edge: EdgeId::new(0),
+        iteration: 1,
+        placement: Placement::Edram,
+        start: 7,
+        duration: 4,
+        dst_pe: PeId::new(1),
+    });
+    plan
+}
+
+#[test]
+fn plan_roundtrips_through_json() {
+    let plan = demo_plan();
+    let json = serde_json::to_string(&plan).expect("serializes");
+    let back: ExecutionPlan = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(plan, back);
+    assert_eq!(back.makespan(), 11);
+    assert_eq!(back.iterations(), 2);
+}
+
+#[test]
+fn config_roundtrips_through_json() {
+    let cfg = PimConfig::builder(24)
+        .per_pe_cache_units(2)
+        .edram_penalty(7)
+        .build()
+        .expect("valid");
+    let back: PimConfig =
+        serde_json::from_str(&serde_json::to_string(&cfg).expect("serializes"))
+            .expect("deserializes");
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn report_roundtrips_through_json() {
+    let report = SimReport {
+        total_time: 10,
+        iterations: 2,
+        time_per_iteration: 5.0,
+        offchip_fetches: 1,
+        onchip_hits: 3,
+        offchip_units_moved: 2,
+        onchip_units_moved: 3,
+        transfer_energy: 11,
+        compute_energy: 6,
+        avg_pe_utilization: 0.25,
+        peak_cache_occupancy: 2,
+        cache_capacity: 8,
+        peak_fifo_occupancy: 1,
+        peak_vault_fetches: 1,
+        peak_vault_concurrency: 1,
+    };
+    let back: SimReport =
+        serde_json::from_str(&serde_json::to_string(&report).expect("serializes"))
+            .expect("deserializes");
+    assert_eq!(report, back);
+}

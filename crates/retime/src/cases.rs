@@ -1,0 +1,230 @@
+//! The six-case classification of Figure 4.
+//!
+//! For each intermediate processing result, the minimal relative
+//! retiming value under on-chip-cache placement (`k_cache`) and under
+//! eDRAM placement (`k_edram ≥ k_cache`) — both in `0..=2` by
+//! Theorem 3.1 — yields one of six cases. Cases 1, 4 and 6 have
+//! `k_cache = k_edram`: placement does not affect the prologue, so
+//! those IPRs can live in eDRAM for free. Cases 2, 3 and 5 gain
+//! `ΔR = k_edram − k_cache ≥ 1` iterations of prologue when cached, so
+//! they compete for the scarce cache capacity in the dynamic program.
+
+use core::fmt;
+
+use crate::MAX_RELATIVE_RETIMING;
+
+/// Error returned for `(k_cache, k_edram)` pairs outside Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassifyError {
+    /// The offending cache requirement.
+    pub k_cache: u64,
+    /// The offending eDRAM requirement.
+    pub k_edram: u64,
+}
+
+impl fmt::Display for ClassifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requirements (cache={}, edram={}) outside the six cases: need cache <= edram <= {}",
+            self.k_cache, self.k_edram, MAX_RELATIVE_RETIMING
+        )
+    }
+}
+
+impl std::error::Error for ClassifyError {}
+
+/// One of the six cases of Figure 4, identified by the pair of minimal
+/// relative retiming values `(k_cache, k_edram)`.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_retime::RetimingCase;
+///
+/// let case = RetimingCase::classify(0, 2)?;
+/// assert_eq!(case, RetimingCase::Case3);
+/// assert_eq!(case.delta_r(), 2);
+/// assert!(case.competes_for_cache());
+/// # Ok::<(), paraconv_retime::ClassifyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RetimingCase {
+    /// `(0, 0)` — schedulable at relative retiming 0 from either
+    /// location.
+    Case1,
+    /// `(0, 1)` — cache saves one iteration of prologue.
+    Case2,
+    /// `(0, 2)` — cache saves two iterations of prologue.
+    Case3,
+    /// `(1, 1)` — one iteration needed regardless of placement.
+    Case4,
+    /// `(1, 2)` — cache saves one iteration of prologue.
+    Case5,
+    /// `(2, 2)` — two iterations needed regardless of placement.
+    Case6,
+}
+
+impl RetimingCase {
+    /// Classifies a requirement pair into its Figure 4 case.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassifyError`] unless
+    /// `k_cache ≤ k_edram ≤ MAX_RELATIVE_RETIMING` and the pair is one
+    /// of the six enumerated combinations. (The pairs `(1, 0)` etc. are
+    /// impossible because eDRAM is never faster than cache; `(0, 0)`
+    /// through `(2, 2)` with a gap of at most 2 are exactly Figure 4.)
+    pub fn classify(k_cache: u64, k_edram: u64) -> Result<RetimingCase, ClassifyError> {
+        match (k_cache, k_edram) {
+            (0, 0) => Ok(RetimingCase::Case1),
+            (0, 1) => Ok(RetimingCase::Case2),
+            (0, 2) => Ok(RetimingCase::Case3),
+            (1, 1) => Ok(RetimingCase::Case4),
+            (1, 2) => Ok(RetimingCase::Case5),
+            (2, 2) => Ok(RetimingCase::Case6),
+            _ => Err(ClassifyError { k_cache, k_edram }),
+        }
+    }
+
+    /// The minimal relative retiming when the IPR is held in the
+    /// on-chip cache.
+    #[must_use]
+    pub const fn cache_requirement(self) -> u64 {
+        match self {
+            RetimingCase::Case1 | RetimingCase::Case2 | RetimingCase::Case3 => 0,
+            RetimingCase::Case4 | RetimingCase::Case5 => 1,
+            RetimingCase::Case6 => 2,
+        }
+    }
+
+    /// The minimal relative retiming when the IPR is held in eDRAM.
+    #[must_use]
+    pub const fn edram_requirement(self) -> u64 {
+        match self {
+            RetimingCase::Case1 => 0,
+            RetimingCase::Case2 | RetimingCase::Case4 => 1,
+            RetimingCase::Case3 | RetimingCase::Case5 | RetimingCase::Case6 => 2,
+        }
+    }
+
+    /// The reduction in retiming `ΔR = k_edram − k_cache` obtained by
+    /// placing this IPR in the on-chip cache — the profit of the
+    /// dynamic program of §3.3.
+    #[must_use]
+    pub const fn delta_r(self) -> u64 {
+        self.edram_requirement() - self.cache_requirement()
+    }
+
+    /// Whether this IPR should compete for cache capacity (cases 2, 3
+    /// and 5). Cases 1, 4 and 6 gain nothing from the cache and are
+    /// "allocated to eDRAM to save the valuable space in on-chip cache"
+    /// (§3.2).
+    #[must_use]
+    pub const fn competes_for_cache(self) -> bool {
+        self.delta_r() > 0
+    }
+
+    /// The 1-based case number as printed in Figure 4.
+    #[must_use]
+    pub const fn number(self) -> u8 {
+        match self {
+            RetimingCase::Case1 => 1,
+            RetimingCase::Case2 => 2,
+            RetimingCase::Case3 => 3,
+            RetimingCase::Case4 => 4,
+            RetimingCase::Case5 => 5,
+            RetimingCase::Case6 => 6,
+        }
+    }
+
+    /// All six cases, in Figure 4 order.
+    #[must_use]
+    pub const fn all() -> [RetimingCase; 6] {
+        [
+            RetimingCase::Case1,
+            RetimingCase::Case2,
+            RetimingCase::Case3,
+            RetimingCase::Case4,
+            RetimingCase::Case5,
+            RetimingCase::Case6,
+        ]
+    }
+}
+
+impl fmt::Display for RetimingCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "case {} (cache k={}, eDRAM k={})",
+            self.number(),
+            self.cache_requirement(),
+            self.edram_requirement()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_roundtrips() {
+        for case in RetimingCase::all() {
+            let reclassified =
+                RetimingCase::classify(case.cache_requirement(), case.edram_requirement())
+                    .unwrap();
+            assert_eq!(reclassified, case);
+        }
+    }
+
+    #[test]
+    fn delta_r_matches_paper_example() {
+        // §3.3.2: "for case 5 ... the retiming values for on-chip cache
+        // and eDRAM are 1 and 2, respectively. Then ΔR(m) = 2-1 = 1."
+        assert_eq!(RetimingCase::Case5.cache_requirement(), 1);
+        assert_eq!(RetimingCase::Case5.edram_requirement(), 2);
+        assert_eq!(RetimingCase::Case5.delta_r(), 1);
+    }
+
+    #[test]
+    fn cases_1_4_6_do_not_compete() {
+        assert!(!RetimingCase::Case1.competes_for_cache());
+        assert!(!RetimingCase::Case4.competes_for_cache());
+        assert!(!RetimingCase::Case6.competes_for_cache());
+        assert!(RetimingCase::Case2.competes_for_cache());
+        assert!(RetimingCase::Case3.competes_for_cache());
+        assert!(RetimingCase::Case5.competes_for_cache());
+    }
+
+    #[test]
+    fn invalid_pairs_rejected() {
+        // eDRAM can never need less retiming than cache.
+        assert!(RetimingCase::classify(1, 0).is_err());
+        assert!(RetimingCase::classify(2, 1).is_err());
+        // Beyond the Theorem 3.1 bound.
+        assert!(RetimingCase::classify(0, 3).is_err());
+        assert!(RetimingCase::classify(3, 3).is_err());
+        // A gap of two with a nonzero base is not in Figure 4... except
+        // (0,2) which is Case 3.
+        assert!(RetimingCase::classify(0, 2).is_ok());
+    }
+
+    #[test]
+    fn numbers_are_one_through_six() {
+        let numbers: Vec<u8> = RetimingCase::all().iter().map(|c| c.number()).collect();
+        assert_eq!(numbers, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn display_mentions_case_number() {
+        assert!(RetimingCase::Case3.to_string().contains("case 3"));
+    }
+
+    #[test]
+    fn classify_error_display() {
+        let e = RetimingCase::classify(2, 1).unwrap_err();
+        assert!(e.to_string().contains("cache=2"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Incremental retiming: the paper's "by retiming `T_i` once, if it is
+//! legal" operation (Definition 3.1), with propagation.
+//!
+//! [`Retiming::retime_node`] is the raw increment; the operations here
+//! keep the function legal at every step, which is how rotation-style
+//! schedulers explore the retiming space one move at a time.
+
+use paraconv_graph::{NodeId, TaskGraph};
+
+use crate::{RetimeError, Retiming};
+
+impl Retiming {
+    /// Retimes `T_i` once *keeping the function legal*: the node value
+    /// is incremented, every out-edge value is raised to stay
+    /// `≥ R(dst)` (they already are) and stay covered by the producer,
+    /// and every in-edge value is raised along with upstream nodes as
+    /// needed (cascading toward the sources).
+    ///
+    /// Returns the number of node increments performed (including
+    /// `T_i` itself) — the "cost" of the move.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetimeError::UnknownNode`] for an out-of-range ID or
+    /// [`RetimeError::ShapeMismatch`] if the retiming does not fit the
+    /// graph.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use paraconv_graph::examples;
+    /// use paraconv_graph::NodeId;
+    /// use paraconv_retime::Retiming;
+    ///
+    /// let g = examples::chain(3);
+    /// let mut r = Retiming::zero(&g);
+    /// // Retiming the *sink* forces both upstream nodes up too.
+    /// let moved = r.retime_legally(&g, NodeId::new(2))?;
+    /// assert_eq!(moved, 3);
+    /// assert!(r.check_legal(&g).is_ok());
+    /// assert_eq!(r.max_value(), 1);
+    /// # Ok::<(), paraconv_retime::RetimeError>(())
+    /// ```
+    pub fn retime_legally(
+        &mut self,
+        graph: &TaskGraph,
+        node: NodeId,
+    ) -> Result<usize, RetimeError> {
+        // Shape/node validation up front.
+        let start_value = self.node_value(node)?;
+        if graph.node(node).is_err() {
+            return Err(RetimeError::UnknownNode(node));
+        }
+        let target = start_value + 1;
+        let mut moved = 0usize;
+        // Work list of (node, required minimum value).
+        let mut work = vec![(node, target)];
+        while let Some((n, needed)) = work.pop() {
+            let current = self.node_value(n)?;
+            if current >= needed {
+                continue;
+            }
+            for _ in current..needed {
+                self.retime_node(n)?;
+                moved += 1;
+            }
+            // Producers feeding `n` must stay at least at `n`'s level;
+            // their edge values must cover the consumer too.
+            for &e in graph.in_edges(n).map_err(|_| RetimeError::UnknownNode(n))? {
+                let ipr = graph.edge(e).expect("edge from adjacency");
+                let edge_val = self.edge_value(e)?;
+                if edge_val < needed {
+                    self.set_edge_value(e, needed)?;
+                }
+                work.push((ipr.src(), needed));
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Normalizes the retiming so that some node sits at zero (shifts
+    /// every node and edge down by the global minimum). Relative
+    /// retiming values — and therefore schedules — are unaffected, but
+    /// `R_max` and the prologue become minimal for the same relative
+    /// structure.
+    ///
+    /// Returns the amount subtracted.
+    #[must_use]
+    pub fn normalize(&mut self) -> u64 {
+        let min = self
+            .node_values()
+            .map(|(_, v)| v)
+            .min()
+            .unwrap_or(0);
+        if min > 0 {
+            self.shift_down(min);
+        }
+        min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraconv_graph::examples;
+
+    #[test]
+    fn retiming_a_source_is_one_move() {
+        let g = examples::chain(3);
+        let mut r = Retiming::zero(&g);
+        let moved = r.retime_legally(&g, NodeId::new(0)).unwrap();
+        assert_eq!(moved, 1);
+        assert!(r.check_legal(&g).is_ok());
+        assert_eq!(r.node_value(NodeId::new(0)).unwrap(), 1);
+        assert_eq!(r.node_value(NodeId::new(2)).unwrap(), 0);
+    }
+
+    #[test]
+    fn retiming_a_sink_cascades_to_sources() {
+        let g = examples::motivational();
+        let mut r = Retiming::zero(&g);
+        let moved = r.retime_legally(&g, NodeId::new(4)).unwrap();
+        // T4 (paper's T5) pulls T1, T2 and T0 up with it.
+        assert_eq!(moved, 4);
+        assert!(r.check_legal(&g).is_ok());
+        assert_eq!(r.max_value(), 1);
+    }
+
+    #[test]
+    fn repeated_moves_accumulate() {
+        let g = examples::chain(2);
+        let mut r = Retiming::zero(&g);
+        for expected in 1..=3u64 {
+            r.retime_legally(&g, NodeId::new(1)).unwrap();
+            assert_eq!(r.node_value(NodeId::new(1)).unwrap(), expected);
+            assert_eq!(r.node_value(NodeId::new(0)).unwrap(), expected);
+            assert!(r.check_legal(&g).is_ok());
+        }
+    }
+
+    #[test]
+    fn retiming_mid_chain_leaves_downstream_alone() {
+        let g = examples::chain(4);
+        let mut r = Retiming::zero(&g);
+        let moved = r.retime_legally(&g, NodeId::new(1)).unwrap();
+        assert_eq!(moved, 2); // node 1 and its producer node 0
+        assert_eq!(r.node_value(NodeId::new(2)).unwrap(), 0);
+        assert_eq!(r.node_value(NodeId::new(3)).unwrap(), 0);
+        assert!(r.check_legal(&g).is_ok());
+    }
+
+    #[test]
+    fn normalize_shifts_to_zero_floor() {
+        let g = examples::chain(2);
+        let mut r = Retiming::zero(&g);
+        // Lift everything by retiming the sink twice.
+        r.retime_legally(&g, NodeId::new(1)).unwrap();
+        r.retime_legally(&g, NodeId::new(1)).unwrap();
+        assert_eq!(r.max_value(), 2);
+        let shifted = r.normalize();
+        assert_eq!(shifted, 2);
+        assert_eq!(r.max_value(), 0);
+        assert!(r.check_legal(&g).is_ok());
+    }
+
+    #[test]
+    fn normalize_preserves_relative_values() {
+        let g = examples::chain(3);
+        let mut r = Retiming::from_edge_requirements(&g, &[1, 0]);
+        // Lift the whole function, then normalize back.
+        for _ in 0..2 {
+            r.retime_legally(&g, NodeId::new(2)).unwrap();
+        }
+        let before: Vec<i64> = g
+            .edge_ids()
+            .map(|e| r.relative_value(&g, e).unwrap())
+            .collect();
+        let _ = r.normalize();
+        let after: Vec<i64> = g
+            .edge_ids()
+            .map(|e| r.relative_value(&g, e).unwrap())
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let g = examples::chain(2);
+        let mut r = Retiming::zero(&g);
+        assert!(matches!(
+            r.retime_legally(&g, NodeId::new(9)),
+            Err(RetimeError::UnknownNode(_))
+        ));
+    }
+}

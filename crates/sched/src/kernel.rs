@@ -1,0 +1,309 @@
+//! Kernel compaction: packing one iteration's operations onto the PE
+//! array.
+//!
+//! Para-CONV's retiming transforms intra-iteration dependencies into
+//! inter-iteration dependencies, so the steady-state *kernel* packs all
+//! operations of one logical iteration as tightly as the PE count
+//! allows — "all convolution operations in each iteration are compacted
+//! to achieve the minimum execution time" (§2.3). The compaction
+//! processes operations in topological order (keeping producers early,
+//! which maximizes intra-kernel slack for their IPRs) and assigns each
+//! to the earliest-available PE.
+
+use paraconv_graph::{EdgeId, NodeId, TaskGraph};
+use paraconv_pim::PeId;
+
+/// A compacted steady-state kernel: one `(PE, start offset)` per
+/// operation, with the kernel period equal to the packing's makespan.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_graph::examples;
+/// use paraconv_sched::KernelSchedule;
+///
+/// // Five unit-time operations on 4 PEs pack into 2 time units.
+/// let g = examples::motivational();
+/// let kernel = KernelSchedule::compact(&g, 4);
+/// assert_eq!(kernel.period(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct KernelSchedule {
+    period: u64,
+    copies: u64,
+    node_count: usize,
+    /// Indexed `copy * node_count + node`.
+    pe_of: Vec<PeId>,
+    start_of: Vec<u64>,
+    finish_of: Vec<u64>,
+}
+
+impl KernelSchedule {
+    /// Packs one copy of every operation of `graph` onto `num_pes`
+    /// engines — [`compact_copies`](Self::compact_copies) with one
+    /// copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pes == 0`.
+    #[must_use]
+    pub fn compact(graph: &TaskGraph, num_pes: usize) -> Self {
+        Self::compact_copies(graph, num_pes, 1)
+    }
+
+    /// Packs `copies` iteration copies of `graph` onto `num_pes`
+    /// engines.
+    ///
+    /// Unrolling lets the steady-state kernel initiate several logical
+    /// iterations per period when the array is wider than one
+    /// iteration's workload, so the per-iteration initiation interval
+    /// `p / copies` keeps dropping as PEs are added.
+    ///
+    /// Operations are taken in topological order (copies interleaved)
+    /// and greedily assigned to the PE that frees up first (ties broken
+    /// by lowest PE index), so the period is the classic
+    /// list-scheduling makespan of the *independent* task set — at
+    /// most `⌈copies·Σc_i / N⌉ + max c_i` and at least
+    /// `max(⌈copies·Σc_i / N⌉, max c_i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pes == 0` or `copies == 0`.
+    #[must_use]
+    pub fn compact_copies(graph: &TaskGraph, num_pes: usize, copies: u64) -> Self {
+        assert!(num_pes > 0, "PE count must be positive");
+        assert!(copies > 0, "copy count must be positive");
+        let order = graph
+            .topological_order()
+            .expect("built graphs are acyclic");
+        let n = graph.node_count();
+        let total = n * copies as usize;
+        let mut avail = vec![0u64; num_pes];
+        let mut pe_of = vec![PeId::new(0); total];
+        let mut start_of = vec![0u64; total];
+        let mut finish_of = vec![0u64; total];
+        for id in order {
+            let c = graph.node(id).expect("node from topo order").exec_time();
+            for copy in 0..copies as usize {
+                let slot = copy * n + id.index();
+                let (pe, _) = avail
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(i, &t)| (t, i))
+                    .expect("at least one PE");
+                pe_of[slot] = PeId::new(pe as u32);
+                start_of[slot] = avail[pe];
+                finish_of[slot] = avail[pe] + c;
+                avail[pe] += c;
+            }
+        }
+        let period = avail.into_iter().max().unwrap_or(0).max(1);
+        KernelSchedule {
+            period,
+            copies,
+            node_count: n,
+            pe_of,
+            start_of,
+            finish_of,
+        }
+    }
+
+    /// Number of iteration copies packed per kernel.
+    #[must_use]
+    pub const fn copies(&self) -> u64 {
+        self.copies
+    }
+
+    /// The per-iteration initiation interval `p / copies`.
+    #[must_use]
+    pub fn time_per_iteration(&self) -> f64 {
+        self.period as f64 / self.copies as f64
+    }
+
+    /// The kernel period `p` — the steady-state execution time of one
+    /// iteration (Figure 5's metric).
+    #[must_use]
+    pub const fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// The PE an operation's first copy runs on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for the compacted graph.
+    #[must_use]
+    pub fn pe(&self, node: NodeId) -> PeId {
+        self.pe_at(node, 0)
+    }
+
+    /// The PE the operation's `copy`-th kernel copy runs on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `copy` is out of range.
+    #[must_use]
+    pub fn pe_at(&self, node: NodeId, copy: u64) -> PeId {
+        self.pe_of[self.slot(node, copy)]
+    }
+
+    /// The first copy's start offset within the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for the compacted graph.
+    #[must_use]
+    pub fn start(&self, node: NodeId) -> u64 {
+        self.start_at(node, 0)
+    }
+
+    /// The `copy`-th copy's start offset within the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `copy` is out of range.
+    #[must_use]
+    pub fn start_at(&self, node: NodeId, copy: u64) -> u64 {
+        self.start_of[self.slot(node, copy)]
+    }
+
+    /// The first copy's finish offset within the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for the compacted graph.
+    #[must_use]
+    pub fn finish(&self, node: NodeId) -> u64 {
+        self.finish_at(node, 0)
+    }
+
+    /// The `copy`-th copy's finish offset within the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `copy` is out of range.
+    #[must_use]
+    pub fn finish_at(&self, node: NodeId, copy: u64) -> u64 {
+        self.finish_of[self.slot(node, copy)]
+    }
+
+    fn slot(&self, node: NodeId, copy: u64) -> usize {
+        assert!(copy < self.copies, "copy out of range");
+        copy as usize * self.node_count + node.index()
+    }
+
+    /// The signed intra-kernel slack of an edge for one copy: the
+    /// consumer's start offset minus the producer's finish offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` or `copy` is out of range.
+    #[must_use]
+    pub fn gap_at(&self, graph: &TaskGraph, edge: EdgeId, copy: u64) -> i64 {
+        let ipr = graph.edge(edge).expect("edge in compacted graph");
+        self.start_at(ipr.dst(), copy) as i64 - self.finish_at(ipr.src(), copy) as i64
+    }
+
+    /// The edge's worst (smallest) slack over all copies — the value
+    /// retiming requirements must cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range for `graph`.
+    #[must_use]
+    pub fn gap(&self, graph: &TaskGraph, edge: EdgeId) -> i64 {
+        (0..self.copies)
+            .map(|c| self.gap_at(graph, edge, c))
+            .min()
+            .expect("at least one copy")
+    }
+
+    /// All worst-case edge gaps in edge-ID order.
+    #[must_use]
+    pub fn gaps(&self, graph: &TaskGraph) -> Vec<i64> {
+        graph.edge_ids().map(|e| self.gap(graph, e)).collect()
+    }
+
+    /// Number of operations packed per copy.
+    #[must_use]
+    pub const fn node_count(&self) -> usize {
+        self.node_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paraconv_graph::examples;
+
+    #[test]
+    fn packs_within_bounds() {
+        let g = examples::fork_join(10); // 12 unit tasks
+        for pes in [1, 2, 4, 8, 16] {
+            let k = KernelSchedule::compact(&g, pes);
+            let lower = (g.total_exec_time()).div_ceil(pes as u64).max(1);
+            assert!(k.period() >= lower, "pes={pes}");
+            assert!(k.period() <= lower + 1, "pes={pes}"); // unit tasks pack tightly
+        }
+    }
+
+    #[test]
+    fn single_pe_serializes() {
+        let g = examples::chain(5);
+        let k = KernelSchedule::compact(&g, 1);
+        assert_eq!(k.period(), 5);
+        // Topological order on one PE: consecutive, gap 0 for chain edges.
+        for e in g.edge_ids() {
+            assert_eq!(k.gap(&g, e), 0);
+        }
+    }
+
+    #[test]
+    fn no_pe_overlap() {
+        let g = examples::fork_join(7);
+        let k = KernelSchedule::compact(&g, 3);
+        for a in g.node_ids() {
+            for b in g.node_ids() {
+                if a < b && k.pe(a) == k.pe(b) {
+                    let disjoint = k.finish(a) <= k.start(b) || k.finish(b) <= k.start(a);
+                    assert!(disjoint, "{a} and {b} overlap on {}", k.pe(a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_operations_fit_in_period() {
+        let g = examples::motivational();
+        let k = KernelSchedule::compact(&g, 4);
+        for n in g.node_ids() {
+            assert!(k.finish(n) <= k.period());
+        }
+        assert_eq!(k.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn topological_order_keeps_most_gaps_nonnegative_on_wide_machine() {
+        // With as many PEs as nodes, each op starts at its predecessor
+        // count boundary; chains stay ordered.
+        let g = examples::chain(4);
+        let k = KernelSchedule::compact(&g, 4);
+        for e in g.edge_ids() {
+            assert!(k.gap(&g, e) >= -(k.period() as i64));
+        }
+    }
+
+    #[test]
+    fn period_is_at_least_one() {
+        let g = examples::chain(1);
+        let k = KernelSchedule::compact(&g, 8);
+        assert_eq!(k.period(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_pes_panics() {
+        let _ = KernelSchedule::compact(&examples::chain(2), 0);
+    }
+}

@@ -1,0 +1,346 @@
+//! Rotation scheduling: incremental retiming-driven kernel compaction.
+//!
+//! The retiming technique Para-CONV extends "is originally proposed to
+//! minimize the cycle period of a synchronous circuit by evenly
+//! distributing registers" (§2.3, citing Passos & Sha). *Rotation
+//! scheduling* is the classic schedule-level realization: starting
+//! from a dependency-respecting schedule of one iteration, repeatedly
+//! retime the operations in the first time row — moving one of their
+//! iterations into the prologue — and re-place them in the slack the
+//! rest of the schedule leaves. Each rotation keeps the retiming legal
+//! and never lengthens the kernel, converging toward the
+//! resource-bound period that [`KernelSchedule::compact`] reaches
+//! directly.
+//!
+//! Para-CONV itself jumps straight to the compacted kernel; this
+//! module exists to connect the implementation to its heritage, to
+//! provide the incremental path (useful when a schedule must evolve
+//! from a legacy non-retimed one), and to cross-check the direct
+//! construction in tests.
+
+use paraconv_graph::{NodeId, TaskGraph};
+use paraconv_pim::PeId;
+
+use paraconv_retime::Retiming;
+
+/// The outcome of a rotation-scheduling run.
+#[derive(Debug, Clone)]
+pub struct RotationResult {
+    /// Kernel length after the initial schedule and after every
+    /// rotation round (monotone non-increasing).
+    pub lengths: Vec<u64>,
+    /// The accumulated (legal) retiming: one `R(i)` increment per
+    /// rotation of `T_i`.
+    pub retiming: Retiming,
+    /// Final per-node PE assignment.
+    pub pe_of: Vec<PeId>,
+    /// Final per-node start offset within the kernel.
+    pub start_of: Vec<u64>,
+}
+
+impl RotationResult {
+    /// The final kernel length.
+    #[must_use]
+    pub fn final_length(&self) -> u64 {
+        *self.lengths.last().expect("at least the initial length")
+    }
+}
+
+/// Runs rotation scheduling for `rounds` rotations of `graph` on
+/// `num_pes` engines.
+///
+/// The initial schedule is a priority list schedule honouring every
+/// intra-iteration dependency (no retiming); each round retimes every
+/// first-row operation once and re-places it greedily. Operations
+/// whose dependencies have all been pushed inter-iteration place
+/// freely, which is how the kernel compacts.
+///
+/// # Panics
+///
+/// Panics if `num_pes == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_graph::examples;
+/// use paraconv_sched::{rotation_schedule, KernelSchedule};
+///
+/// let g = examples::chain(6);
+/// let result = rotation_schedule(&g, 2, 12);
+/// // The dependency-bound initial schedule is 6 long; rotation
+/// // converges to the resource bound of 3.
+/// assert_eq!(result.lengths[0], 6);
+/// assert_eq!(result.final_length(), KernelSchedule::compact(&g, 2).period());
+/// ```
+#[must_use]
+pub fn rotation_schedule(graph: &TaskGraph, num_pes: usize, rounds: usize) -> RotationResult {
+    assert!(num_pes > 0, "PE count must be positive");
+    let n = graph.node_count();
+    let order = graph
+        .topological_order()
+        .expect("built graphs are acyclic");
+
+    // --- initial dependency-respecting list schedule -------------------
+    let mut phase = vec![0u64; n]; // rotation count = retiming value
+    let mut pe_of = vec![PeId::new(0); n];
+    let mut start_of = vec![0u64; n];
+    let mut finish_of = vec![0u64; n];
+    {
+        let mut avail = vec![0u64; num_pes];
+        for &id in &order {
+            let c = graph.node(id).expect("topo order node").exec_time();
+            let est = graph
+                .in_edges(id)
+                .expect("topo order node")
+                .iter()
+                .map(|&e| finish_of[graph.edge(e).expect("adjacency edge").src().index()])
+                .max()
+                .unwrap_or(0);
+            let (pe, _) = avail
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &t)| (t.max(est), i))
+                .expect("at least one PE");
+            let s = avail[pe].max(est);
+            pe_of[id.index()] = PeId::new(pe as u32);
+            start_of[id.index()] = s;
+            finish_of[id.index()] = s + c;
+            avail[pe] = s + c;
+        }
+    }
+    let mut lengths = vec![finish_of.iter().copied().max().unwrap_or(0).max(1)];
+
+    // --- rotation rounds --------------------------------------------------
+    for _ in 0..rounds {
+        // Snapshot for rejection: a rotation that would lengthen the
+        // kernel is rolled back (hill climbing that never regresses;
+        // the textbook cyclic re-placement guarantees non-increase,
+        // the simpler linear placement used here needs the guard).
+        let snapshot = (
+            phase.clone(),
+            pe_of.clone(),
+            start_of.clone(),
+            finish_of.clone(),
+        );
+        // First-row operations move one iteration into the prologue.
+        let rotated: Vec<NodeId> = order
+            .iter()
+            .copied()
+            .filter(|id| start_of[id.index()] == 0)
+            .collect();
+        if rotated.len() == n {
+            // Everything sits in row 0: fully compacted already.
+            lengths.push(*lengths.last().expect("non-empty"));
+            continue;
+        }
+        for &id in &rotated {
+            phase[id.index()] += 1;
+        }
+        // The rest of the schedule slides up one unit.
+        for id in graph.node_ids() {
+            if !rotated.contains(&id) {
+                start_of[id.index()] -= 1;
+                finish_of[id.index()] -= 1;
+            }
+        }
+        // Re-place rotated operations (topological order) in the
+        // earliest feasible slack. An in-edge constrains the placement
+        // only while producer and consumer have equal rotation counts
+        // (it is still intra-iteration).
+        for &id in order.iter().filter(|id| rotated.contains(id)) {
+            let c = graph.node(id).expect("topo order node").exec_time();
+            let est = graph
+                .in_edges(id)
+                .expect("topo order node")
+                .iter()
+                .filter_map(|&e| {
+                    let src = graph.edge(e).expect("adjacency edge").src();
+                    (phase[src.index()] == phase[id.index()])
+                        .then(|| finish_of[src.index()])
+                })
+                .max()
+                .unwrap_or(0);
+            let (pe, start) = earliest_slot(graph, &pe_of, &start_of, &finish_of, id, est, c, num_pes);
+            pe_of[id.index()] = pe;
+            start_of[id.index()] = start;
+            finish_of[id.index()] = start + c;
+        }
+        let new_len = finish_of.iter().copied().max().unwrap_or(0).max(1);
+        let old_len = *lengths.last().expect("non-empty");
+        if new_len > old_len {
+            (phase, pe_of, start_of, finish_of) = snapshot;
+            lengths.push(old_len);
+        } else {
+            lengths.push(new_len);
+        }
+    }
+
+    // --- package the retiming legally ------------------------------------
+    let mut retiming = Retiming::zero(graph);
+    for id in graph.node_ids() {
+        for _ in 0..phase[id.index()] {
+            retiming.retime_node(id).expect("node in range");
+        }
+    }
+    for ipr in graph.edges() {
+        // φ(dst) ≤ φ(src) is a loop invariant (a node with a live
+        // intra-iteration predecessor can never sit in row 0), so the
+        // consumer's value is always a legal edge value.
+        retiming
+            .set_edge_value(ipr.id(), phase[ipr.dst().index()])
+            .expect("edge in range");
+    }
+    debug_assert!(retiming.check_legal(graph).is_ok());
+
+    RotationResult {
+        lengths,
+        retiming,
+        pe_of,
+        start_of,
+    }
+}
+
+/// Finds the earliest `(pe, start)` with `start ≥ est` where `id` fits
+/// for `c` units without overlapping any other node's placement.
+#[allow(clippy::too_many_arguments)]
+fn earliest_slot(
+    graph: &TaskGraph,
+    pe_of: &[PeId],
+    start_of: &[u64],
+    finish_of: &[u64],
+    id: NodeId,
+    est: u64,
+    c: u64,
+    num_pes: usize,
+) -> (PeId, u64) {
+    let mut best: Option<(u64, usize)> = None;
+    for pe in 0..num_pes {
+        // Busy intervals on this PE, excluding the node being placed.
+        let mut busy: Vec<(u64, u64)> = graph
+            .node_ids()
+            .filter(|&o| o != id && pe_of[o.index()].index() == pe)
+            .map(|o| (start_of[o.index()], finish_of[o.index()]))
+            .collect();
+        busy.sort_unstable();
+        let mut t = est;
+        for &(s, f) in &busy {
+            if t + c <= s {
+                break;
+            }
+            t = t.max(f);
+        }
+        let candidate = (t, pe);
+        if best.is_none_or(|b| candidate < b) {
+            best = Some(candidate);
+        }
+    }
+    let (start, pe) = best.expect("at least one PE");
+    (PeId::new(pe as u32), start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelSchedule;
+    use paraconv_graph::examples;
+
+    #[test]
+    fn lengths_never_increase() {
+        for g in [examples::chain(8), examples::fork_join(6), examples::motivational()] {
+            for pes in [1usize, 2, 4] {
+                let result = rotation_schedule(&g, pes, 16);
+                for w in result.lengths.windows(2) {
+                    assert!(w[1] <= w[0], "{:?}", result.lengths);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_converges_to_resource_bound() {
+        let g = examples::chain(8);
+        let result = rotation_schedule(&g, 4, 20);
+        assert_eq!(result.lengths[0], 8); // dependency bound
+        assert_eq!(result.final_length(), 2); // resource bound 8/4
+    }
+
+    #[test]
+    fn retiming_stays_legal() {
+        for g in [examples::chain(5), examples::motivational(), examples::fork_join(4)] {
+            let result = rotation_schedule(&g, 2, 10);
+            assert!(result.retiming.check_legal(&g).is_ok());
+        }
+    }
+
+    #[test]
+    fn final_placement_is_conflict_free_and_respects_intra_edges() {
+        let g = examples::fork_join(7);
+        let result = rotation_schedule(&g, 3, 12);
+        // No PE overlap.
+        for a in g.node_ids() {
+            for b in g.node_ids() {
+                if a < b && result.pe_of[a.index()] == result.pe_of[b.index()] {
+                    let fa = result.start_of[a.index()]
+                        + g.node(a).unwrap().exec_time();
+                    let fb = result.start_of[b.index()]
+                        + g.node(b).unwrap().exec_time();
+                    let disjoint = fa <= result.start_of[b.index()]
+                        || fb <= result.start_of[a.index()];
+                    assert!(disjoint, "{a} vs {b}");
+                }
+            }
+        }
+        // Intra-iteration edges (equal retiming) stay ordered.
+        for ipr in g.edges() {
+            let rs = result.retiming.node_value(ipr.src()).unwrap();
+            let rd = result.retiming.node_value(ipr.dst()).unwrap();
+            if rs == rd {
+                let fs = result.start_of[ipr.src().index()]
+                    + g.node(ipr.src()).unwrap().exec_time();
+                assert!(result.start_of[ipr.dst().index()] >= fs);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_direct_compaction_eventually() {
+        for (g, pes) in [
+            (examples::chain(6), 2usize),
+            (examples::motivational(), 4),
+            (examples::fork_join(9), 4),
+        ] {
+            let direct = KernelSchedule::compact(&g, pes).period();
+            let rotated = rotation_schedule(&g, pes, 3 * g.node_count());
+            assert!(
+                rotated.final_length() <= direct + 1,
+                "{}: rotated {} vs direct {direct}",
+                g.name(),
+                rotated.final_length()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rounds_is_the_plain_list_schedule() {
+        let g = examples::chain(4);
+        let result = rotation_schedule(&g, 2, 0);
+        assert_eq!(result.lengths, vec![4]);
+        assert_eq!(result.retiming.max_value(), 0);
+    }
+
+    #[test]
+    fn rmax_counts_rotations() {
+        let g = examples::chain(3);
+        let result = rotation_schedule(&g, 1, 4);
+        // On one PE nothing compacts, but first-row nodes still rotate
+        // (a node is rotated each round).
+        assert!(result.retiming.max_value() >= 1);
+        assert_eq!(result.final_length(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_pes_panics() {
+        let _ = rotation_schedule(&examples::chain(2), 0, 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests: every emitted plan survives full architectural
+//! validation, and the schedulers' structural guarantees hold.
+
+use proptest::prelude::*;
+
+use paraconv_graph::{NodeId, OpKind, TaskGraph, TaskGraphBuilder};
+use paraconv_pim::{simulate, PimConfig};
+use paraconv_sched::{rotation_schedule, KernelSchedule, ParaConvScheduler, SpartaScheduler};
+
+fn arb_dag() -> impl Strategy<Value = TaskGraph> {
+    (2usize..18).prop_flat_map(|n| {
+        let exec = proptest::collection::vec(1u64..4, n);
+        let sizes = proptest::collection::vec(1u64..3, n * 2);
+        let edges = proptest::collection::btree_set((0..n, 0..n), 0..(n * 2));
+        (exec, sizes, edges).prop_map(move |(exec, sizes, edges)| {
+            let mut b = TaskGraphBuilder::new("prop");
+            let ids: Vec<NodeId> = exec
+                .iter()
+                .map(|&c| b.add_node("n", OpKind::Convolution, c))
+                .collect();
+            for (k, (a, z)) in edges.into_iter().enumerate() {
+                let (lo, hi) = (a.min(z), a.max(z));
+                if lo != hi {
+                    let _ = b.add_edge(ids[lo], ids[hi], sizes[k % sizes.len()]);
+                }
+            }
+            b.build().expect("forward edges are acyclic")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn paraconv_plans_always_validate(
+        g in arb_dag(), pes in prop::sample::select(vec![1usize, 2, 4, 16, 64]), iters in 1u64..6
+    ) {
+        let cfg = PimConfig::neurocube(pes).unwrap();
+        let outcome = ParaConvScheduler::new(cfg.clone()).schedule(&g, iters).unwrap();
+        let report = simulate(&g, &outcome.plan, &cfg).unwrap();
+        prop_assert_eq!(report.iterations, iters);
+        prop_assert!(report.peak_cache_occupancy <= report.cache_capacity);
+    }
+
+    #[test]
+    fn sparta_plans_always_validate(
+        g in arb_dag(), pes in prop::sample::select(vec![1usize, 2, 4, 16, 64]), iters in 1u64..6
+    ) {
+        let cfg = PimConfig::neurocube(pes).unwrap();
+        let outcome = SpartaScheduler::new(cfg.clone()).schedule(&g, iters).unwrap();
+        let report = simulate(&g, &outcome.plan, &cfg).unwrap();
+        prop_assert_eq!(report.iterations, iters);
+        prop_assert!(report.peak_cache_occupancy <= report.cache_capacity);
+    }
+
+    #[test]
+    fn paraconv_steady_state_is_periodic(g in arb_dag(), iters in 2u64..6) {
+        // The kernel repeats every p: with G = ⌈M/u⌉ iteration groups
+        // the run ends inside the last window,
+        // (R_max + G - 1)·p < total ≤ (R_max + G)·p.
+        let cfg = PimConfig::neurocube(8).unwrap();
+        let outcome = ParaConvScheduler::new(cfg).schedule(&g, iters).unwrap();
+        let groups = iters.div_ceil(outcome.unroll());
+        let upper = (outcome.rmax() + groups) * outcome.period();
+        let lower = (outcome.rmax() + groups - 1) * outcome.period();
+        prop_assert!(outcome.total_time() <= upper);
+        prop_assert!(outcome.total_time() > lower);
+    }
+
+    #[test]
+    fn paraconv_kernel_never_longer_than_sparta_batch_per_iteration(g in arb_dag()) {
+        // The compacted kernel ignores intra-iteration dependencies, so
+        // it is a lower bound on any dependency-respecting schedule of
+        // one iteration.
+        let cfg = PimConfig::neurocube(16).unwrap();
+        let para = ParaConvScheduler::new(cfg.clone()).schedule(&g, 1).unwrap();
+        let sparta = SpartaScheduler::new(cfg).schedule(&g, 1).unwrap();
+        prop_assert!(para.period() <= sparta.batch_makespan);
+    }
+
+    #[test]
+    fn kernel_period_is_list_scheduling_bound(g in arb_dag(), pes in 1usize..32) {
+        let k = KernelSchedule::compact(&g, pes);
+        let work = g.total_exec_time();
+        let cmax = g.nodes().map(|n| n.exec_time()).max().unwrap();
+        let lower = (work.div_ceil(pes as u64)).max(cmax);
+        prop_assert!(k.period() >= lower.min(work).max(1));
+        prop_assert!(k.period() <= work.div_ceil(pes as u64) + cmax);
+    }
+
+    #[test]
+    fn more_pes_never_lengthen_the_kernel(g in arb_dag()) {
+        let mut last = u64::MAX;
+        for pes in [1usize, 2, 4, 8, 16] {
+            let p = KernelSchedule::compact(&g, pes).period();
+            prop_assert!(p <= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn cached_count_monotone_in_cache_size(g in arb_dag()) {
+        // More aggregate cache never caches fewer IPRs under the DP.
+        let mut last = 0usize;
+        for per_pe in [0u64, 1, 2, 4, 16, 64] {
+            let cfg = PimConfig::builder(4).per_pe_cache_units(per_pe).build().unwrap();
+            let outcome = ParaConvScheduler::new(cfg).schedule(&g, 1).unwrap();
+            let cached = outcome.cached_iprs();
+            prop_assert!(cached >= last || outcome.allocation.total_profit() > 0,
+                "cached {cached} after {last}");
+            last = cached;
+        }
+    }
+
+    #[test]
+    fn rotation_compacts_monotonically(g in arb_dag(), pes in 1usize..8, rounds in 0usize..20) {
+        let result = rotation_schedule(&g, pes, rounds);
+        // Kernel length never increases round over round.
+        for w in result.lengths.windows(2) {
+            prop_assert!(w[1] <= w[0]);
+        }
+        // The accumulated retiming is always legal.
+        prop_assert!(result.retiming.check_legal(&g).is_ok());
+        // The kernel can never beat the resource bound.
+        let bound = g.total_exec_time().div_ceil(pes as u64).max(
+            g.nodes().map(|n| n.exec_time()).max().unwrap()
+        );
+        prop_assert!(result.final_length() >= bound);
+    }
+
+    #[test]
+    fn retiming_values_cover_requirements(g in arb_dag(), pes in 1usize..16) {
+        let cfg = PimConfig::neurocube(pes.max(1)).unwrap();
+        let outcome = ParaConvScheduler::new(cfg).schedule(&g, 1).unwrap();
+        prop_assert!(outcome.retiming.check_legal(&g).is_ok());
+        // Producers always retimed at least as much as consumers.
+        for ipr in g.edges() {
+            let rs = outcome.retiming.node_value(ipr.src()).unwrap();
+            let rd = outcome.retiming.node_value(ipr.dst()).unwrap();
+            prop_assert!(rs >= rd);
+        }
+    }
+}

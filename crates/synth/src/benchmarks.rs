@@ -1,0 +1,156 @@
+//! The twelve evaluation benchmarks of Table 1.
+//!
+//! The paper evaluates on CNN applications partitioned into task
+//! graphs; only the name, vertex count and edge count of each are
+//! published. These specs regenerate graphs at exactly those sizes,
+//! deterministically (fixed per-benchmark seeds), ordered as in
+//! Table 1 from `cat` (9 vertices, 21 IPRs) to `protein`
+//! (546 vertices, 1449 IPRs).
+
+use paraconv_graph::TaskGraph;
+
+use crate::{SynthError, SyntheticSpec};
+
+/// One named benchmark of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Benchmark {
+    name: &'static str,
+    vertices: usize,
+    edges: usize,
+    seed: u64,
+}
+
+impl Benchmark {
+    /// The benchmark's name as printed in Table 1.
+    #[must_use]
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The "# of vertex" column: convolution/pooling operations.
+    #[must_use]
+    pub const fn vertices(&self) -> usize {
+        self.vertices
+    }
+
+    /// The "# of edge" column: intermediate processing results.
+    #[must_use]
+    pub const fn edges(&self) -> usize {
+        self.edges
+    }
+
+    /// Regenerates the benchmark's task graph (deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SynthError`] only if the pinned spec were
+    /// infeasible, which the test suite rules out for all twelve.
+    pub fn graph(&self) -> Result<TaskGraph, SynthError> {
+        SyntheticSpec::new(self.name, self.vertices, self.edges)
+            .seed(self.seed)
+            .generate()
+    }
+}
+
+/// The Table 1 suite, in table order.
+///
+/// # Examples
+///
+/// ```
+/// let suite = paraconv_synth::benchmarks::all();
+/// assert_eq!(suite.len(), 12);
+/// assert_eq!(suite[0].name(), "cat");
+/// assert_eq!(suite[11].vertices(), 546);
+/// ```
+#[must_use]
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        Benchmark { name: "cat", vertices: 9, edges: 21, seed: 101 },
+        Benchmark { name: "car", vertices: 13, edges: 28, seed: 102 },
+        Benchmark { name: "flower", vertices: 21, edges: 51, seed: 103 },
+        Benchmark { name: "character-1", vertices: 46, edges: 121, seed: 104 },
+        Benchmark { name: "character-2", vertices: 52, edges: 130, seed: 105 },
+        Benchmark { name: "image-compress", vertices: 70, edges: 178, seed: 106 },
+        Benchmark { name: "stock-predict", vertices: 83, edges: 218, seed: 107 },
+        Benchmark { name: "string-matching", vertices: 102, edges: 267, seed: 108 },
+        Benchmark { name: "shortest-path", vertices: 191, edges: 506, seed: 109 },
+        Benchmark { name: "speech-1", vertices: 247, edges: 652, seed: 110 },
+        Benchmark { name: "speech-2", vertices: 369, edges: 981, seed: 111 },
+        Benchmark { name: "protein", vertices: 546, edges: 1449, seed: 112 },
+    ]
+}
+
+/// Looks up a benchmark by name.
+///
+/// # Examples
+///
+/// ```
+/// let b = paraconv_synth::benchmarks::by_name("protein").unwrap();
+/// assert_eq!(b.edges(), 1449);
+/// assert!(paraconv_synth::benchmarks::by_name("nonexistent").is_none());
+/// ```
+#[must_use]
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_twelve_generate_at_exact_sizes() {
+        for b in all() {
+            let g = b.graph().unwrap();
+            assert_eq!(g.node_count(), b.vertices(), "{}", b.name());
+            assert_eq!(g.edge_count(), b.edges(), "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn table_order_and_counts_match_the_paper() {
+        let suite = all();
+        let expected: [(&str, usize, usize); 12] = [
+            ("cat", 9, 21),
+            ("car", 13, 28),
+            ("flower", 21, 51),
+            ("character-1", 46, 121),
+            ("character-2", 52, 130),
+            ("image-compress", 70, 178),
+            ("stock-predict", 83, 218),
+            ("string-matching", 102, 267),
+            ("shortest-path", 191, 506),
+            ("speech-1", 247, 652),
+            ("speech-2", 369, 981),
+            ("protein", 546, 1449),
+        ];
+        for (b, (name, v, e)) in suite.iter().zip(expected) {
+            assert_eq!(b.name(), name);
+            assert_eq!(b.vertices(), v);
+            assert_eq!(b.edges(), e);
+        }
+    }
+
+    #[test]
+    fn regeneration_is_deterministic() {
+        let b = by_name("flower").unwrap();
+        assert_eq!(b.graph().unwrap(), b.graph().unwrap());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all().iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn scale_increases_through_the_table() {
+        let suite = all();
+        for w in suite.windows(2) {
+            assert!(w[0].vertices() <= w[1].vertices());
+            assert!(w[0].edges() <= w[1].edges());
+        }
+    }
+}

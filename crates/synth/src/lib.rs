@@ -1,0 +1,35 @@
+//! Synthetic task graphs and the Para-CONV benchmark suite.
+//!
+//! The paper's evaluation (§4.1) uses CNN applications — several from
+//! GoogLeNet ConvNet, plus synthetic task graphs with over 500
+//! convolutions — partitioned by functionality into task graphs. Only
+//! the vertex/edge counts are published, so this crate regenerates
+//! structurally faithful graphs at *exactly* those sizes:
+//!
+//! * [`SyntheticSpec`] — a seeded layered-DAG generator with CNN-like
+//!   structure (levelled operations, forward edges biased to adjacent
+//!   levels, every non-input operation fed by an earlier one);
+//! * [`benchmarks`] — the twelve Table 1 benchmarks (`cat` …
+//!   `protein`) with pinned seeds, so every run of the evaluation
+//!   harness sees identical graphs.
+//!
+//! # Examples
+//!
+//! ```
+//! use paraconv_synth::benchmarks;
+//!
+//! let protein = benchmarks::by_name("protein").unwrap().graph()?;
+//! assert_eq!(protein.node_count(), 546);
+//! assert_eq!(protein.edge_count(), 1449);
+//! # Ok::<(), paraconv_synth::SynthError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod benchmarks;
+mod generator;
+
+pub use benchmarks::Benchmark;
+pub use generator::{SynthError, SyntheticSpec};

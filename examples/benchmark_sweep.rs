@@ -1,0 +1,40 @@
+//! Sweeping the full Table 1 benchmark suite quickly: for every
+//! benchmark and PE count, total time for both schedulers plus the
+//! data-movement split the allocator achieved.
+//!
+//! Run with: `cargo run --release --example benchmark_sweep`
+
+use paraconv::pim::PimConfig;
+use paraconv::synth::benchmarks;
+use paraconv::{ParaConv, TextTable};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let iterations = 25;
+    let mut table = TextTable::new([
+        "benchmark",
+        "PEs",
+        "Para-CONV",
+        "SPARTA",
+        "IMP%",
+        "hit-rate",
+        "off-chip units",
+    ]);
+    for bench in benchmarks::all() {
+        let graph = bench.graph()?;
+        for pes in [16usize, 32, 64] {
+            let runner = ParaConv::new(PimConfig::neurocube(pes)?);
+            let cmp = runner.compare(&graph, iterations)?;
+            table.push_row([
+                bench.name().to_owned(),
+                pes.to_string(),
+                cmp.paraconv.report.total_time.to_string(),
+                cmp.sparta.report.total_time.to_string(),
+                format!("{:.1}", cmp.improvement_percent()),
+                format!("{:.0}%", cmp.paraconv.report.onchip_hit_rate() * 100.0),
+                cmp.paraconv.report.offchip_units_moved.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+    Ok(())
+}
