@@ -200,8 +200,7 @@ mod tests {
 
     #[test]
     fn zero_capacity_puts_everything_in_edram() {
-        let allocation =
-            CacheAllocator::new(0).allocate(vec![item(0, 1, 9, 1), item(1, 1, 9, 2)]);
+        let allocation = CacheAllocator::new(0).allocate(vec![item(0, 1, 9, 1), item(1, 1, 9, 2)]);
         assert_eq!(allocation.cached_count(), 0);
         assert_eq!(allocation.total_profit(), 0);
         assert_eq!(allocation.placement(EdgeId::new(0)), Some(Placement::Edram));
@@ -222,6 +221,9 @@ mod tests {
         assert_eq!(allocation.cached_count(), 0);
         assert_eq!(allocation.total_profit(), 0);
         assert_eq!(allocation.used_capacity(), 0);
-        assert!(allocation.to_placement_vec(2).iter().all(|&p| p == Placement::Edram));
+        assert!(allocation
+            .to_placement_vec(2)
+            .iter()
+            .all(|&p| p == Placement::Edram));
     }
 }

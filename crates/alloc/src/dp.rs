@@ -98,13 +98,68 @@ impl DpTable {
         self.capacity
     }
 
+    /// The optimal total profit at a *smaller* capacity: `B[s, n]`.
+    ///
+    /// A table filled at capacity `S` answers the whole capacity sweep
+    /// `0..=S` for free — the column `B[s, ·]` is exactly the table the
+    /// dynamic program would have produced at capacity `s`. See
+    /// [`DpTable::fill_sweep`] for the batch form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` exceeds the filled capacity.
+    #[must_use]
+    pub fn max_profit_at(&self, s: u64) -> u64 {
+        self.entry(s, self.items.len())
+    }
+
+    /// Fills the table **once** at the largest requested capacity and
+    /// reads every sweep point from it, returning the optimal profit
+    /// for each capacity in `capacities` (input order preserved).
+    ///
+    /// This replaces the `O(n · S)`-per-point refill a naive capacity
+    /// sweep performs with one `O(n · max S)` fill plus `O(1)` reads.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use paraconv_alloc::{max_profit_compact, AllocItem, DpTable};
+    /// use paraconv_graph::EdgeId;
+    ///
+    /// let items = vec![
+    ///     AllocItem::new(EdgeId::new(0), 2, 3, 1),
+    ///     AllocItem::new(EdgeId::new(1), 2, 2, 2),
+    ///     AllocItem::new(EdgeId::new(2), 1, 2, 3),
+    /// ];
+    /// let sweep = DpTable::fill_sweep(&items, &[0, 3, 5]);
+    /// assert_eq!(sweep, vec![0, 5, 7]);
+    /// assert_eq!(sweep[1], max_profit_compact(&items, 3));
+    /// ```
+    #[must_use]
+    pub fn fill_sweep(items: &[AllocItem], capacities: &[u64]) -> Vec<u64> {
+        let max_capacity = capacities.iter().copied().max().unwrap_or(0);
+        let table = DpTable::fill(items, max_capacity);
+        capacities.iter().map(|&s| table.max_profit_at(s)).collect()
+    }
+
     /// Backtracks an optimal subset: `result[m]` is `true` iff the
     /// `m`-th item (deadline order) is allocated to cache.
     #[must_use]
     pub fn reconstruct(&self) -> Vec<bool> {
+        self.reconstruct_at(self.capacity)
+    }
+
+    /// Backtracks an optimal subset at a *smaller* capacity, for
+    /// reading several sweep points out of one filled table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` exceeds the filled capacity.
+    #[must_use]
+    pub fn reconstruct_at(&self, capacity: u64) -> Vec<bool> {
         let n = self.items.len();
         let mut chosen = vec![false; n];
-        let mut s = self.capacity;
+        let mut s = capacity;
         for m in (1..=n).rev() {
             let item = &self.items[m - 1];
             // The item was taken iff skipping it loses profit at the
@@ -248,10 +303,16 @@ mod tests {
     #[test]
     fn matches_brute_force_on_fixed_instances() {
         let instances: Vec<(Vec<AllocItem>, u64)> = vec![
-            (vec![item(0, 2, 3), item(1, 3, 4), item(2, 4, 5), item(3, 5, 6)], 5),
+            (
+                vec![item(0, 2, 3), item(1, 3, 4), item(2, 4, 5), item(3, 5, 6)],
+                5,
+            ),
             (vec![item(0, 1, 2), item(1, 1, 2), item(2, 1, 2)], 2),
             (vec![item(0, 10, 100)], 9),
-            (vec![item(0, 6, 1), item(1, 6, 1), item(2, 6, 1), item(3, 5, 10)], 11),
+            (
+                vec![item(0, 6, 1), item(1, 6, 1), item(2, 6, 1), item(3, 5, 10)],
+                11,
+            ),
         ];
         for (items, cap) in instances {
             assert_eq!(
@@ -279,6 +340,52 @@ mod tests {
             .map(|(i, _)| i.delta_r())
             .sum();
         assert_eq!(profit, table.max_profit());
+    }
+
+    #[test]
+    fn fill_sweep_matches_per_capacity_fills() {
+        let items = vec![
+            item(0, 3, 2),
+            item(1, 2, 2),
+            item(2, 4, 10),
+            item(3, 1, 1),
+            item(4, 5, 3),
+        ];
+        let capacities = [7, 0, 3, 12, 5, 12];
+        let sweep = DpTable::fill_sweep(&items, &capacities);
+        for (&cap, &profit) in capacities.iter().zip(&sweep) {
+            assert_eq!(profit, DpTable::fill(&items, cap).max_profit(), "S={cap}");
+            assert_eq!(profit, max_profit_compact(&items, cap), "S={cap}");
+        }
+    }
+
+    #[test]
+    fn fill_sweep_of_empty_inputs() {
+        assert!(DpTable::fill_sweep(&[item(0, 1, 1)], &[]).is_empty());
+        assert_eq!(DpTable::fill_sweep(&[], &[0, 5]), vec![0, 0]);
+    }
+
+    #[test]
+    fn reconstruct_at_is_feasible_and_optimal_per_capacity() {
+        let items = vec![item(0, 1, 1), item(1, 3, 4), item(2, 4, 5), item(3, 5, 7)];
+        let table = DpTable::fill(&items, 9);
+        for cap in 0..=9 {
+            let chosen = table.reconstruct_at(cap);
+            let space: u64 = items
+                .iter()
+                .zip(&chosen)
+                .filter(|(_, &c)| c)
+                .map(|(i, _)| i.space())
+                .sum();
+            let profit: u64 = items
+                .iter()
+                .zip(&chosen)
+                .filter(|(_, &c)| c)
+                .map(|(i, _)| i.delta_r())
+                .sum();
+            assert!(space <= cap);
+            assert_eq!(profit, table.max_profit_at(cap));
+        }
     }
 
     #[test]

@@ -81,6 +81,30 @@ proptest! {
     }
 
     #[test]
+    fn fill_sweep_matches_per_capacity_fill(items in arb_items(14), caps in proptest::collection::vec(0u64..40, 1..8)) {
+        let sorted = sort_by_deadline(items);
+        let sweep = DpTable::fill_sweep(&sorted, &caps);
+        prop_assert_eq!(sweep.len(), caps.len());
+        for (&capacity, &profit) in caps.iter().zip(&sweep) {
+            prop_assert_eq!(profit, DpTable::fill(&sorted, capacity).max_profit());
+            prop_assert_eq!(profit, max_profit_compact(&sorted, capacity));
+        }
+    }
+
+    #[test]
+    fn reconstruct_at_agrees_with_dedicated_fill(items in arb_items(12), capacity in 0u64..25, extra in 0u64..15) {
+        // A table filled at a larger capacity reconstructs the same
+        // optimal profit at any smaller sweep point.
+        let sorted = sort_by_deadline(items);
+        let table = DpTable::fill(&sorted, capacity + extra);
+        let chosen = table.reconstruct_at(capacity);
+        let space: u64 = sorted.iter().zip(&chosen).filter(|(_, &c)| c).map(|(i, _)| i.space()).sum();
+        let profit: u64 = sorted.iter().zip(&chosen).filter(|(_, &c)| c).map(|(i, _)| i.delta_r()).sum();
+        prop_assert!(space <= capacity);
+        prop_assert_eq!(profit, DpTable::fill(&sorted, capacity).max_profit());
+    }
+
+    #[test]
     fn edf_feasibility_is_order_invariant(items in arb_items(10), seed in 0usize..10) {
         let mut shuffled = items.clone();
         let rot = seed % shuffled.len().max(1);

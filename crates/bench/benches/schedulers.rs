@@ -16,11 +16,9 @@ fn bench_table1_axis(c: &mut Criterion) {
         let graph = benchmarks::by_name(name).unwrap().graph().unwrap();
         for pes in [16usize, 32, 64] {
             let runner = ParaConv::new(PimConfig::neurocube(pes).unwrap());
-            group.bench_with_input(
-                BenchmarkId::new(name, pes),
-                &pes,
-                |b, _| b.iter(|| runner.compare(&graph, 20).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(name, pes), &pes, |b, _| {
+                b.iter(|| runner.compare(&graph, 20).unwrap())
+            });
         }
     }
     group.finish();

@@ -18,11 +18,9 @@ fn bench_simulate(c: &mut Criterion) {
             .schedule(&graph, iters)
             .unwrap()
             .plan;
-        group.bench_with_input(
-            BenchmarkId::new(name, iters),
-            &iters,
-            |b, _| b.iter(|| simulate(&graph, &plan, &cfg).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new(name, iters), &iters, |b, _| {
+            b.iter(|| simulate(&graph, &plan, &cfg).unwrap())
+        });
     }
     group.finish();
 }

@@ -54,7 +54,11 @@ fn main() {
         Err(e) => fail("cases", e),
     }
     match scalability::fetch_penalty(&config, &suite) {
-        Ok(rows) => write(dir, "fetch_penalty", &scalability::render_fetch_penalty(&rows)),
+        Ok(rows) => write(
+            dir,
+            "fetch_penalty",
+            &scalability::render_fetch_penalty(&rows),
+        ),
         Err(e) => fail("fetch_penalty", e),
     }
     match ablation::policies(&config, &suite) {
@@ -62,7 +66,11 @@ fn main() {
         Err(e) => fail("ablation", e),
     }
     match ablation::contributions(&config, &suite) {
-        Ok(rows) => write(dir, "ablation_contributions", &ablation::render_contributions(&rows)),
+        Ok(rows) => write(
+            dir,
+            "ablation_contributions",
+            &ablation::render_contributions(&rows),
+        ),
         Err(e) => fail("contributions", e),
     }
     match energy::run(&config, &suite) {

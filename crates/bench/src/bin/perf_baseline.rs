@@ -1,0 +1,179 @@
+//! Tracked performance baseline: times the three hot paths this repo
+//! optimizes and writes the measurements to `BENCH_1.json` at the
+//! working directory (run it from the repo root).
+//!
+//! Three measurements:
+//!
+//! 1. **Sweep wall-clock** — the full Table 1 workload (every
+//!    benchmark × every PE count, both schedulers) on one worker
+//!    versus the default pool, reporting the parallel speedup.
+//! 2. **Simulator throughput** — `simulate()` replays of a
+//!    pre-scheduled plan, in planned tasks validated per second.
+//! 3. **DP throughput** — 0/1-knapsack table fills per second, and
+//!    the same capacity sweep via `DpTable::fill_sweep` (one fill,
+//!    many reads) versus one `fill` per capacity point.
+//!
+//! `PARACONV_ITERS`/`PARACONV_QUICK` shrink the workload as for every
+//! other binary; `PARACONV_JOBS` pins the "default" pool width.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use paraconv::alloc::{sort_by_deadline, AllocItem, DpTable};
+use paraconv::graph::EdgeId;
+use paraconv::pim::simulate;
+use paraconv::sweep::{self, SweepPoint};
+use paraconv::ExperimentConfig;
+use paraconv_bench::{config_from_env, suite_from_env};
+use paraconv_sched::ParaConvScheduler;
+
+/// The Table 1 workload as sweep points.
+fn sweep_points(config: &ExperimentConfig) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &bench in &suite_from_env() {
+        for &pes in &config.pe_counts {
+            let pim = config
+                .pim_config(pes)
+                .expect("default experiment config is valid");
+            points.push(SweepPoint::new(bench, pim, config.iterations));
+        }
+    }
+    points
+}
+
+fn time_sweep(points: &[SweepPoint], jobs: usize) -> f64 {
+    // Best of two, so one scheduling hiccup doesn't skew the baseline.
+    (0..2)
+        .map(|_| {
+            let start = Instant::now();
+            sweep::compare_all_with(points, jobs).expect("pinned suite schedules cleanly");
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Simulator throughput over a pre-scheduled plan: validated planned
+/// tasks per second.
+fn simulate_throughput(config: &ExperimentConfig) -> (usize, f64) {
+    let bench = paraconv::synth::benchmarks::by_name("shortest-path")
+        .expect("shortest-path is in the suite");
+    let graph = bench.graph().expect("pinned benchmark generates");
+    let pim = config.pim_config(16).expect("16 PEs is a preset");
+    let outcome = ParaConvScheduler::new(pim.clone())
+        .schedule(&graph, config.iterations.max(50))
+        .expect("pinned benchmark schedules");
+    let tasks = outcome.plan.tasks().len();
+    let repeats = 30;
+    let start = Instant::now();
+    for _ in 0..repeats {
+        simulate(&graph, &outcome.plan, &pim).expect("emitted plan validates");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (tasks, tasks as f64 * repeats as f64 / elapsed)
+}
+
+fn dp_items(n: usize) -> Vec<AllocItem> {
+    // Deterministic pseudo-random items: enough spread to keep the
+    // table honest, no RNG dependency.
+    let items = (0..n)
+        .map(|i| {
+            let space = 1 + (i as u64 * 7 + 3) % 9;
+            let profit = (i as u64 * 5 + 1) % 13;
+            let deadline = (i as u64 * 11) % 200;
+            AllocItem::new(EdgeId::new(i as u32), space, profit, deadline)
+        })
+        .collect();
+    sort_by_deadline(items)
+}
+
+/// DP throughput: full table fills per second at one capacity, plus
+/// the capacity-sweep comparison (per-capacity `fill` loop versus one
+/// `fill_sweep`).
+fn dp_throughput() -> (f64, f64, f64) {
+    let items = dp_items(200);
+    let capacity = 256;
+    let repeats = 50;
+    let start = Instant::now();
+    for _ in 0..repeats {
+        std::hint::black_box(DpTable::fill(std::hint::black_box(&items), capacity));
+    }
+    let fills_per_sec = repeats as f64 / start.elapsed().as_secs_f64();
+
+    let capacities: Vec<u64> = (0..=capacity).collect();
+    let start = Instant::now();
+    let per_point: Vec<u64> = capacities
+        .iter()
+        .map(|&c| DpTable::fill(&items, c).max_profit())
+        .collect();
+    let per_point_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let swept = DpTable::fill_sweep(&items, &capacities);
+    let sweep_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        per_point, swept,
+        "fill_sweep must agree with per-capacity fills"
+    );
+    (fills_per_sec, per_point_secs, sweep_secs)
+}
+
+fn main() {
+    let config = config_from_env();
+    let points = sweep_points(&config);
+    let default_jobs = config.effective_jobs();
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+
+    eprintln!(
+        "timing {} sweep points, sequential then {default_jobs} workers...",
+        points.len()
+    );
+    // Warm caches and the allocator before the timed passes.
+    sweep::compare_all_with(&points[..points.len().min(4)], default_jobs)
+        .expect("pinned suite schedules cleanly");
+    let sequential_secs = time_sweep(&points, 1);
+    let parallel_secs = time_sweep(&points, default_jobs);
+    let speedup = sequential_secs / parallel_secs.max(1e-12);
+
+    eprintln!("timing simulate() replays...");
+    let (planned_tasks, tasks_per_sec) = simulate_throughput(&config);
+
+    eprintln!("timing DP fills...");
+    let (dp_fills_per_sec, dp_per_point_secs, dp_sweep_secs) = dp_throughput();
+
+    // serde stays optional, so the report is formatted by hand.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench_id\": 1,");
+    let _ = writeln!(json, "  \"host_parallelism\": {host_parallelism},");
+    let _ = writeln!(json, "  \"sweep\": {{");
+    let _ = writeln!(json, "    \"points\": {},", points.len());
+    let _ = writeln!(json, "    \"iterations_per_point\": {},", config.iterations);
+    let _ = writeln!(json, "    \"sequential_secs\": {sequential_secs:.4},");
+    let _ = writeln!(json, "    \"parallel_secs\": {parallel_secs:.4},");
+    let _ = writeln!(json, "    \"parallel_jobs\": {default_jobs},");
+    let _ = writeln!(json, "    \"speedup\": {speedup:.3}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"simulate\": {{");
+    let _ = writeln!(json, "    \"planned_tasks_per_replay\": {planned_tasks},");
+    let _ = writeln!(json, "    \"planned_tasks_per_sec\": {tasks_per_sec:.0}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"dp\": {{");
+    let _ = writeln!(json, "    \"items\": 200,");
+    let _ = writeln!(json, "    \"capacity\": 256,");
+    let _ = writeln!(json, "    \"fills_per_sec\": {dp_fills_per_sec:.1},");
+    let _ = writeln!(
+        json,
+        "    \"capacity_sweep_per_point_secs\": {dp_per_point_secs:.6},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"capacity_sweep_fill_sweep_secs\": {dp_sweep_secs:.6}"
+    );
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write("BENCH_1.json", &json) {
+        eprintln!("cannot write BENCH_1.json: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!("wrote BENCH_1.json");
+}

@@ -9,15 +9,19 @@ fn main() {
     let suite = suite_from_env();
     match table1::run(&config, &suite) {
         Ok(rows) => {
-            emit("Table 1: total execution time (time units)", &table1::render(&rows));
+            emit(
+                "Table 1: total execution time (time units)",
+                &table1::render(&rows),
+            );
             let averages = table1::averages(&rows);
             for (pes, avg) in config.pe_counts.iter().zip(&averages) {
-                eprintln!("average IMP @ {pes} PEs: {avg:.2}% (speedup {:.2}x)", 100.0 / avg);
+                eprintln!(
+                    "average IMP @ {pes} PEs: {avg:.2}% (speedup {:.2}x)",
+                    100.0 / avg
+                );
             }
             let overall = averages.iter().sum::<f64>() / averages.len().max(1) as f64;
-            eprintln!(
-                "overall average IMP: {overall:.2}% (paper reports 53.42%, i.e. 1.87x)"
-            );
+            eprintln!("overall average IMP: {overall:.2}% (paper reports 53.42%, i.e. 1.87x)");
         }
         Err(e) => {
             eprintln!("table1 failed: {e}");

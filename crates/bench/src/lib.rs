@@ -7,7 +7,10 @@
 //! * `PARACONV_QUICK` — any value restricts the suite to the four
 //!   smallest benchmarks;
 //! * `PARACONV_CSV` — any value switches output from aligned text to
-//!   CSV.
+//!   CSV;
+//! * `PARACONV_JOBS` — worker-pool width for the parallel sweep
+//!   engine (default: the host's available parallelism; `1` forces
+//!   the sequential path). Results are identical at any width.
 
 use paraconv::{ExperimentConfig, TextTable};
 use paraconv_synth::Benchmark;

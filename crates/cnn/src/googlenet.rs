@@ -60,11 +60,7 @@ pub fn add_inception(
     // A 3×3/1 pool without padding shrinks by 2; pad via a 1×1 conv on
     // the pooled map only works if spatial sizes match at the concat,
     // so the projection uses padding 1 on a 3×3 kernel to restore size.
-    let proj = builder.add(
-        format!("{tag}.proj"),
-        conv(widths.pool_proj, 3, 2),
-        &[pool],
-    )?;
+    let proj = builder.add(format!("{tag}.proj"), conv(widths.pool_proj, 3, 2), &[pool])?;
     builder.add(format!("{tag}.concat"), Layer::Concat, &[b1, b3, b5, proj])
 }
 
@@ -92,27 +88,50 @@ pub fn googlenet(modules: usize) -> Result<Network, NetworkError> {
     // Stem: conv 7×7/2 → pool → conv 1×1 → conv 3×3 → pool.
     let c1 = b.add(
         "stem.conv7",
-        Layer::Conv { out_channels: 64, kernel: 7, stride: 2, padding: 3 },
+        Layer::Conv {
+            out_channels: 64,
+            kernel: 7,
+            stride: 2,
+            padding: 3,
+        },
         &[],
     )?;
     let p1 = b.add(
         "stem.pool1",
-        Layer::Pool { kind: PoolKind::Max, window: 2, stride: 2 },
+        Layer::Pool {
+            kind: PoolKind::Max,
+            window: 2,
+            stride: 2,
+        },
         &[c1],
     )?;
     let c2 = b.add(
         "stem.conv1",
-        Layer::Conv { out_channels: 64, kernel: 1, stride: 1, padding: 0 },
+        Layer::Conv {
+            out_channels: 64,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        },
         &[p1],
     )?;
     let c3 = b.add(
         "stem.conv3",
-        Layer::Conv { out_channels: 192, kernel: 3, stride: 1, padding: 1 },
+        Layer::Conv {
+            out_channels: 192,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        },
         &[c2],
     )?;
     let mut cursor = b.add(
         "stem.pool2",
-        Layer::Pool { kind: PoolKind::Max, window: 2, stride: 2 },
+        Layer::Pool {
+            kind: PoolKind::Max,
+            window: 2,
+            stride: 2,
+        },
         &[c3],
     )?;
 
@@ -129,7 +148,11 @@ pub fn googlenet(modules: usize) -> Result<Network, NetworkError> {
         if m % 3 == 2 && m + 1 < modules {
             cursor = b.add(
                 format!("stage{}.pool", m / 3),
-                Layer::Pool { kind: PoolKind::Max, window: 2, stride: 2 },
+                Layer::Pool {
+                    kind: PoolKind::Max,
+                    window: 2,
+                    stride: 2,
+                },
                 &[cursor],
             )?;
         }
@@ -139,18 +162,30 @@ pub fn googlenet(modules: usize) -> Result<Network, NetworkError> {
     let spatial = b
         .add(
             "cls.avgpool",
-            Layer::Pool { kind: PoolKind::Average, window: 7, stride: 7 },
+            Layer::Pool {
+                kind: PoolKind::Average,
+                window: 7,
+                stride: 7,
+            },
             &[cursor],
         )
         .or_else(|_| {
             // Deep stacks can shrink below 7×7; fall back to 2×2.
             b.add(
                 "cls.avgpool",
-                Layer::Pool { kind: PoolKind::Average, window: 2, stride: 2 },
+                Layer::Pool {
+                    kind: PoolKind::Average,
+                    window: 2,
+                    stride: 2,
+                },
                 &[cursor],
             )
         })?;
-    b.add("cls.fc", Layer::FullyConnected { out_features: 1000 }, &[spatial])?;
+    b.add(
+        "cls.fc",
+        Layer::FullyConnected { out_features: 1000 },
+        &[spatial],
+    )?;
     Ok(b.finish())
 }
 

@@ -218,9 +218,7 @@ impl Layer {
                 kernel,
                 ..
             } => (out_channels * kernel * kernel * first.channels) as u64,
-            Layer::FullyConnected { out_features } => {
-                (first.elements() * out_features) as u64
-            }
+            Layer::FullyConnected { out_features } => (first.elements() * out_features) as u64,
             Layer::Pool { .. } | Layer::Concat => 0,
         })
     }
@@ -253,7 +251,10 @@ fn conv_spatial(
             input: padded_h.min(padded_w),
         });
     }
-    Ok(((padded_h - window) / stride + 1, (padded_w - window) / stride + 1))
+    Ok((
+        (padded_h - window) / stride + 1,
+        (padded_w - window) / stride + 1,
+    ))
 }
 
 #[cfg(test)]
@@ -270,9 +271,7 @@ mod tests {
             stride: 2,
             padding: 3,
         };
-        let out = conv
-            .output_shape(&[TensorShape::new(3, 224, 224)])
-            .unwrap();
+        let out = conv.output_shape(&[TensorShape::new(3, 224, 224)]).unwrap();
         assert_eq!(out, TensorShape::new(64, 112, 112));
     }
 
@@ -321,24 +320,42 @@ mod tests {
     fn degenerate_geometry_rejected() {
         let s = TensorShape::new(1, 5, 5);
         assert_eq!(
-            Layer::Conv { out_channels: 1, kernel: 3, stride: 0, padding: 0 }
-                .output_shape(&[s])
-                .unwrap_err(),
+            Layer::Conv {
+                out_channels: 1,
+                kernel: 3,
+                stride: 0,
+                padding: 0
+            }
+            .output_shape(&[s])
+            .unwrap_err(),
             ShapeError::ZeroStride
         );
         assert_eq!(
-            Layer::Conv { out_channels: 1, kernel: 0, stride: 1, padding: 0 }
-                .output_shape(&[s])
-                .unwrap_err(),
+            Layer::Conv {
+                out_channels: 1,
+                kernel: 0,
+                stride: 1,
+                padding: 0
+            }
+            .output_shape(&[s])
+            .unwrap_err(),
             ShapeError::ZeroWindow
         );
         assert!(matches!(
-            Layer::Conv { out_channels: 1, kernel: 9, stride: 1, padding: 0 }
-                .output_shape(&[s])
-                .unwrap_err(),
+            Layer::Conv {
+                out_channels: 1,
+                kernel: 9,
+                stride: 1,
+                padding: 0
+            }
+            .output_shape(&[s])
+            .unwrap_err(),
             ShapeError::WindowLargerThanInput { .. }
         ));
-        assert_eq!(Layer::Concat.output_shape(&[]).unwrap_err(), ShapeError::NoInput);
+        assert_eq!(
+            Layer::Concat.output_shape(&[]).unwrap_err(),
+            ShapeError::NoInput
+        );
     }
 
     #[test]
@@ -357,8 +374,19 @@ mod tests {
 
     #[test]
     fn compute_flag() {
-        assert!(Layer::Conv { out_channels: 1, kernel: 1, stride: 1, padding: 0 }.is_compute());
-        assert!(Layer::Pool { kind: PoolKind::Average, window: 2, stride: 2 }.is_compute());
+        assert!(Layer::Conv {
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            padding: 0
+        }
+        .is_compute());
+        assert!(Layer::Pool {
+            kind: PoolKind::Average,
+            window: 2,
+            stride: 2
+        }
+        .is_compute());
         assert!(Layer::FullyConnected { out_features: 1 }.is_compute());
         assert!(!Layer::Concat.is_compute());
     }

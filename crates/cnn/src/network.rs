@@ -303,7 +303,12 @@ mod tests {
         let err = b
             .add(
                 "big",
-                Layer::Conv { out_channels: 1, kernel: 5, stride: 1, padding: 0 },
+                Layer::Conv {
+                    out_channels: 1,
+                    kernel: 5,
+                    stride: 1,
+                    padding: 0,
+                },
                 &[],
             )
             .unwrap_err();
@@ -314,8 +319,16 @@ mod tests {
     fn totals_accumulate() {
         let mut b = NetworkBuilder::new("t", TensorShape::new(1, 4, 4));
         let a = b.add("a", conv(2, 3), &[]).unwrap();
-        b.add("p", Layer::Pool { kind: PoolKind::Max, window: 2, stride: 2 }, &[a])
-            .unwrap();
+        b.add(
+            "p",
+            Layer::Pool {
+                kind: PoolKind::Max,
+                window: 2,
+                stride: 2,
+            },
+            &[a],
+        )
+        .unwrap();
         let net = b.finish();
         assert!(net.total_macs() > 0);
         assert!(net.total_weights() > 0);

@@ -90,10 +90,7 @@ impl Default for PartitionConfig {
 /// assert_eq!(graph.node_count(), net.compute_layer_count());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn partition(
-    network: &Network,
-    config: PartitionConfig,
-) -> Result<TaskGraph, PartitionError> {
+pub fn partition(network: &Network, config: PartitionConfig) -> Result<TaskGraph, PartitionError> {
     let compute_count = network.compute_layer_count();
     if compute_count == 0 {
         return Err(PartitionError::NoComputeLayers);
@@ -101,11 +98,15 @@ pub fn partition(
 
     // Normalization denominators: average MACs per compute layer and
     // average output elements per layer, so typical values map to ~2.
-    let avg_macs =
-        (network.total_macs() / compute_count as u64 / 2).max(1);
+    let avg_macs = (network.total_macs() / compute_count as u64 / 2).max(1);
     let total_elements: u64 = network
         .layer_ids()
-        .map(|id| network.output_shape(id).expect("iterating own ids").elements() as u64)
+        .map(|id| {
+            network
+                .output_shape(id)
+                .expect("iterating own ids")
+                .elements() as u64
+        })
         .sum();
     let avg_elements = (total_elements / network.layer_count() as u64 / 2).max(1);
 
@@ -132,10 +133,11 @@ pub fn partition(
     // connect with IPR edges sized by the producer's output map.
     let mut seen = std::collections::HashSet::new();
     for id in network.layer_ids() {
-        let Some(dst) = node_of[id.index()] else { continue };
+        let Some(dst) = node_of[id.index()] else {
+            continue;
+        };
         for producer in resolved_producers(network, id) {
-            let src = node_of[producer.index()]
-                .expect("resolved producers are compute layers");
+            let src = node_of[producer.index()].expect("resolved producers are compute layers");
             if !seen.insert((src, dst)) {
                 continue; // duplicate branch resolving to one producer
             }
@@ -194,14 +196,41 @@ mod tests {
         // input → {a, b} → concat → c: c must consume from a and b.
         let mut b = NetworkBuilder::new("t", TensorShape::new(1, 8, 8));
         let a = b
-            .add("a", Layer::Conv { out_channels: 2, kernel: 1, stride: 1, padding: 0 }, &[])
+            .add(
+                "a",
+                Layer::Conv {
+                    out_channels: 2,
+                    kernel: 1,
+                    stride: 1,
+                    padding: 0,
+                },
+                &[],
+            )
             .unwrap();
         let z = b
-            .add("z", Layer::Conv { out_channels: 2, kernel: 1, stride: 1, padding: 0 }, &[])
+            .add(
+                "z",
+                Layer::Conv {
+                    out_channels: 2,
+                    kernel: 1,
+                    stride: 1,
+                    padding: 0,
+                },
+                &[],
+            )
             .unwrap();
         let cat = b.add("cat", Layer::Concat, &[a, z]).unwrap();
         let c = b
-            .add("c", Layer::Conv { out_channels: 1, kernel: 1, stride: 1, padding: 0 }, &[cat])
+            .add(
+                "c",
+                Layer::Conv {
+                    out_channels: 1,
+                    kernel: 1,
+                    stride: 1,
+                    padding: 0,
+                },
+                &[cat],
+            )
             .unwrap();
         let _ = c;
         let net = b.finish();
@@ -217,10 +246,27 @@ mod tests {
     fn kinds_map_through() {
         let mut b = NetworkBuilder::new("t", TensorShape::new(1, 8, 8));
         let a = b
-            .add("conv", Layer::Conv { out_channels: 2, kernel: 3, stride: 1, padding: 1 }, &[])
+            .add(
+                "conv",
+                Layer::Conv {
+                    out_channels: 2,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+                &[],
+            )
             .unwrap();
         let p = b
-            .add("pool", Layer::Pool { kind: PoolKind::Max, window: 2, stride: 2 }, &[a])
+            .add(
+                "pool",
+                Layer::Pool {
+                    kind: PoolKind::Max,
+                    window: 2,
+                    stride: 2,
+                },
+                &[a],
+            )
             .unwrap();
         b.add("fc", Layer::FullyConnected { out_features: 4 }, &[p])
             .unwrap();
@@ -236,7 +282,10 @@ mod tests {
     #[test]
     fn exec_times_respect_cap() {
         let net = googlenet(3).unwrap();
-        let cfg = PartitionConfig { max_exec_time: 5, max_ipr_size: 2 };
+        let cfg = PartitionConfig {
+            max_exec_time: 5,
+            max_ipr_size: 2,
+        };
         let g = partition(&net, cfg).unwrap();
         assert!(g.nodes().all(|n| (1..=5).contains(&n.exec_time())));
         assert!(g.edges().all(|e| (1..=2).contains(&e.size())));

@@ -33,27 +33,50 @@ pub fn lenet5() -> Result<Network, NetworkError> {
     let mut b = NetworkBuilder::new("lenet5", TensorShape::new(1, 28, 28));
     let c1 = b.add(
         "c1",
-        Layer::Conv { out_channels: 6, kernel: 5, stride: 1, padding: 2 },
+        Layer::Conv {
+            out_channels: 6,
+            kernel: 5,
+            stride: 1,
+            padding: 2,
+        },
         &[],
     )?;
     let s2 = b.add(
         "s2",
-        Layer::Pool { kind: PoolKind::Average, window: 2, stride: 2 },
+        Layer::Pool {
+            kind: PoolKind::Average,
+            window: 2,
+            stride: 2,
+        },
         &[c1],
     )?;
     let c3 = b.add(
         "c3",
-        Layer::Conv { out_channels: 16, kernel: 5, stride: 1, padding: 0 },
+        Layer::Conv {
+            out_channels: 16,
+            kernel: 5,
+            stride: 1,
+            padding: 0,
+        },
         &[s2],
     )?;
     let s4 = b.add(
         "s4",
-        Layer::Pool { kind: PoolKind::Average, window: 2, stride: 2 },
+        Layer::Pool {
+            kind: PoolKind::Average,
+            window: 2,
+            stride: 2,
+        },
         &[c3],
     )?;
     let c5 = b.add(
         "c5",
-        Layer::Conv { out_channels: 120, kernel: 5, stride: 1, padding: 0 },
+        Layer::Conv {
+            out_channels: 120,
+            kernel: 5,
+            stride: 1,
+            padding: 0,
+        },
         &[s4],
     )?;
     let f6 = b.add("f6", Layer::FullyConnected { out_features: 84 }, &[c5])?;
@@ -78,10 +101,7 @@ pub fn lenet5() -> Result<Network, NetworkError> {
 /// # Ok::<(), paraconv_cnn::NetworkError>(())
 /// ```
 pub fn vgg_stack(blocks: usize) -> Result<Network, NetworkError> {
-    let mut b = NetworkBuilder::new(
-        format!("vgg-{blocks}"),
-        TensorShape::new(3, 224, 224),
-    );
+    let mut b = NetworkBuilder::new(format!("vgg-{blocks}"), TensorShape::new(3, 224, 224));
     let mut cursor = None;
     let mut channels = 32;
     for blk in 0..blocks {
@@ -89,13 +109,22 @@ pub fn vgg_stack(blocks: usize) -> Result<Network, NetworkError> {
             let inputs: Vec<_> = cursor.into_iter().collect();
             cursor = Some(b.add(
                 format!("b{blk}.c{half}"),
-                Layer::Conv { out_channels: channels, kernel: 3, stride: 1, padding: 1 },
+                Layer::Conv {
+                    out_channels: channels,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
                 &inputs,
             )?);
         }
         cursor = Some(b.add(
             format!("b{blk}.pool"),
-            Layer::Pool { kind: PoolKind::Max, window: 2, stride: 2 },
+            Layer::Pool {
+                kind: PoolKind::Max,
+                window: 2,
+                stride: 2,
+            },
             &[cursor.expect("block added layers")],
         )?);
         channels = (channels * 2).min(256);
@@ -120,42 +149,80 @@ pub fn autoencoder() -> Result<Network, NetworkError> {
     let mut b = NetworkBuilder::new("autoencoder", TensorShape::new(3, 64, 64));
     let e1 = b.add(
         "enc1",
-        Layer::Conv { out_channels: 32, kernel: 3, stride: 1, padding: 1 },
+        Layer::Conv {
+            out_channels: 32,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        },
         &[],
     )?;
     let p1 = b.add(
         "down1",
-        Layer::Pool { kind: PoolKind::Max, window: 2, stride: 2 },
+        Layer::Pool {
+            kind: PoolKind::Max,
+            window: 2,
+            stride: 2,
+        },
         &[e1],
     )?;
     let e2 = b.add(
         "enc2",
-        Layer::Conv { out_channels: 64, kernel: 3, stride: 1, padding: 1 },
+        Layer::Conv {
+            out_channels: 64,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        },
         &[p1],
     )?;
     let p2 = b.add(
         "down2",
-        Layer::Pool { kind: PoolKind::Max, window: 2, stride: 2 },
+        Layer::Pool {
+            kind: PoolKind::Max,
+            window: 2,
+            stride: 2,
+        },
         &[e2],
     )?;
     let code = b.add(
         "code",
-        Layer::Conv { out_channels: 8, kernel: 1, stride: 1, padding: 0 },
+        Layer::Conv {
+            out_channels: 8,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        },
         &[p2],
     )?;
     let d1 = b.add(
         "dec1",
-        Layer::Conv { out_channels: 64, kernel: 3, stride: 1, padding: 1 },
+        Layer::Conv {
+            out_channels: 64,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        },
         &[code],
     )?;
     let d2 = b.add(
         "dec2",
-        Layer::Conv { out_channels: 32, kernel: 3, stride: 1, padding: 1 },
+        Layer::Conv {
+            out_channels: 32,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        },
         &[d1],
     )?;
     b.add(
         "out",
-        Layer::Conv { out_channels: 3, kernel: 3, stride: 1, padding: 1 },
+        Layer::Conv {
+            out_channels: 3,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        },
         &[d2],
     )?;
     Ok(b.finish())
@@ -178,25 +245,34 @@ pub fn autoencoder() -> Result<Network, NetworkError> {
 /// # Ok::<(), paraconv_cnn::NetworkError>(())
 /// ```
 pub fn sequence_mlp(depth: usize) -> Result<Network, NetworkError> {
-    let mut b = NetworkBuilder::new(
-        format!("sequence-mlp-{depth}"),
-        TensorShape::new(16, 32, 1),
-    );
+    let mut b = NetworkBuilder::new(format!("sequence-mlp-{depth}"), TensorShape::new(16, 32, 1));
     let c1 = b.add(
         "conv1d-a",
-        Layer::Conv { out_channels: 32, kernel: 1, stride: 1, padding: 0 },
+        Layer::Conv {
+            out_channels: 32,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        },
         &[],
     )?;
     let mut cursor = b.add(
         "conv1d-b",
-        Layer::Conv { out_channels: 32, kernel: 1, stride: 1, padding: 0 },
+        Layer::Conv {
+            out_channels: 32,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        },
         &[c1],
     )?;
     let mut features = 256;
     for d in 0..depth {
         cursor = b.add(
             format!("fc{d}"),
-            Layer::FullyConnected { out_features: features },
+            Layer::FullyConnected {
+                out_features: features,
+            },
             &[cursor],
         )?;
         features = (features / 2).max(16);
@@ -233,7 +309,10 @@ mod tests {
             .layer_ids()
             .find(|&id| net.layer_name(id) == Some("c5"))
             .unwrap();
-        assert_eq!(net.output_shape(last_conv).unwrap(), TensorShape::new(120, 1, 1));
+        assert_eq!(
+            net.output_shape(last_conv).unwrap(),
+            TensorShape::new(120, 1, 1)
+        );
     }
 
     #[test]

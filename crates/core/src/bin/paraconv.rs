@@ -56,7 +56,10 @@ fn run(args: &[String]) -> Result<(), String> {
             let graph = load(args.get(1))?;
             let s = graph.summary();
             println!("name:            {}", s.name);
-            println!("vertices:        {} ({} conv-like, {} pool)", s.vertices, s.conv_ops, s.pool_ops);
+            println!(
+                "vertices:        {} ({} conv-like, {} pool)",
+                s.vertices, s.conv_ops, s.pool_ops
+            );
             println!("edges (IPRs):    {}", s.edges);
             println!("depth:           {}", s.depth);
             println!("peak width:      {}", s.max_width);
@@ -145,9 +148,15 @@ fn options(args: &[String]) -> Result<(usize, u64, u64), String> {
             .ok_or_else(|| format!("{flag} needs a value"))?;
         match flag.as_str() {
             "--pes" => pes = value.parse().map_err(|_| format!("bad --pes `{value}`"))?,
-            "--iters" => iters = value.parse().map_err(|_| format!("bad --iters `{value}`"))?,
+            "--iters" => {
+                iters = value
+                    .parse()
+                    .map_err(|_| format!("bad --iters `{value}`"))?
+            }
             "--window" => {
-                window = value.parse().map_err(|_| format!("bad --window `{value}`"))?;
+                window = value
+                    .parse()
+                    .map_err(|_| format!("bad --window `{value}`"))?;
             }
             other => return Err(format!("unknown option `{other}`")),
         }

@@ -10,11 +10,10 @@
 //!   escape eDRAM and how short the prologue gets.
 
 use paraconv_pim::simulate;
-use paraconv_sched::{
-    AllocationPolicy, BaselineCachePolicy, ParaConvScheduler, SpartaScheduler,
-};
+use paraconv_sched::{AllocationPolicy, BaselineCachePolicy, ParaConvScheduler, SpartaScheduler};
 use paraconv_synth::Benchmark;
 
+use crate::sweep::{self, SweepPoint};
 use crate::{CoreError, ExperimentConfig, ParaConv, TextTable};
 
 /// One allocation-policy measurement.
@@ -44,27 +43,32 @@ pub fn policies(
     suite: &[Benchmark],
 ) -> Result<Vec<PolicyRow>, CoreError> {
     let pes = *config.pe_counts.first().expect("non-empty sweep");
-    let mut rows = Vec::new();
-    for bench in suite {
-        let graph = bench.graph()?;
-        for policy in [
-            AllocationPolicy::DynamicProgram,
-            AllocationPolicy::GreedyByDensity,
-            AllocationPolicy::AllEdram,
-        ] {
-            let result = ParaConv::new(config.pim_config(pes)?)
-                .with_policy(policy)
-                .run(&graph, config.iterations)?;
-            rows.push(PolicyRow {
-                name: bench.name().to_owned(),
-                policy,
-                rmax: result.outcome.rmax(),
-                total_time: result.report.total_time,
-                offchip_fetches: result.report.offchip_fetches,
-            });
+    let policies = [
+        AllocationPolicy::DynamicProgram,
+        AllocationPolicy::GreedyByDensity,
+        AllocationPolicy::AllEdram,
+    ];
+    let mut points = Vec::with_capacity(suite.len() * policies.len());
+    for &bench in suite {
+        for policy in policies {
+            points.push(
+                SweepPoint::new(bench, config.pim_config(pes)?, config.iterations)
+                    .with_policy(policy),
+            );
         }
     }
-    Ok(rows)
+    let results = sweep::run_all_with(&points, config.effective_jobs())?;
+    Ok(points
+        .iter()
+        .zip(&results)
+        .map(|(point, result)| PolicyRow {
+            name: point.benchmark.name().to_owned(),
+            policy: point.policy,
+            rmax: result.outcome.rmax(),
+            total_time: result.report.total_time,
+            offchip_fetches: result.report.offchip_fetches,
+        })
+        .collect())
 }
 
 /// One eDRAM-penalty measurement.
@@ -93,21 +97,27 @@ pub fn penalty_sweep(
     penalties: &[u64],
 ) -> Result<Vec<PenaltyRow>, CoreError> {
     let pes = *config.pe_counts.first().expect("non-empty sweep");
-    let graph = bench.graph()?;
-    let mut rows = Vec::with_capacity(penalties.len());
+    let mut points = Vec::with_capacity(penalties.len());
     for &penalty in penalties {
         let mut cfg = config.clone();
         cfg.edram_penalty = penalty;
-        let comparison =
-            ParaConv::new(cfg.pim_config(pes)?).compare(&graph, config.iterations)?;
-        rows.push(PenaltyRow {
+        points.push(SweepPoint::new(
+            *bench,
+            cfg.pim_config(pes)?,
+            config.iterations,
+        ));
+    }
+    let comparisons = sweep::compare_all_with(&points, config.effective_jobs())?;
+    Ok(penalties
+        .iter()
+        .zip(&comparisons)
+        .map(|(&penalty, comparison)| PenaltyRow {
             penalty,
             paraconv_time: comparison.paraconv.report.total_time,
             sparta_time: comparison.sparta.report.total_time,
             imp_percent: comparison.improvement_percent(),
-        });
-    }
-    Ok(rows)
+        })
+        .collect())
 }
 
 /// One cache-capacity measurement.
@@ -135,20 +145,27 @@ pub fn cache_sweep(
     capacities: &[u64],
 ) -> Result<Vec<CacheRow>, CoreError> {
     let pes = *config.pe_counts.first().expect("non-empty sweep");
-    let graph = bench.graph()?;
-    let mut rows = Vec::with_capacity(capacities.len());
+    let mut points = Vec::with_capacity(capacities.len());
     for &units in capacities {
         let mut cfg = config.clone();
         cfg.per_pe_cache_units = units;
-        let result = ParaConv::new(cfg.pim_config(pes)?).run(&graph, config.iterations)?;
-        rows.push(CacheRow {
+        points.push(SweepPoint::new(
+            *bench,
+            cfg.pim_config(pes)?,
+            config.iterations,
+        ));
+    }
+    let results = sweep::run_all_with(&points, config.effective_jobs())?;
+    Ok(capacities
+        .iter()
+        .zip(&results)
+        .map(|(&units, result)| CacheRow {
             per_pe_units: units,
             rmax: result.outcome.rmax(),
             cached: result.outcome.cached_iprs(),
             offchip_fetches: result.report.offchip_fetches,
-        });
-    }
-    Ok(rows)
+        })
+        .collect())
 }
 
 /// One row of the retiming-contribution study: the same architecture
@@ -183,8 +200,9 @@ pub fn contributions(
 ) -> Result<Vec<ContributionRow>, CoreError> {
     let pes = *config.pe_counts.first().expect("non-empty sweep");
     let pim = config.pim_config(pes)?;
-    let mut rows = Vec::with_capacity(suite.len());
-    for bench in suite {
+    // The four scheduler variants per benchmark don't fit one
+    // `SweepPoint`, so each benchmark is one irregular job.
+    let jobs = sweep::parallel_map(suite, config.effective_jobs(), |bench| {
         let graph = bench.graph()?;
         let baseline = {
             let outcome = SpartaScheduler::new(pim.clone()).schedule(&graph, config.iterations)?;
@@ -205,15 +223,15 @@ pub fn contributions(
             .run(&graph, config.iterations)?
             .report
             .total_time;
-        rows.push(ContributionRow {
+        Ok(ContributionRow {
             name: bench.name().to_owned(),
             baseline,
             baseline_dp,
             retiming_only,
             full,
-        });
-    }
-    Ok(rows)
+        })
+    });
+    jobs.into_iter().collect()
 }
 
 /// One row of the kernel-unrolling study.
@@ -242,21 +260,22 @@ pub fn unrolling(
 ) -> Result<Vec<UnrollRow>, CoreError> {
     let pes = *config.pe_counts.last().expect("non-empty sweep");
     let pim = config.pim_config(pes)?;
-    let mut rows = Vec::with_capacity(suite.len());
-    for bench in suite {
+    // Schedule-only jobs (no simulation), still one irregular job per
+    // benchmark.
+    let jobs = sweep::parallel_map(suite, config.effective_jobs(), |bench| {
         let graph = bench.graph()?;
         let capped = ParaConvScheduler::new(pim.clone())
             .with_max_unroll(1)
             .schedule(&graph, config.iterations)?;
         let free = ParaConvScheduler::new(pim.clone()).schedule(&graph, config.iterations)?;
-        rows.push(UnrollRow {
+        Ok(UnrollRow {
             name: bench.name().to_owned(),
             capped_interval: capped.time_per_iteration(),
             free_interval: free.time_per_iteration(),
             chosen_unroll: free.unroll(),
-        });
-    }
-    Ok(rows)
+        })
+    });
+    jobs.into_iter().collect()
 }
 
 /// Renders the unrolling study.

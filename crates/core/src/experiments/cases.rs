@@ -9,7 +9,8 @@
 
 use paraconv_synth::Benchmark;
 
-use crate::{CoreError, ExperimentConfig, ParaConv, TextTable};
+use crate::sweep::{self, SweepPoint};
+use crate::{CoreError, ExperimentConfig, TextTable};
 
 /// One benchmark's case histogram at one PE count.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,27 +52,44 @@ pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<CaseRow
             pes_points.push(last);
         }
     }
-    let mut rows = Vec::new();
-    for bench in suite {
-        let graph = bench.graph()?;
+    let mut points = Vec::with_capacity(suite.len() * pes_points.len());
+    let mut labels = Vec::with_capacity(suite.len() * pes_points.len());
+    for &bench in suite {
         for &pes in &pes_points {
-            let result =
-                ParaConv::new(config.pim_config(pes)?).run(&graph, config.iterations)?;
-            rows.push(CaseRow {
-                name: bench.name().to_owned(),
-                pes,
-                histogram: result.outcome.analysis.case_histogram(),
-            });
+            points.push(SweepPoint::new(
+                bench,
+                config.pim_config(pes)?,
+                config.iterations,
+            ));
+            labels.push((bench.name().to_owned(), pes));
         }
     }
-    Ok(rows)
+    let results = sweep::run_all_with(&points, config.effective_jobs())?;
+    Ok(labels
+        .into_iter()
+        .zip(&results)
+        .map(|((name, pes), result)| CaseRow {
+            name,
+            pes,
+            histogram: result.outcome.analysis.case_histogram(),
+        })
+        .collect())
 }
 
 /// Renders the census.
 #[must_use]
 pub fn render(rows: &[CaseRow]) -> TextTable {
     let mut table = TextTable::new([
-        "benchmark", "PEs", "c1", "c2", "c3", "c4", "c5", "c6", "competing", "free",
+        "benchmark",
+        "PEs",
+        "c1",
+        "c2",
+        "c3",
+        "c4",
+        "c5",
+        "c6",
+        "competing",
+        "free",
     ]);
     for row in rows {
         let mut cells = vec![row.name.clone(), row.pes.to_string()];

@@ -6,7 +6,8 @@
 
 use paraconv_synth::Benchmark;
 
-use crate::{CoreError, ExperimentConfig, ParaConv, TextTable};
+use crate::sweep::{self, SweepPoint};
+use crate::{CoreError, ExperimentConfig, TextTable};
 
 /// One benchmark row of the energy comparison.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,19 +55,25 @@ impl EnergyRow {
 /// errors.
 pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<EnergyRow>, CoreError> {
     let pes = *config.pe_counts.first().expect("non-empty sweep");
-    let mut rows = Vec::with_capacity(suite.len());
-    for bench in suite {
-        let graph = bench.graph()?;
-        let comparison =
-            ParaConv::new(config.pim_config(pes)?).compare(&graph, config.iterations)?;
-        rows.push(EnergyRow {
+    let mut points = Vec::with_capacity(suite.len());
+    for &bench in suite {
+        points.push(SweepPoint::new(
+            bench,
+            config.pim_config(pes)?,
+            config.iterations,
+        ));
+    }
+    let comparisons = sweep::compare_all_with(&points, config.effective_jobs())?;
+    Ok(suite
+        .iter()
+        .zip(&comparisons)
+        .map(|(bench, comparison)| EnergyRow {
             name: bench.name().to_owned(),
             paraconv_transfer: comparison.paraconv.report.transfer_energy,
             sparta_transfer: comparison.sparta.report.transfer_energy,
             compute: comparison.paraconv.report.compute_energy,
-        });
-    }
-    Ok(rows)
+        })
+        .collect())
 }
 
 /// Renders the comparison.

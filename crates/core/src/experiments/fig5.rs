@@ -3,7 +3,8 @@
 
 use paraconv_synth::Benchmark;
 
-use crate::{CoreError, ExperimentConfig, ParaConv, TextTable};
+use crate::sweep::{self, SweepPoint};
+use crate::{CoreError, ExperimentConfig, TextTable};
 
 /// One benchmark series of Figure 5.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,30 +32,45 @@ pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<Fig5Row
         .iter()
         .max()
         .expect("at least one PE count in the sweep");
-    let mut rows = Vec::with_capacity(suite.len());
-    for bench in suite {
-        let graph = bench.graph()?;
-        // Normalization base: the baseline's steady-state
-        // per-iteration time on the reference machine.
-        let reference = ParaConv::new(config.pim_config(reference_pes)?)
-            .run_baseline(&graph, config.iterations)?
-            .outcome
-            .time_per_iteration();
-        let mut period = Vec::with_capacity(config.pe_counts.len());
-        let mut normalized = Vec::with_capacity(config.pe_counts.len());
+    let jobs = config.effective_jobs();
+    // Normalization bases: the baseline's steady-state per-iteration
+    // time on the reference machine, one point per benchmark.
+    let mut reference_points = Vec::with_capacity(suite.len());
+    let mut points = Vec::with_capacity(suite.len() * config.pe_counts.len());
+    for &bench in suite {
+        reference_points.push(SweepPoint::new(
+            bench,
+            config.pim_config(reference_pes)?,
+            config.iterations,
+        ));
         for &pes in &config.pe_counts {
-            let result =
-                ParaConv::new(config.pim_config(pes)?).run(&graph, config.iterations)?;
-            let p = result.outcome.time_per_iteration();
-            period.push(p);
-            normalized.push(p / reference);
+            points.push(SweepPoint::new(
+                bench,
+                config.pim_config(pes)?,
+                config.iterations,
+            ));
         }
-        rows.push(Fig5Row {
-            name: bench.name().to_owned(),
-            period,
-            normalized,
-        });
     }
+    let references = sweep::baseline_all_with(&reference_points, jobs)?;
+    let results = sweep::run_all_with(&points, jobs)?;
+    let rows = suite
+        .iter()
+        .zip(&references)
+        .zip(results.chunks(config.pe_counts.len().max(1)))
+        .map(|((bench, reference), chunk)| {
+            let reference = reference.outcome.time_per_iteration();
+            let period: Vec<f64> = chunk
+                .iter()
+                .map(|r| r.outcome.time_per_iteration())
+                .collect();
+            let normalized = period.iter().map(|p| p / reference).collect();
+            Fig5Row {
+                name: bench.name().to_owned(),
+                period,
+                normalized,
+            }
+        })
+        .collect();
     Ok(rows)
 }
 

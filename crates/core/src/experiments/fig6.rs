@@ -3,7 +3,8 @@
 
 use paraconv_synth::Benchmark;
 
-use crate::{CoreError, ExperimentConfig, ParaConv, TextTable};
+use crate::sweep::{self, SweepPoint};
+use crate::{CoreError, ExperimentConfig, TextTable};
 
 /// One benchmark series of Figure 6.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,31 +26,36 @@ pub struct Fig6Row {
 /// Propagates configuration, generation, scheduling and simulation
 /// errors.
 pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<Fig6Row>, CoreError> {
-    let mut rows = Vec::with_capacity(suite.len());
-    for bench in suite {
-        let graph = bench.graph()?;
-        let mut cached = Vec::with_capacity(config.pe_counts.len());
-        let mut competing = Vec::with_capacity(config.pe_counts.len());
+    let mut points = Vec::with_capacity(suite.len() * config.pe_counts.len());
+    for &bench in suite {
         for &pes in &config.pe_counts {
-            let result =
-                ParaConv::new(config.pim_config(pes)?).run(&graph, config.iterations)?;
-            cached.push(result.outcome.cached_iprs());
-            competing.push(
-                result
-                    .outcome
-                    .analysis
-                    .cases()
-                    .filter(|(_, case)| case.competes_for_cache())
-                    .count(),
-            );
+            points.push(SweepPoint::new(
+                bench,
+                config.pim_config(pes)?,
+                config.iterations,
+            ));
         }
-        rows.push(Fig6Row {
+    }
+    let results = sweep::run_all_with(&points, config.effective_jobs())?;
+    let rows = suite
+        .iter()
+        .zip(results.chunks(config.pe_counts.len().max(1)))
+        .map(|(bench, chunk)| Fig6Row {
             name: bench.name().to_owned(),
             total_iprs: bench.edges(),
-            cached,
-            competing,
-        });
-    }
+            cached: chunk.iter().map(|r| r.outcome.cached_iprs()).collect(),
+            competing: chunk
+                .iter()
+                .map(|r| {
+                    r.outcome
+                        .analysis
+                        .cases()
+                        .filter(|(_, case)| case.competes_for_cache())
+                        .count()
+                })
+                .collect(),
+        })
+        .collect();
     Ok(rows)
 }
 
@@ -65,14 +71,7 @@ pub fn render(config: &ExperimentConfig, rows: &[Fig6Row]) -> TextTable {
     for row in rows {
         let mut cells = vec![row.name.clone(), row.total_iprs.to_string()];
         cells.extend(row.cached.iter().map(usize::to_string));
-        cells.push(
-            row.competing
-                .iter()
-                .copied()
-                .max()
-                .unwrap_or(0)
-                .to_string(),
-        );
+        cells.push(row.competing.iter().copied().max().unwrap_or(0).to_string());
         table.push_row(cells);
     }
     table

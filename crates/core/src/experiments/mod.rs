@@ -43,6 +43,12 @@ pub struct ExperimentConfig {
     pub edram_penalty: u64,
     /// Per-edge vault queuing cost (0 disables TSV contention).
     pub vault_queue_cost: u64,
+    /// Worker-pool width for the sweep engine. `None` (the default)
+    /// resolves through [`crate::sweep::max_jobs`]: the
+    /// `PARACONV_JOBS` environment variable if set, otherwise the
+    /// host's available parallelism. `Some(1)` forces the sequential
+    /// path.
+    pub jobs: Option<usize>,
 }
 
 impl Default for ExperimentConfig {
@@ -53,6 +59,7 @@ impl Default for ExperimentConfig {
             per_pe_cache_units: 4,
             edram_penalty: 4,
             vault_queue_cost: 0,
+            jobs: None,
         }
     }
 }
@@ -84,6 +91,12 @@ impl ExperimentConfig {
             .edram_penalty(self.edram_penalty)
             .vault_queue_cost(self.vault_queue_cost)
     }
+
+    /// The sweep-engine worker count this harness runs with.
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(crate::sweep::max_jobs).max(1)
+    }
 }
 
 /// The full Table 1 suite.
@@ -95,7 +108,10 @@ pub fn full_suite() -> Vec<Benchmark> {
 /// The small-prefix suite used by quick runs and tests.
 #[must_use]
 pub fn quick_suite() -> Vec<Benchmark> {
-    paraconv_synth::benchmarks::all().into_iter().take(4).collect()
+    paraconv_synth::benchmarks::all()
+        .into_iter()
+        .take(4)
+        .collect()
 }
 
 #[cfg(test)]

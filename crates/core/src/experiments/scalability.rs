@@ -12,7 +12,8 @@
 
 use paraconv_synth::Benchmark;
 
-use crate::{CoreError, ExperimentConfig, ParaConv, TextTable};
+use crate::sweep::{self, SweepPoint};
+use crate::{CoreError, ExperimentConfig, TextTable};
 
 /// One point of the PE-count scalability sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,21 +39,25 @@ pub fn pe_sweep(
     bench: &Benchmark,
     pe_counts: &[usize],
 ) -> Result<Vec<ScalePoint>, CoreError> {
-    let graph = bench.graph()?;
-    let mut points = Vec::with_capacity(pe_counts.len());
+    let mut jobs = Vec::with_capacity(pe_counts.len());
     for &pes in pe_counts {
-        let mut cfg = config.clone();
-        cfg.pe_counts = vec![pes];
-        let comparison =
-            ParaConv::new(cfg.pim_config(pes)?).compare(&graph, config.iterations)?;
-        points.push(ScalePoint {
+        jobs.push(SweepPoint::new(
+            *bench,
+            config.pim_config(pes)?,
+            config.iterations,
+        ));
+    }
+    let comparisons = sweep::compare_all_with(&jobs, config.effective_jobs())?;
+    Ok(pe_counts
+        .iter()
+        .zip(&comparisons)
+        .map(|(&pes, comparison)| ScalePoint {
             pes,
             paraconv_throughput: comparison.paraconv.report.throughput(),
             sparta_throughput: comparison.sparta.report.throughput(),
             utilization: comparison.paraconv.report.avg_pe_utilization,
-        });
-    }
-    Ok(points)
+        })
+        .collect())
 }
 
 /// One row of the off-chip fetch-penalty comparison.
@@ -94,20 +99,26 @@ pub fn fetch_penalty(
     suite: &[Benchmark],
 ) -> Result<Vec<FetchRow>, CoreError> {
     let pes = *config.pe_counts.first().expect("non-empty sweep");
-    let mut rows = Vec::with_capacity(suite.len());
-    for bench in suite {
-        let graph = bench.graph()?;
-        let comparison =
-            ParaConv::new(config.pim_config(pes)?).compare(&graph, config.iterations)?;
-        rows.push(FetchRow {
+    let mut points = Vec::with_capacity(suite.len());
+    for &bench in suite {
+        points.push(SweepPoint::new(
+            bench,
+            config.pim_config(pes)?,
+            config.iterations,
+        ));
+    }
+    let comparisons = sweep::compare_all_with(&points, config.effective_jobs())?;
+    Ok(suite
+        .iter()
+        .zip(&comparisons)
+        .map(|(bench, comparison)| FetchRow {
             name: bench.name().to_owned(),
             paraconv_fetches: comparison.paraconv.report.offchip_fetches,
             sparta_fetches: comparison.sparta.report.offchip_fetches,
             paraconv_units: comparison.paraconv.report.offchip_units_moved,
             sparta_units: comparison.sparta.report.offchip_units_moved,
-        });
-    }
-    Ok(rows)
+        })
+        .collect())
 }
 
 /// Renders the PE sweep.

@@ -3,7 +3,8 @@
 
 use paraconv_synth::Benchmark;
 
-use crate::{CoreError, ExperimentConfig, ParaConv, TextTable};
+use crate::sweep::{self, SweepPoint};
+use crate::{CoreError, ExperimentConfig, TextTable};
 
 /// One PE-count cell of a Table 1 row.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,27 +39,37 @@ pub struct Table1Row {
 /// Propagates configuration, generation, scheduling and simulation
 /// errors.
 pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<Table1Row>, CoreError> {
-    let mut rows = Vec::with_capacity(suite.len());
-    for bench in suite {
-        let graph = bench.graph()?;
-        let mut cells = Vec::with_capacity(config.pe_counts.len());
+    let mut points = Vec::with_capacity(suite.len() * config.pe_counts.len());
+    for &bench in suite {
         for &pes in &config.pe_counts {
-            let runner = ParaConv::new(config.pim_config(pes)?);
-            let comparison = runner.compare(&graph, config.iterations)?;
-            cells.push(Table1Cell {
-                pes,
-                sparta_time: comparison.sparta.report.total_time,
-                paraconv_time: comparison.paraconv.report.total_time,
-                imp_percent: comparison.improvement_percent(),
-            });
+            points.push(SweepPoint::new(
+                bench,
+                config.pim_config(pes)?,
+                config.iterations,
+            ));
         }
-        rows.push(Table1Row {
+    }
+    let comparisons = sweep::compare_all_with(&points, config.effective_jobs())?;
+    let rows = suite
+        .iter()
+        .zip(comparisons.chunks(config.pe_counts.len().max(1)))
+        .map(|(bench, chunk)| Table1Row {
             name: bench.name().to_owned(),
             vertices: bench.vertices(),
             edges: bench.edges(),
-            cells,
-        });
-    }
+            cells: config
+                .pe_counts
+                .iter()
+                .zip(chunk)
+                .map(|(&pes, comparison)| Table1Cell {
+                    pes,
+                    sparta_time: comparison.sparta.report.total_time,
+                    paraconv_time: comparison.paraconv.report.total_time,
+                    imp_percent: comparison.improvement_percent(),
+                })
+                .collect(),
+        })
+        .collect();
     Ok(rows)
 }
 

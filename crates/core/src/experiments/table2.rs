@@ -3,7 +3,8 @@
 
 use paraconv_synth::Benchmark;
 
-use crate::{CoreError, ExperimentConfig, ParaConv, TextTable};
+use crate::sweep::{self, SweepPoint};
+use crate::{CoreError, ExperimentConfig, TextTable};
 
 /// One benchmark row of Table 2.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,22 +24,30 @@ pub struct Table2Row {
 /// Propagates configuration, generation, scheduling and simulation
 /// errors.
 pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<Table2Row>, CoreError> {
-    let mut rows = Vec::with_capacity(suite.len());
-    for bench in suite {
-        let graph = bench.graph()?;
-        let mut rmax = Vec::with_capacity(config.pe_counts.len());
+    let mut points = Vec::with_capacity(suite.len() * config.pe_counts.len());
+    for &bench in suite {
         for &pes in &config.pe_counts {
-            let runner = ParaConv::new(config.pim_config(pes)?);
-            let result = runner.run(&graph, config.iterations)?;
-            rmax.push(result.outcome.rmax());
+            points.push(SweepPoint::new(
+                bench,
+                config.pim_config(pes)?,
+                config.iterations,
+            ));
         }
-        let average = rmax.iter().sum::<u64>() as f64 / rmax.len().max(1) as f64;
-        rows.push(Table2Row {
-            name: bench.name().to_owned(),
-            rmax,
-            average,
-        });
     }
+    let results = sweep::run_all_with(&points, config.effective_jobs())?;
+    let rows = suite
+        .iter()
+        .zip(results.chunks(config.pe_counts.len().max(1)))
+        .map(|(bench, chunk)| {
+            let rmax: Vec<u64> = chunk.iter().map(|r| r.outcome.rmax()).collect();
+            let average = rmax.iter().sum::<u64>() as f64 / rmax.len().max(1) as f64;
+            Table2Row {
+                name: bench.name().to_owned(),
+                rmax,
+                average,
+            }
+        })
+        .collect();
     Ok(rows)
 }
 

@@ -5,6 +5,7 @@
 
 use paraconv_cnn::{partition, PartitionConfig};
 
+use crate::sweep;
 use crate::{CoreError, ExperimentConfig, ParaConv, TextTable};
 
 /// One network row of the real-CNN comparison.
@@ -30,24 +31,38 @@ pub struct ZooRow {
 /// scheduling and simulation errors.
 pub fn run(config: &ExperimentConfig) -> Result<Vec<ZooRow>, CoreError> {
     let zoo = paraconv_cnn::zoo::all()?;
-    let mut rows = Vec::with_capacity(zoo.len());
-    for (class, network) in zoo {
-        let graph = partition(&network, PartitionConfig::default())?;
-        let mut imp = Vec::with_capacity(config.pe_counts.len());
+    let jobs = config.effective_jobs();
+    // The zoo graphs come from the CNN partitioner, not a `Benchmark`,
+    // so each (network, PE count) pair is one irregular job over the
+    // pre-partitioned graph.
+    let graphs = sweep::parallel_map(&zoo, jobs, |(_, network)| {
+        Ok(partition(network, PartitionConfig::default())?)
+    });
+    let graphs = graphs.into_iter().collect::<Result<Vec<_>, CoreError>>()?;
+    let mut points = Vec::with_capacity(zoo.len() * config.pe_counts.len());
+    for graph in &graphs {
         for &pes in &config.pe_counts {
-            let comparison =
-                ParaConv::new(config.pim_config(pes)?).compare(&graph, config.iterations)?;
-            imp.push(comparison.improvement_percent());
+            points.push((graph, config.pim_config(pes)?));
         }
-        rows.push(ZooRow {
-            class: class.to_owned(),
+    }
+    let imps = sweep::parallel_map(&points, jobs, |(graph, pim)| {
+        Ok(ParaConv::new(pim.clone())
+            .compare(graph, config.iterations)?
+            .improvement_percent())
+    });
+    let imps = imps.into_iter().collect::<Result<Vec<f64>, CoreError>>()?;
+    Ok(zoo
+        .iter()
+        .zip(&graphs)
+        .zip(imps.chunks(config.pe_counts.len().max(1)))
+        .map(|(((class, network), graph), imp)| ZooRow {
+            class: (*class).to_owned(),
             network: network.name().to_owned(),
             vertices: graph.node_count(),
             edges: graph.edge_count(),
-            imp_percent: imp,
-        });
-    }
-    Ok(rows)
+            imp_percent: imp.to_vec(),
+        })
+        .collect())
 }
 
 /// Renders the comparison.
@@ -97,7 +112,12 @@ mod tests {
             // steady-state win is real but the prologue (R_max grows
             // with chain depth) amortizes slowly, so allow up to 1.5x
             // here; branch-rich networks win outright.
-            assert!(row.imp_percent[0] < 150.0, "{}: {:?}", row.network, row.imp_percent);
+            assert!(
+                row.imp_percent[0] < 150.0,
+                "{}: {:?}",
+                row.network,
+                row.imp_percent
+            );
         }
         let text = render(&config, &rows).to_string();
         assert!(text.contains("googlenet-3"));

@@ -27,6 +27,7 @@
 //! | allocation | [`alloc`] | the §3.3 dynamic program |
 //! | schedulers | [`sched`] | Para-CONV and the SPARTA baseline |
 //! | harness | [`experiments`] | Tables 1–2, Figures 5–6, ablations |
+//! | sweep engine | [`sweep`] | parallel fan-out over experiment points |
 //!
 //! # Examples
 //!
@@ -72,11 +73,13 @@
 mod error;
 pub mod experiments;
 mod runner;
+pub mod sweep;
 mod table;
 
 pub use error::CoreError;
 pub use experiments::ExperimentConfig;
 pub use runner::{BaselineResult, Comparison, ParaConv, RunResult};
+pub use sweep::SweepPoint;
 pub use table::TextTable;
 
 /// The task-graph application model (re-export of `paraconv-graph`).

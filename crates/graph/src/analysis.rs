@@ -60,9 +60,7 @@ impl TaskGraph {
     /// finish(p)` (0 max for sources).
     #[must_use]
     pub fn finish_depths(&self) -> Vec<u64> {
-        let order = self
-            .topological_order()
-            .expect("built graphs are acyclic");
+        let order = self.topological_order().expect("built graphs are acyclic");
         let mut finish = vec![0u64; self.node_count()];
         for &id in &order {
             let c = self.node(id).expect("node from topo order").exec_time();
@@ -83,9 +81,7 @@ impl TaskGraph {
     /// level* used as a list-scheduling priority.
     #[must_use]
     pub fn bottom_levels(&self) -> Vec<u64> {
-        let order = self
-            .topological_order()
-            .expect("built graphs are acyclic");
+        let order = self.topological_order().expect("built graphs are acyclic");
         let mut bl = vec![0u64; self.node_count()];
         for &id in order.iter().rev() {
             let c = self.node(id).expect("node from topo order").exec_time();
@@ -119,14 +115,8 @@ impl TaskGraph {
     /// Produces a [`GraphSummary`] for reporting.
     #[must_use]
     pub fn summary(&self) -> GraphSummary {
-        let conv_ops = self
-            .nodes()
-            .filter(|n| n.kind().is_convolutional())
-            .count();
-        let pool_ops = self
-            .nodes()
-            .filter(|n| n.kind() == OpKind::Pooling)
-            .count();
+        let conv_ops = self.nodes().filter(|n| n.kind().is_convolutional()).count();
+        let pool_ops = self.nodes().filter(|n| n.kind() == OpKind::Pooling).count();
         GraphSummary {
             name: self.name().to_owned(),
             vertices: self.node_count(),

@@ -63,7 +63,9 @@ impl TaskGraph {
     ///
     /// Returns [`GraphError::UnknownNode`] if `id` is not in the graph.
     pub fn node(&self, id: NodeId) -> Result<&TaskNode, GraphError> {
-        self.nodes.get(id.index()).ok_or(GraphError::UnknownNode(id))
+        self.nodes
+            .get(id.index())
+            .ok_or(GraphError::UnknownNode(id))
     }
 
     /// Looks up an edge (IPR) by ID.
@@ -72,7 +74,9 @@ impl TaskGraph {
     ///
     /// Returns [`GraphError::UnknownEdge`] if `id` is not in the graph.
     pub fn edge(&self, id: EdgeId) -> Result<&Ipr, GraphError> {
-        self.edges.get(id.index()).ok_or(GraphError::UnknownEdge(id))
+        self.edges
+            .get(id.index())
+            .ok_or(GraphError::UnknownEdge(id))
     }
 
     /// Iterates over all nodes in ID order.

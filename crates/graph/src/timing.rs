@@ -100,7 +100,11 @@ impl TimingTuple {
 
 impl fmt::Display for TimingTuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "(s={}, c={}, d={})", self.start, self.exec, self.deadline)
+        write!(
+            f,
+            "(s={}, c={}, d={})",
+            self.start, self.exec, self.deadline
+        )
     }
 }
 

@@ -72,9 +72,7 @@ impl TaskGraph {
     /// ```
     #[must_use]
     pub fn levels(&self) -> Vec<usize> {
-        let order = self
-            .topological_order()
-            .expect("built graphs are acyclic");
+        let order = self.topological_order().expect("built graphs are acyclic");
         let mut level = vec![0usize; self.node_count()];
         for &id in &order {
             for &e in self.out_edges(id).expect("node from topological order") {

@@ -32,14 +32,17 @@ fn placement_and_timing_roundtrip() {
         assert_eq!(back, p);
     }
     let t = TimingTuple::new(1, 2, 3);
-    let back: TimingTuple =
-        serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+    let back: TimingTuple = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
     assert_eq!(back, t);
 }
 
 #[test]
 fn graphs_of_every_size_roundtrip() {
-    for g in [examples::chain(1), examples::chain(12), examples::fork_join(9)] {
+    for g in [
+        examples::chain(1),
+        examples::chain(12),
+        examples::fork_join(9),
+    ] {
         let json = serde_json::to_string(&g).expect("serializes");
         let back: TaskGraph = serde_json::from_str(&json).expect("deserializes");
         assert_eq!(g, back);

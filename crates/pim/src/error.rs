@@ -29,6 +29,14 @@ pub enum SimError {
         /// Its iteration.
         iteration: u64,
     },
+    /// A task instance was planned with an empty or inverted execution
+    /// interval (zero-length tasks indicate a malformed plan).
+    EmptyTaskInterval {
+        /// The mis-planned node.
+        node: NodeId,
+        /// Its iteration.
+        iteration: u64,
+    },
     /// A task instance was planned with a duration different from the
     /// node's execution time `c_i`.
     WrongTaskDuration {
@@ -116,6 +124,9 @@ impl fmt::Display for SimError {
             }
             SimError::PeConflict { pe, node, iteration } => {
                 write!(f, "{pe} double-booked by {node} iteration {iteration}")
+            }
+            SimError::EmptyTaskInterval { node, iteration } => {
+                write!(f, "task {node} iteration {iteration} has an empty execution interval")
             }
             SimError::WrongTaskDuration {
                 node,
@@ -205,6 +216,10 @@ mod tests {
                 pe: PeId::new(0),
                 node: NodeId::new(1),
                 iteration: 2,
+            },
+            SimError::EmptyTaskInterval {
+                node: NodeId::new(0),
+                iteration: 1,
             },
             SimError::WrongTaskDuration {
                 node: NodeId::new(0),

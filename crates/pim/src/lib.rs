@@ -60,7 +60,7 @@ pub use error::SimError;
 pub use fifo::{Fifo, FifoOverflow};
 pub use interconnect::Crossbar;
 pub use latency::{LatencyModel, MemoryTech};
-pub use pe::Pe;
+pub use pe::{Pe, RecordError};
 pub use plan::{ExecutionPlan, PeId, PlannedTask, PlannedTransfer};
 pub use report::SimReport;
 pub use sim::simulate;

@@ -8,12 +8,24 @@
 
 use crate::PeId;
 
+/// Why [`Pe::record_task`] rejected an interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordError {
+    /// The interval was empty or inverted (`start >= finish`); task
+    /// instances always occupy at least one time unit.
+    EmptyInterval,
+    /// The interval overlaps a previously recorded one — a
+    /// double-booked PE.
+    Overlap,
+}
+
 /// Runtime state and statistics of one processing engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pe {
     id: PeId,
     /// Executed task intervals as `(start, finish)`, kept sorted by
-    /// insertion (the simulator feeds tasks in time order per PE).
+    /// start time so overlap checks are a binary search plus two
+    /// neighbour comparisons instead of a full scan.
     intervals: Vec<(u64, u64)>,
     busy_time: u64,
     tasks_executed: u64,
@@ -39,21 +51,35 @@ impl Pe {
 
     /// Records execution of a task during `[start, finish)`.
     ///
-    /// Returns `false` (and records nothing) if the interval overlaps a
-    /// previously recorded one — a double-booked PE.
-    pub fn record_task(&mut self, start: u64, finish: u64) -> bool {
-        debug_assert!(start < finish, "task intervals are non-empty");
-        let overlaps = self
-            .intervals
-            .iter()
-            .any(|&(s, f)| start < f && s < finish);
-        if overlaps {
-            return false;
+    /// The interval list stays sorted by start time, so the overlap
+    /// check is `O(log k)` (binary search plus the two neighbouring
+    /// intervals) instead of a linear scan over every recorded task.
+    /// Schedulers emit tasks roughly in time order per PE, so the
+    /// insertion itself is usually at the tail and amortizes to
+    /// constant time.
+    ///
+    /// # Errors
+    ///
+    /// * [`RecordError::EmptyInterval`] if `start >= finish` — a hard
+    ///   rejection in release builds too, since an empty task instance
+    ///   always indicates a malformed plan;
+    /// * [`RecordError::Overlap`] (recording nothing) if the interval
+    ///   overlaps a previously recorded one — a double-booked PE.
+    pub fn record_task(&mut self, start: u64, finish: u64) -> Result<(), RecordError> {
+        if start >= finish {
+            return Err(RecordError::EmptyInterval);
         }
-        self.intervals.push((start, finish));
+        let at = self.intervals.partition_point(|&(s, _)| s < start);
+        if at > 0 && self.intervals[at - 1].1 > start {
+            return Err(RecordError::Overlap);
+        }
+        if at < self.intervals.len() && self.intervals[at].0 < finish {
+            return Err(RecordError::Overlap);
+        }
+        self.intervals.insert(at, (start, finish));
         self.busy_time += finish - start;
         self.tasks_executed += 1;
-        true
+        Ok(())
     }
 
     /// Total time units this PE spent executing tasks.
@@ -87,9 +113,9 @@ mod tests {
     #[test]
     fn records_disjoint_tasks() {
         let mut pe = Pe::new(PeId::new(0));
-        assert!(pe.record_task(0, 2));
-        assert!(pe.record_task(2, 3));
-        assert!(pe.record_task(10, 12));
+        assert!(pe.record_task(0, 2).is_ok());
+        assert!(pe.record_task(2, 3).is_ok());
+        assert!(pe.record_task(10, 12).is_ok());
         assert_eq!(pe.busy_time(), 5);
         assert_eq!(pe.tasks_executed(), 3);
     }
@@ -97,9 +123,9 @@ mod tests {
     #[test]
     fn rejects_overlap() {
         let mut pe = Pe::new(PeId::new(1));
-        assert!(pe.record_task(0, 5));
-        assert!(!pe.record_task(4, 6));
-        assert!(!pe.record_task(0, 1));
+        assert!(pe.record_task(0, 5).is_ok());
+        assert_eq!(pe.record_task(4, 6), Err(RecordError::Overlap));
+        assert_eq!(pe.record_task(0, 1), Err(RecordError::Overlap));
         assert_eq!(pe.tasks_executed(), 1);
         assert_eq!(pe.busy_time(), 5);
     }
@@ -107,14 +133,46 @@ mod tests {
     #[test]
     fn touching_intervals_are_fine() {
         let mut pe = Pe::new(PeId::new(2));
-        assert!(pe.record_task(0, 3));
-        assert!(pe.record_task(3, 6));
+        assert!(pe.record_task(0, 3).is_ok());
+        assert!(pe.record_task(3, 6).is_ok());
+    }
+
+    #[test]
+    fn rejects_empty_and_inverted_intervals() {
+        // Regression: this used to be a debug_assert! only, letting
+        // zero-length tasks slip through release builds.
+        let mut pe = Pe::new(PeId::new(3));
+        assert_eq!(pe.record_task(4, 4), Err(RecordError::EmptyInterval));
+        assert_eq!(pe.record_task(9, 2), Err(RecordError::EmptyInterval));
+        assert_eq!(pe.tasks_executed(), 0);
+        assert_eq!(pe.busy_time(), 0);
+        // The PE stays usable after a rejection.
+        assert!(pe.record_task(4, 5).is_ok());
+    }
+
+    #[test]
+    fn out_of_order_inserts_detect_overlap() {
+        // Intervals arriving out of time order still detect conflicts
+        // against both neighbours of the insertion point.
+        let mut pe = Pe::new(PeId::new(4));
+        assert!(pe.record_task(10, 20).is_ok());
+        assert!(pe.record_task(0, 5).is_ok());
+        assert!(pe.record_task(30, 40).is_ok());
+        // Overlaps the predecessor interval [0, 5).
+        assert_eq!(pe.record_task(4, 8), Err(RecordError::Overlap));
+        // Overlaps the successor interval [10, 20).
+        assert_eq!(pe.record_task(6, 11), Err(RecordError::Overlap));
+        // Same start as an existing interval.
+        assert_eq!(pe.record_task(10, 12), Err(RecordError::Overlap));
+        // Fits exactly between two recorded intervals.
+        assert!(pe.record_task(5, 10).is_ok());
+        assert_eq!(pe.tasks_executed(), 4);
     }
 
     #[test]
     fn utilization_math() {
         let mut pe = Pe::new(PeId::new(0));
-        pe.record_task(0, 5);
+        pe.record_task(0, 5).unwrap();
         assert!((pe.utilization(10) - 0.5).abs() < 1e-9);
         assert_eq!(pe.utilization(0), 0.0);
     }

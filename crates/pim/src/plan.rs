@@ -153,7 +153,12 @@ impl ExecutionPlan {
     /// transfers (0 for an empty plan).
     #[must_use]
     pub fn makespan(&self) -> u64 {
-        let t = self.tasks.iter().map(PlannedTask::finish).max().unwrap_or(0);
+        let t = self
+            .tasks
+            .iter()
+            .map(PlannedTask::finish)
+            .max()
+            .unwrap_or(0);
         let x = self
             .transfers
             .iter()

@@ -83,7 +83,11 @@ impl fmt::Display for SimReport {
         writeln!(f, "time/iteration:    {:.2}", self.time_per_iteration)?;
         writeln!(f, "off-chip fetches:  {}", self.offchip_fetches)?;
         writeln!(f, "on-chip hits:      {}", self.onchip_hits)?;
-        writeln!(f, "hit rate:          {:.1}%", self.onchip_hit_rate() * 100.0)?;
+        writeln!(
+            f,
+            "hit rate:          {:.1}%",
+            self.onchip_hit_rate() * 100.0
+        )?;
         writeln!(f, "energy (total):    {}", self.total_energy())?;
         writeln!(
             f,

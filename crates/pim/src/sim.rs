@@ -20,11 +20,92 @@
 
 use std::collections::HashMap;
 
-use paraconv_graph::{EdgeId, NodeId, Placement, TaskGraph};
+use paraconv_graph::{Placement, TaskGraph};
 
+use crate::pe::RecordError;
 use crate::{
     CostModel, Crossbar, ExecutionPlan, Pe, PeId, PimConfig, SimError, SimReport, VaultArray,
 };
+
+/// Cap on the dense instance-index footprint. Real plans are far
+/// below this (the largest benchmark is ~546 nodes × 51 iteration
+/// slots ≈ 28k entries); an adversarial plan declaring a huge
+/// iteration count falls back to hash-map indexing instead of
+/// allocating `keys × iterations` slots.
+const MAX_DENSE_INDEX: u128 = 1 << 26;
+
+/// Positional index over `(dense key, iteration)` instance pairs.
+///
+/// The simulator previously used `HashMap<(NodeId, u64), usize>` /
+/// `HashMap<(EdgeId, u64), usize>` here; since node and edge ids are
+/// dense and plans cover iterations `1..=iterations`, a flat
+/// `Vec<usize>` keyed `key * (iterations + 1) + iteration` answers
+/// the same lookups without hashing. Iterations outside the declared
+/// range (or any iteration, when the declared range is implausibly
+/// large) spill to a small `HashMap` so behaviour is unchanged for
+/// malformed plans.
+struct InstanceIndex {
+    /// Dense stride (`iterations + 1`); 0 disables the dense lane.
+    stride: usize,
+    dense: Vec<usize>,
+    spill: HashMap<(usize, u64), usize>,
+}
+
+impl InstanceIndex {
+    const ABSENT: usize = usize::MAX;
+
+    fn new(keys: usize, iterations: u64) -> Self {
+        let stride = iterations.saturating_add(1);
+        if (stride as u128) * (keys as u128) <= MAX_DENSE_INDEX {
+            InstanceIndex {
+                stride: stride as usize,
+                dense: vec![Self::ABSENT; keys * stride as usize],
+                spill: HashMap::new(),
+            }
+        } else {
+            InstanceIndex {
+                stride: 0,
+                dense: Vec::new(),
+                spill: HashMap::new(),
+            }
+        }
+    }
+
+    fn slot(&self, key: usize, iteration: u64) -> Option<usize> {
+        if iteration < self.stride as u64 {
+            Some(key * self.stride + iteration as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Inserts `value` for the instance, returning the previous value
+    /// if the instance was already present (a duplicate plan entry).
+    fn insert(&mut self, key: usize, iteration: u64, value: usize) -> Option<usize> {
+        match self.slot(key, iteration) {
+            Some(slot) => {
+                let prev = self.dense[slot];
+                self.dense[slot] = value;
+                (prev != Self::ABSENT).then_some(prev)
+            }
+            None => self.spill.insert((key, iteration), value),
+        }
+    }
+
+    fn get(&self, key: usize, iteration: u64) -> Option<usize> {
+        match self.slot(key, iteration) {
+            Some(slot) => {
+                let v = self.dense[slot];
+                (v != Self::ABSENT).then_some(v)
+            }
+            None => self.spill.get(&(key, iteration)).copied(),
+        }
+    }
+
+    fn contains(&self, key: usize, iteration: u64) -> bool {
+        self.get(key, iteration).is_some()
+    }
+}
 
 /// Replays `plan` for `graph` on the architecture `config`.
 ///
@@ -67,9 +148,11 @@ pub fn simulate(
     let mut crossbar = Crossbar::new(config.num_pes());
 
     // ---- index and validate tasks -------------------------------------
-    let mut task_index: HashMap<(NodeId, u64), usize> = HashMap::new();
+    let mut task_index = InstanceIndex::new(graph.node_count(), plan.iterations());
     for (idx, t) in plan.tasks().iter().enumerate() {
-        let node = graph.node(t.node).map_err(|_| SimError::UnknownNode(t.node))?;
+        let node = graph
+            .node(t.node)
+            .map_err(|_| SimError::UnknownNode(t.node))?;
         if t.pe.index() >= config.num_pes() {
             return Err(SimError::UnknownPe(t.pe));
         }
@@ -80,20 +163,32 @@ pub fn simulate(
                 expected: node.exec_time(),
             });
         }
-        if task_index.insert((t.node, t.iteration), idx).is_some() {
+        if task_index
+            .insert(t.node.index(), t.iteration, idx)
+            .is_some()
+        {
             return Err(SimError::DuplicateTask(t.node, t.iteration));
         }
-        if !pes[t.pe.index()].record_task(t.start, t.finish()) {
-            return Err(SimError::PeConflict {
-                pe: t.pe,
-                node: t.node,
-                iteration: t.iteration,
-            });
+        match pes[t.pe.index()].record_task(t.start, t.finish()) {
+            Ok(()) => {}
+            Err(RecordError::EmptyInterval) => {
+                return Err(SimError::EmptyTaskInterval {
+                    node: t.node,
+                    iteration: t.iteration,
+                });
+            }
+            Err(RecordError::Overlap) => {
+                return Err(SimError::PeConflict {
+                    pe: t.pe,
+                    node: t.node,
+                    iteration: t.iteration,
+                });
+            }
         }
     }
 
     // ---- index and validate transfers ----------------------------------
-    let mut transfer_index: HashMap<(EdgeId, u64), usize> = HashMap::new();
+    let mut transfer_index = InstanceIndex::new(graph.edge_count(), plan.iterations());
     let mut transfer_energy = 0u64;
     let mut offchip_fetches = 0u64;
     let mut onchip_hits = 0u64;
@@ -103,16 +198,21 @@ pub fn simulate(
     // -size at transfer completion).
     let mut cache_events: Vec<(u64, i64)> = Vec::new();
     // Per-PE in-flight transfer events for the iFIFO check.
-    let mut fifo_events: HashMap<PeId, Vec<(u64, i32)>> = HashMap::new();
+    let mut fifo_events: Vec<Vec<(u64, i32)>> = vec![Vec::new(); config.num_pes()];
     // Per-vault in-flight transfer events for the contention stat.
-    let mut vault_events: HashMap<usize, Vec<(u64, i32)>> = HashMap::new();
+    let mut vault_events: Vec<Vec<(u64, i32)>> = vec![Vec::new(); config.vaults()];
 
     for (idx, x) in plan.transfers().iter().enumerate() {
-        let ipr = graph.edge(x.edge).map_err(|_| SimError::UnknownEdge(x.edge))?;
+        let ipr = graph
+            .edge(x.edge)
+            .map_err(|_| SimError::UnknownEdge(x.edge))?;
         if x.dst_pe.index() >= config.num_pes() {
             return Err(SimError::UnknownPe(x.dst_pe));
         }
-        if transfer_index.insert((x.edge, x.iteration), idx).is_some() {
+        if transfer_index
+            .insert(x.edge.index(), x.iteration, idx)
+            .is_some()
+        {
             return Err(SimError::DuplicateTransfer(x.edge, x.iteration));
         }
         let required = cost.transfer_time(ipr.size(), x.placement);
@@ -125,8 +225,8 @@ pub fn simulate(
         }
         // Producer must exist and finish before the transfer starts.
         let producer = task_index
-            .get(&(ipr.src(), x.iteration))
-            .map(|&i| &plan.tasks()[i])
+            .get(ipr.src().index(), x.iteration)
+            .map(|i| &plan.tasks()[i])
             .ok_or(SimError::MissingProducer(ipr.src(), x.iteration))?;
         if x.start < producer.finish() {
             return Err(SimError::TransferBeforeProduction(x.edge, x.iteration));
@@ -147,26 +247,23 @@ pub fn simulate(
                 offchip_units += ipr.size();
                 vaults.record_fetch(x.edge, ipr.size(), x.duration);
                 let v = vaults.vault_of(x.edge);
-                vault_events.entry(v).or_default().push((x.start, 1));
-                vault_events.entry(v).or_default().push((x.finish(), -1));
+                vault_events[v].push((x.start, 1));
+                vault_events[v].push((x.finish(), -1));
             }
         }
-        fifo_events
-            .entry(x.dst_pe)
-            .or_default()
-            .push((x.start, 1));
-        fifo_events
-            .entry(x.dst_pe)
-            .or_default()
-            .push((x.finish(), -1));
+        fifo_events[x.dst_pe.index()].push((x.start, 1));
+        fifo_events[x.dst_pe.index()].push((x.finish(), -1));
     }
 
     // ---- dependency coverage -------------------------------------------
     for t in plan.tasks() {
-        for &e in graph.in_edges(t.node).map_err(|_| SimError::UnknownNode(t.node))? {
+        for &e in graph
+            .in_edges(t.node)
+            .map_err(|_| SimError::UnknownNode(t.node))?
+        {
             let x = transfer_index
-                .get(&(e, t.iteration))
-                .map(|&i| &plan.transfers()[i])
+                .get(e.index(), t.iteration)
+                .map(|i| &plan.transfers()[i])
                 .ok_or(SimError::MissingTransfer(e, t.iteration))?;
             if x.finish() > t.start {
                 return Err(SimError::ConsumerBeforeTransfer(e, t.iteration));
@@ -187,7 +284,7 @@ pub fn simulate(
     // `(node, iteration)` instance must therefore be present.
     for iter in 1..=plan.iterations() {
         for id in graph.node_ids() {
-            if !task_index.contains_key(&(id, iter)) {
+            if !task_index.contains(id.index(), iter) {
                 return Err(SimError::MissingTask(id, iter));
             }
         }
@@ -214,7 +311,7 @@ pub fn simulate(
 
     // ---- iFIFO sweep -------------------------------------------------------
     let mut peak_fifo = 0usize;
-    for (pe, mut events) in fifo_events {
+    for (pe_index, mut events) in fifo_events.into_iter().enumerate() {
         events.sort_by_key(|&(t, delta)| (t, delta));
         let mut in_flight = 0i32;
         for (_, delta) in events {
@@ -222,7 +319,7 @@ pub fn simulate(
             peak_fifo = peak_fifo.max(in_flight as usize);
             if in_flight as usize > config.pfifo_depth() {
                 return Err(SimError::FifoOverflow {
-                    pe,
+                    pe: PeId::new(pe_index as u32),
                     in_flight: in_flight as usize,
                     depth: config.pfifo_depth(),
                 });
@@ -233,7 +330,7 @@ pub fn simulate(
     // ---- vault contention sweep (statistic; enforced when the
     // configuration sets a port limit) ----------------------------------------
     let mut peak_vault_concurrency = 0usize;
-    for (vault, mut events) in vault_events {
+    for (vault, mut events) in vault_events.into_iter().enumerate() {
         events.sort_by_key(|&(t, delta)| (t, delta));
         let mut in_flight = 0i32;
         for (_, delta) in events {
@@ -257,10 +354,7 @@ pub fn simulate(
     let avg_pe_utilization = if config.num_pes() == 0 {
         0.0
     } else {
-        pes.iter()
-            .map(|pe| pe.utilization(total_time))
-            .sum::<f64>()
-            / config.num_pes() as f64
+        pes.iter().map(|pe| pe.utilization(total_time)).sum::<f64>() / config.num_pes() as f64
     };
     let time_per_iteration = if plan.iterations() == 0 {
         0.0
@@ -290,8 +384,8 @@ pub fn simulate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paraconv_graph::{OpKind, TaskGraphBuilder};
     use crate::{PlannedTask, PlannedTransfer};
+    use paraconv_graph::{EdgeId, NodeId, OpKind, TaskGraphBuilder};
 
     /// a -> b with an IPR of size 1.
     fn two_node_graph() -> TaskGraph {
@@ -316,7 +410,14 @@ mod tests {
         }
     }
 
-    fn xfer(edge: u32, iter: u64, placement: Placement, start: u64, dur: u64, dst: u32) -> PlannedTransfer {
+    fn xfer(
+        edge: u32,
+        iter: u64,
+        placement: Placement,
+        start: u64,
+        dur: u64,
+        dst: u32,
+    ) -> PlannedTransfer {
         PlannedTransfer {
             edge: EdgeId::new(edge),
             iteration: iter,
@@ -556,7 +657,11 @@ mod tests {
         assert_eq!(relaxed.peak_vault_concurrency, 2);
         assert!(matches!(
             simulate(&g, &plan, &mk(Some(1))).unwrap_err(),
-            SimError::VaultOverload { in_flight: 2, limit: 1, .. }
+            SimError::VaultOverload {
+                in_flight: 2,
+                limit: 1,
+                ..
+            }
         ));
         assert!(simulate(&g, &plan, &mk(Some(2))).is_ok());
     }

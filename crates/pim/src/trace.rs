@@ -64,11 +64,7 @@ pub fn gantt(
     let mut out = String::new();
     let _ = writeln!(out, "time {from}..{to} (node index mod 10; '.' = idle)");
     for (i, row) in rows.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "PE{i} |{}",
-            String::from_utf8_lossy(row)
-        );
+        let _ = writeln!(out, "PE{i} |{}", String::from_utf8_lossy(row));
     }
     out
 }

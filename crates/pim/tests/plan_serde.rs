@@ -43,9 +43,8 @@ fn config_roundtrips_through_json() {
         .edram_penalty(7)
         .build()
         .expect("valid");
-    let back: PimConfig =
-        serde_json::from_str(&serde_json::to_string(&cfg).expect("serializes"))
-            .expect("deserializes");
+    let back: PimConfig = serde_json::from_str(&serde_json::to_string(&cfg).expect("serializes"))
+        .expect("deserializes");
     assert_eq!(cfg, back);
 }
 

@@ -30,7 +30,10 @@ impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AnalysisError::ShapeMismatch { expected, found } => {
-                write!(f, "per-edge input of length {found}, graph has {expected} edges")
+                write!(
+                    f,
+                    "per-edge input of length {found}, graph has {expected} edges"
+                )
             }
             AnalysisError::ZeroPeriod => f.write_str("kernel period must be positive"),
             AnalysisError::EdramFasterThanCache(e) => {
@@ -109,8 +112,7 @@ impl MovementAnalysis {
                 return Err(AnalysisError::EdramFasterThanCache(id));
             }
             let k_cache = bounded_relative_retiming(cache_times[i], gaps[i], period);
-            let k_edram =
-                bounded_relative_retiming(edram_times[i], gaps[i], period).max(k_cache);
+            let k_edram = bounded_relative_retiming(edram_times[i], gaps[i], period).max(k_cache);
             let case = RetimingCase::classify(k_cache, k_edram)
                 .expect("bounded requirements with k_cache <= k_edram are always classifiable");
             cases.push(case);
@@ -167,11 +169,7 @@ impl MovementAnalysis {
     /// Panics if `placements.len()` differs from the edge count.
     #[must_use]
     pub fn requirements_for(&self, placements: &[Placement]) -> Vec<u64> {
-        assert_eq!(
-            placements.len(),
-            self.cases.len(),
-            "one placement per edge"
-        );
+        assert_eq!(placements.len(), self.cases.len(), "one placement per edge");
         self.cases
             .iter()
             .zip(placements)
@@ -272,7 +270,10 @@ mod tests {
         let g = examples::chain(3);
         assert!(matches!(
             MovementAnalysis::analyze(&g, 4, &[0], &[1, 1], &[2, 2]).unwrap_err(),
-            AnalysisError::ShapeMismatch { expected: 2, found: 1 }
+            AnalysisError::ShapeMismatch {
+                expected: 2,
+                found: 1
+            }
         ));
     }
 

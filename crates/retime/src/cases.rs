@@ -173,8 +173,7 @@ mod tests {
     fn classification_roundtrips() {
         for case in RetimingCase::all() {
             let reclassified =
-                RetimingCase::classify(case.cache_requirement(), case.edram_requirement())
-                    .unwrap();
+                RetimingCase::classify(case.cache_requirement(), case.edram_requirement()).unwrap();
             assert_eq!(reclassified, case);
         }
     }

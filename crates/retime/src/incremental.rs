@@ -87,11 +87,7 @@ impl Retiming {
     /// Returns the amount subtracted.
     #[must_use]
     pub fn normalize(&mut self) -> u64 {
-        let min = self
-            .node_values()
-            .map(|(_, v)| v)
-            .min()
-            .unwrap_or(0);
+        let min = self.node_values().map(|(_, v)| v).min().unwrap_or(0);
         if min > 0 {
             self.shift_down(min);
         }

@@ -49,7 +49,6 @@ mod retiming;
 pub use analysis::{AnalysisError, MovementAnalysis};
 pub use cases::{ClassifyError, RetimingCase};
 pub use requirement::{
-    bounded_relative_retiming, minimal_relative_retiming, theorem_3_1_holds,
-    MAX_RELATIVE_RETIMING,
+    bounded_relative_retiming, minimal_relative_retiming, theorem_3_1_holds, MAX_RELATIVE_RETIMING,
 };
 pub use retiming::{RetimeError, Retiming};

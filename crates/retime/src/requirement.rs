@@ -120,8 +120,7 @@ mod tests {
                         "violated at c={transfer}, gap={gap}, p={period}"
                     );
                     assert!(
-                        minimal_relative_retiming(transfer, gap, period)
-                            <= MAX_RELATIVE_RETIMING,
+                        minimal_relative_retiming(transfer, gap, period) <= MAX_RELATIVE_RETIMING,
                         "requirement exceeds bound at c={transfer}, gap={gap}, p={period}"
                     );
                 }

@@ -101,9 +101,7 @@ impl Retiming {
             graph.edge_count(),
             "one requirement per edge"
         );
-        let order = graph
-            .topological_order()
-            .expect("built graphs are acyclic");
+        let order = graph.topological_order().expect("built graphs are acyclic");
         let mut node_values = vec![0u64; graph.node_count()];
         for &id in order.iter().rev() {
             let out = graph.out_edges(id).expect("node from topological order");
@@ -194,8 +192,7 @@ impl Retiming {
     pub fn relative_value(&self, graph: &TaskGraph, id: EdgeId) -> Result<i64, RetimeError> {
         self.check_shape(graph)?;
         let ipr = graph.edge(id).map_err(|_| RetimeError::UnknownEdge(id))?;
-        Ok(self.node_values[ipr.src().index()] as i64
-            - self.node_values[ipr.dst().index()] as i64)
+        Ok(self.node_values[ipr.src().index()] as i64 - self.node_values[ipr.dst().index()] as i64)
     }
 
     /// Checks the legality condition `R(i) ≥ R(i,j) ≥ R(j)` on every

@@ -4,8 +4,8 @@ use proptest::prelude::*;
 
 use paraconv_graph::{NodeId, OpKind, Placement, TaskGraph, TaskGraphBuilder};
 use paraconv_retime::{
-    bounded_relative_retiming, minimal_relative_retiming, MovementAnalysis, Retiming,
-    RetimingCase, MAX_RELATIVE_RETIMING,
+    bounded_relative_retiming, minimal_relative_retiming, MovementAnalysis, Retiming, RetimingCase,
+    MAX_RELATIVE_RETIMING,
 };
 
 fn arb_dag() -> impl Strategy<Value = TaskGraph> {
@@ -162,6 +162,10 @@ fn all_six_cases_reachable() {
         let g = mk();
         let a = MovementAnalysis::analyze(&g, period, &[gap], &[cache], &[edram]).unwrap();
         let e = g.edge_ids().next().unwrap();
-        assert_eq!(a.case(e).unwrap(), expected, "gap={gap} c={cache} e={edram}");
+        assert_eq!(
+            a.case(e).unwrap(),
+            expected,
+            "gap={gap} c={cache} e={edram}"
+        );
     }
 }

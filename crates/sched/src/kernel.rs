@@ -74,9 +74,7 @@ impl KernelSchedule {
     pub fn compact_copies(graph: &TaskGraph, num_pes: usize, copies: u64) -> Self {
         assert!(num_pes > 0, "PE count must be positive");
         assert!(copies > 0, "copy count must be positive");
-        let order = graph
-            .topological_order()
-            .expect("built graphs are acyclic");
+        let order = graph.topological_order().expect("built graphs are acyclic");
         let n = graph.node_count();
         let total = n * copies as usize;
         let mut avail = vec![0u64; num_pes];

@@ -464,7 +464,10 @@ mod tests {
     fn bigger_cache_never_increases_rmax() {
         let g = examples::fork_join(24);
         let small = PimConfig::builder(8).per_pe_cache_units(1).build().unwrap();
-        let large = PimConfig::builder(8).per_pe_cache_units(16).build().unwrap();
+        let large = PimConfig::builder(8)
+            .per_pe_cache_units(16)
+            .build()
+            .unwrap();
         let r_small = ParaConvScheduler::new(small)
             .schedule(&g, 2)
             .unwrap()
@@ -531,13 +534,20 @@ mod tests {
     fn offchip_fetches_drop_with_more_cache() {
         let g = examples::fork_join(24);
         let small = PimConfig::builder(8).per_pe_cache_units(1).build().unwrap();
-        let large = PimConfig::builder(8).per_pe_cache_units(32).build().unwrap();
+        let large = PimConfig::builder(8)
+            .per_pe_cache_units(32)
+            .build()
+            .unwrap();
         let r_small = {
-            let o = ParaConvScheduler::new(small.clone()).schedule(&g, 4).unwrap();
+            let o = ParaConvScheduler::new(small.clone())
+                .schedule(&g, 4)
+                .unwrap();
             simulate(&g, &o.plan, &small).unwrap()
         };
         let r_large = {
-            let o = ParaConvScheduler::new(large.clone()).schedule(&g, 4).unwrap();
+            let o = ParaConvScheduler::new(large.clone())
+                .schedule(&g, 4)
+                .unwrap();
             simulate(&g, &o.plan, &large).unwrap()
         };
         assert!(r_large.offchip_fetches <= r_small.offchip_fetches);

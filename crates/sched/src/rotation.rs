@@ -76,9 +76,7 @@ impl RotationResult {
 pub fn rotation_schedule(graph: &TaskGraph, num_pes: usize, rounds: usize) -> RotationResult {
     assert!(num_pes > 0, "PE count must be positive");
     let n = graph.node_count();
-    let order = graph
-        .topological_order()
-        .expect("built graphs are acyclic");
+    let order = graph.topological_order().expect("built graphs are acyclic");
 
     // --- initial dependency-respecting list schedule -------------------
     let mut phase = vec![0u64; n]; // rotation count = retiming value
@@ -155,12 +153,12 @@ pub fn rotation_schedule(graph: &TaskGraph, num_pes: usize, rounds: usize) -> Ro
                 .iter()
                 .filter_map(|&e| {
                     let src = graph.edge(e).expect("adjacency edge").src();
-                    (phase[src.index()] == phase[id.index()])
-                        .then(|| finish_of[src.index()])
+                    (phase[src.index()] == phase[id.index()]).then(|| finish_of[src.index()])
                 })
                 .max()
                 .unwrap_or(0);
-            let (pe, start) = earliest_slot(graph, &pe_of, &start_of, &finish_of, id, est, c, num_pes);
+            let (pe, start) =
+                earliest_slot(graph, &pe_of, &start_of, &finish_of, id, est, c, num_pes);
             pe_of[id.index()] = pe;
             start_of[id.index()] = start;
             finish_of[id.index()] = start + c;
@@ -246,7 +244,11 @@ mod tests {
 
     #[test]
     fn lengths_never_increase() {
-        for g in [examples::chain(8), examples::fork_join(6), examples::motivational()] {
+        for g in [
+            examples::chain(8),
+            examples::fork_join(6),
+            examples::motivational(),
+        ] {
             for pes in [1usize, 2, 4] {
                 let result = rotation_schedule(&g, pes, 16);
                 for w in result.lengths.windows(2) {
@@ -266,7 +268,11 @@ mod tests {
 
     #[test]
     fn retiming_stays_legal() {
-        for g in [examples::chain(5), examples::motivational(), examples::fork_join(4)] {
+        for g in [
+            examples::chain(5),
+            examples::motivational(),
+            examples::fork_join(4),
+        ] {
             let result = rotation_schedule(&g, 2, 10);
             assert!(result.retiming.check_legal(&g).is_ok());
         }
@@ -280,12 +286,10 @@ mod tests {
         for a in g.node_ids() {
             for b in g.node_ids() {
                 if a < b && result.pe_of[a.index()] == result.pe_of[b.index()] {
-                    let fa = result.start_of[a.index()]
-                        + g.node(a).unwrap().exec_time();
-                    let fb = result.start_of[b.index()]
-                        + g.node(b).unwrap().exec_time();
-                    let disjoint = fa <= result.start_of[b.index()]
-                        || fb <= result.start_of[a.index()];
+                    let fa = result.start_of[a.index()] + g.node(a).unwrap().exec_time();
+                    let fb = result.start_of[b.index()] + g.node(b).unwrap().exec_time();
+                    let disjoint =
+                        fa <= result.start_of[b.index()] || fb <= result.start_of[a.index()];
                     assert!(disjoint, "{a} vs {b}");
                 }
             }
@@ -295,8 +299,8 @@ mod tests {
             let rs = result.retiming.node_value(ipr.src()).unwrap();
             let rd = result.retiming.node_value(ipr.dst()).unwrap();
             if rs == rd {
-                let fs = result.start_of[ipr.src().index()]
-                    + g.node(ipr.src()).unwrap().exec_time();
+                let fs =
+                    result.start_of[ipr.src().index()] + g.node(ipr.src()).unwrap().exec_time();
                 assert!(result.start_of[ipr.dst().index()] >= fs);
             }
         }

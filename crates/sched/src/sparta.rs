@@ -227,13 +227,7 @@ impl SpartaScheduler {
             clock += template.makespan;
         }
         if remainder > 0 {
-            let tail = schedule_batch(
-                graph,
-                remainder as usize,
-                n_pes,
-                &priority,
-                &transfer_time,
-            );
+            let tail = schedule_batch(graph, remainder as usize, n_pes, &priority, &transfer_time);
             emit_batch(
                 &mut plan,
                 graph,
@@ -396,7 +390,11 @@ mod tests {
     use paraconv_graph::examples;
     use paraconv_pim::simulate;
 
-    fn run(graph: &TaskGraph, pes: usize, iterations: u64) -> (SpartaOutcome, paraconv_pim::SimReport) {
+    fn run(
+        graph: &TaskGraph,
+        pes: usize,
+        iterations: u64,
+    ) -> (SpartaOutcome, paraconv_pim::SimReport) {
         let cfg = PimConfig::neurocube(pes).unwrap();
         let outcome = SpartaScheduler::new(cfg.clone())
             .schedule(graph, iterations)
@@ -420,7 +418,11 @@ mod tests {
         let g = examples::motivational(); // W=5, CP=3 → parallelism 2
         let cfg = PimConfig::neurocube(16).unwrap();
         let outcome = SpartaScheduler::new(cfg).schedule(&g, 16).unwrap();
-        assert!(outcome.copies_per_batch > 1, "copies={}", outcome.copies_per_batch);
+        assert!(
+            outcome.copies_per_batch > 1,
+            "copies={}",
+            outcome.copies_per_batch
+        );
     }
 
     #[test]

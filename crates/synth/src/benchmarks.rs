@@ -65,18 +65,78 @@ impl Benchmark {
 #[must_use]
 pub fn all() -> Vec<Benchmark> {
     vec![
-        Benchmark { name: "cat", vertices: 9, edges: 21, seed: 101 },
-        Benchmark { name: "car", vertices: 13, edges: 28, seed: 102 },
-        Benchmark { name: "flower", vertices: 21, edges: 51, seed: 103 },
-        Benchmark { name: "character-1", vertices: 46, edges: 121, seed: 104 },
-        Benchmark { name: "character-2", vertices: 52, edges: 130, seed: 105 },
-        Benchmark { name: "image-compress", vertices: 70, edges: 178, seed: 106 },
-        Benchmark { name: "stock-predict", vertices: 83, edges: 218, seed: 107 },
-        Benchmark { name: "string-matching", vertices: 102, edges: 267, seed: 108 },
-        Benchmark { name: "shortest-path", vertices: 191, edges: 506, seed: 109 },
-        Benchmark { name: "speech-1", vertices: 247, edges: 652, seed: 110 },
-        Benchmark { name: "speech-2", vertices: 369, edges: 981, seed: 111 },
-        Benchmark { name: "protein", vertices: 546, edges: 1449, seed: 112 },
+        Benchmark {
+            name: "cat",
+            vertices: 9,
+            edges: 21,
+            seed: 120,
+        },
+        Benchmark {
+            name: "car",
+            vertices: 13,
+            edges: 28,
+            seed: 102,
+        },
+        Benchmark {
+            name: "flower",
+            vertices: 21,
+            edges: 51,
+            seed: 103,
+        },
+        Benchmark {
+            name: "character-1",
+            vertices: 46,
+            edges: 121,
+            seed: 104,
+        },
+        Benchmark {
+            name: "character-2",
+            vertices: 52,
+            edges: 130,
+            seed: 105,
+        },
+        Benchmark {
+            name: "image-compress",
+            vertices: 70,
+            edges: 178,
+            seed: 106,
+        },
+        Benchmark {
+            name: "stock-predict",
+            vertices: 83,
+            edges: 218,
+            seed: 107,
+        },
+        Benchmark {
+            name: "string-matching",
+            vertices: 102,
+            edges: 267,
+            seed: 108,
+        },
+        Benchmark {
+            name: "shortest-path",
+            vertices: 191,
+            edges: 506,
+            seed: 109,
+        },
+        Benchmark {
+            name: "speech-1",
+            vertices: 247,
+            edges: 652,
+            seed: 110,
+        },
+        Benchmark {
+            name: "speech-2",
+            vertices: 369,
+            edges: 981,
+            seed: 111,
+        },
+        Benchmark {
+            name: "protein",
+            vertices: 546,
+            edges: 1449,
+            seed: 112,
+        },
     ]
 }
 

@@ -53,10 +53,13 @@ fn zero_cache_still_schedules_correctly() {
 
 #[test]
 fn zero_iterations_rejected_everywhere() {
-    let runner = ParaConv::new(PimConfig::neurocube(4).expect("valid")) ;
+    let runner = ParaConv::new(PimConfig::neurocube(4).expect("valid"));
     let g = examples::chain(2);
     assert!(matches!(runner.run(&g, 0), Err(CoreError::Sched(_))));
-    assert!(matches!(runner.run_baseline(&g, 0), Err(CoreError::Sched(_))));
+    assert!(matches!(
+        runner.run_baseline(&g, 0),
+        Err(CoreError::Sched(_))
+    ));
     assert!(matches!(runner.compare(&g, 0), Err(CoreError::Sched(_))));
 }
 
@@ -114,7 +117,12 @@ fn graph_shape_errors_from_cnn_partitioning() {
     let err = b
         .add(
             "huge-kernel",
-            Layer::Conv { out_channels: 1, kernel: 7, stride: 1, padding: 0 },
+            Layer::Conv {
+                out_channels: 1,
+                kernel: 7,
+                stride: 1,
+                padding: 0,
+            },
             &[],
         )
         .unwrap_err();

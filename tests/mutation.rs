@@ -11,7 +11,10 @@ use paraconv::sched::ParaConvScheduler;
 
 fn valid_setup() -> (paraconv::graph::TaskGraph, ExecutionPlan, PimConfig) {
     let graph = examples::motivational();
-    let config = PimConfig::builder(4).per_pe_cache_units(1).build().expect("valid");
+    let config = PimConfig::builder(4)
+        .per_pe_cache_units(1)
+        .build()
+        .expect("valid");
     let plan = ParaConvScheduler::new(config.clone())
         .schedule(&graph, 6)
         .expect("schedules")
@@ -87,10 +90,7 @@ fn rerouting_any_transfer_is_rejected() {
         mutated.dst_pe = PeId::new((x.dst_pe.index() as u32 + 1) % 4);
         let err = simulate(&graph, &with_transfer(&plan, i, mutated), &config)
             .expect_err("misrouted transfer must be rejected");
-        assert!(
-            matches!(err, SimError::WrongDestination { .. }),
-            "{err}"
-        );
+        assert!(matches!(err, SimError::WrongDestination { .. }), "{err}");
     }
 }
 

@@ -103,7 +103,10 @@ fn fig6_large_benchmarks_cache_more_with_more_pes() {
     let rows = fig6::run(&quick_config(), &slice()).expect("figure 6 runs");
     // For the larger benchmarks (cache-pressured at 16 PEs), growing
     // the array grows the cached population.
-    let large = rows.iter().find(|r| r.name == "shortest-path").expect("in slice");
+    let large = rows
+        .iter()
+        .find(|r| r.name == "shortest-path")
+        .expect("in slice");
     assert!(
         large.cached.last().expect("sweep") >= large.cached.first().expect("sweep"),
         "{:?}",
@@ -114,11 +117,7 @@ fn fig6_large_benchmarks_cache_more_with_more_pes() {
     // population is nearly exhausted), while remaining non-decreasing.
     let small = rows.iter().find(|r| r.name == "cat").expect("in slice");
     assert!(small.cached[2] >= small.cached[1], "{:?}", small.cached);
-    assert!(
-        small.cached[2] - small.cached[1] <= 2,
-        "{:?}",
-        small.cached
-    );
+    assert!(small.cached[2] - small.cached[1] <= 2, "{:?}", small.cached);
 }
 
 #[test]

@@ -116,7 +116,10 @@ fn simulator_totals_match_analytic_expectations() {
 #[test]
 fn gantt_and_trace_render_from_facade() {
     let graph = paraconv::graph::examples::motivational();
-    let config = PimConfig::builder(4).per_pe_cache_units(1).build().expect("valid");
+    let config = PimConfig::builder(4)
+        .per_pe_cache_units(1)
+        .build()
+        .expect("valid");
     let result = ParaConv::new(config.clone())
         .run(&graph, 4)
         .expect("pipeline completes");
@@ -135,8 +138,14 @@ fn energy_accounting_favors_cache() {
         .expect("benchmark exists")
         .graph()
         .expect("benchmark generates");
-    let starved = PimConfig::builder(16).per_pe_cache_units(0).build().expect("valid");
-    let ample = PimConfig::builder(16).per_pe_cache_units(64).build().expect("valid");
+    let starved = PimConfig::builder(16)
+        .per_pe_cache_units(0)
+        .build()
+        .expect("valid");
+    let ample = PimConfig::builder(16)
+        .per_pe_cache_units(64)
+        .build()
+        .expect("valid");
     let e_starved = ParaConv::new(starved)
         .run(&graph, 6)
         .expect("runs")

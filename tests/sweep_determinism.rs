@@ -1,0 +1,72 @@
+//! The parallel sweep engine must be invisible in the results: any
+//! worker count produces the same table rows in the same order, and a
+//! pool of one reproduces the old hand-rolled sequential loops.
+
+use paraconv::experiments::{ablation, fig5, fig6, quick_suite, scalability, table1, table2};
+use paraconv::ExperimentConfig;
+
+fn config_with_jobs(jobs: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        pe_counts: vec![16, 32],
+        iterations: 6,
+        jobs: Some(jobs),
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn table1_rows_identical_at_any_job_count() {
+    let suite = quick_suite();
+    let sequential = table1::run(&config_with_jobs(1), &suite).unwrap();
+    for jobs in [2, 8] {
+        let parallel = table1::run(&config_with_jobs(jobs), &suite).unwrap();
+        assert_eq!(sequential, parallel, "jobs={jobs}");
+    }
+    // The rendered artifact — what the binaries actually emit — is
+    // byte-for-byte identical too.
+    let rendered_seq = table1::render(&sequential).to_string();
+    let rendered_par = table1::render(&table1::run(&config_with_jobs(8), &suite).unwrap());
+    assert_eq!(rendered_seq, rendered_par.to_string());
+}
+
+#[test]
+fn table2_and_figures_identical_at_any_job_count() {
+    let suite = quick_suite();
+    let seq = config_with_jobs(1);
+    let par = config_with_jobs(8);
+    assert_eq!(
+        table2::run(&seq, &suite).unwrap(),
+        table2::run(&par, &suite).unwrap()
+    );
+    assert_eq!(
+        fig5::run(&seq, &suite).unwrap(),
+        fig5::run(&par, &suite).unwrap()
+    );
+    assert_eq!(
+        fig6::run(&seq, &suite).unwrap(),
+        fig6::run(&par, &suite).unwrap()
+    );
+}
+
+#[test]
+fn irregular_sweeps_identical_at_any_job_count() {
+    let suite = quick_suite();
+    let seq = config_with_jobs(1);
+    let par = config_with_jobs(8);
+    assert_eq!(
+        ablation::policies(&seq, &suite[..2]).unwrap(),
+        ablation::policies(&par, &suite[..2]).unwrap()
+    );
+    assert_eq!(
+        ablation::contributions(&seq, &suite[..2]).unwrap(),
+        ablation::contributions(&par, &suite[..2]).unwrap()
+    );
+    assert_eq!(
+        scalability::fetch_penalty(&seq, &suite[..3]).unwrap(),
+        scalability::fetch_penalty(&par, &suite[..3]).unwrap()
+    );
+    assert_eq!(
+        scalability::pe_sweep(&seq, &suite[0], &[4, 16, 64]).unwrap(),
+        scalability::pe_sweep(&par, &suite[0], &[4, 16, 64]).unwrap()
+    );
+}

@@ -1,0 +1,148 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored
+//! crate implements the subset of the criterion 0.5 API the
+//! workspace's benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`] / `bench_function` /
+//! `bench_with_input` / `finish`, [`Bencher::iter`], [`BenchmarkId`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! It is a *functional* micro-harness, not just a compile shim: each
+//! benchmark is warmed up once, then timed for `sample_size` samples,
+//! and the median per-iteration time is printed. There is no
+//! statistical analysis, HTML report or baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier for one parameterized benchmark: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times a closure over repeated iterations.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `f` once per timed iteration, recording one sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.samples.push(start.elapsed().as_secs_f64());
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        // One warm-up, then `sample_size` timed samples; report the
+        // median so one slow outlier doesn't skew the line.
+        let mut warmup = Bencher::default();
+        f(&mut warmup);
+        let mut bencher = Bencher::default();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mut samples = bencher.samples;
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+        println!(
+            "{}/{id}: median {:.3} ms over {} samples",
+            self.name,
+            median * 1e3,
+            samples.len()
+        );
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        self.run(&id.to_string(), f);
+    }
+
+    /// Benchmarks `f` with an input value threaded through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+    }
+
+    /// Ends the group (printing happens eagerly; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,504 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored
+//! crate implements the subset of the proptest 1.x API the workspace's
+//! property tests use: the [`proptest!`] macro with `pat in strategy`
+//! bindings and an optional `#![proptest_config(..)]` header,
+//! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assert_ne!`], range and
+//! tuple strategies, [`strategy::Just`], `prop_map`/`prop_flat_map`
+//! combinators, [`collection::vec`]/[`collection::btree_set`] and
+//! [`sample::select`].
+//!
+//! Unlike upstream proptest there is **no shrinking** — a failing case
+//! panics with the case index, and the generator is deterministic per
+//! (test name, case index), so failures reproduce exactly on re-run.
+//! Case count defaults to 64 (overridable with `PROPTEST_CASES`).
+
+#![forbid(unsafe_code)]
+
+/// Test-runner configuration, RNG plumbing and assertion failures.
+pub mod test_runner {
+    use core::fmt;
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a raw state word.
+        #[must_use]
+        pub fn new(state: u64) -> Self {
+            TestRng { state }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+
+    /// Derives the RNG for one test case: FNV-1a over the test name
+    /// mixed with the case index, so every (test, case) pair replays
+    /// the same inputs across runs.
+    #[must_use]
+    pub fn rng_for(test_name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::new(h ^ (u64::from(case) << 1 | 1))
+    }
+
+    /// A failed `prop_assert*` assertion.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure carrying `message`.
+        #[must_use]
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and core combinators.
+pub mod strategy {
+    use core::ops::{Range, RangeInclusive};
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a dependent strategy from each generated value.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Result of [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Integer types whose ranges act as strategies.
+    pub trait RangeValue: Copy {
+        /// Uniform draw from `[low, high)`.
+        fn draw(rng: &mut TestRng, low: Self, high: Self) -> Self;
+        /// Uniform draw from `[low, high]`.
+        fn draw_inclusive(rng: &mut TestRng, low: Self, high: Self) -> Self;
+    }
+
+    macro_rules! impl_range_value {
+        ($($t:ty),*) => {$(
+            impl RangeValue for $t {
+                fn draw(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                    let width = (high as u64).wrapping_sub(low as u64);
+                    assert!(width > 0, "cannot sample empty range");
+                    low.wrapping_add(rng.below(width) as $t)
+                }
+                fn draw_inclusive(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                    let width = (high as u64).wrapping_sub(low as u64);
+                    if width == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    low.wrapping_add(rng.below(width + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_value!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+    impl<T: RangeValue> Strategy for Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::draw(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: RangeValue> Strategy for RangeInclusive<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::draw_inclusive(rng, *self.start(), *self.end())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, G)
+    }
+}
+
+/// Collection strategies: random `Vec`s and `BTreeSet`s.
+pub mod collection {
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Sizes accepted by [`vec`] and [`btree_set`]: an exact `usize`
+    /// or a half-open `Range<usize>`.
+    pub trait SizeRange {
+        /// Picks the target length for one generated collection.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty collection size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`; see [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    /// Generates vectors of `element` values with length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; see [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    /// Generates ordered sets of `element` values with target size
+    /// drawn from `size`. If the element domain is too small the set
+    /// may come out smaller than the target (bounded retries), matching
+    /// upstream proptest's duplicate-rejection behaviour.
+    pub fn btree_set<S, Z>(element: S, size: Z) -> BTreeSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        Z: SizeRange,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S, Z> Strategy for BTreeSetStrategy<S, Z>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        Z: SizeRange,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 20 + 20 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Sampling strategies over fixed option sets.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniformly selects one of `options` per case.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Everything a property-test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace alias mirroring upstream's `prop::` re-exports.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ..) { .. }`
+/// becomes a `#[test]` running the body over random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident(
+        $($pat:pat in $strat:expr),+ $(,)?
+    ) $body:block)*) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $pat =
+                    $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __result: ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(__e) = __result {
+                    ::core::panic!(
+                        "proptest case {} of {} failed: {}",
+                        __case,
+                        stringify!($name),
+                        __e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// whole process) with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `left == right` ({})\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Asserts two expressions differ inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `left != right`\n  both: {:?}",
+            __l
+        );
+    }};
+}

@@ -1,0 +1,22 @@
+//! Offline placeholder for the `serde` crate.
+//!
+//! The workspace's `serde` support is an **optional, default-off**
+//! feature on every crate (`#[cfg_attr(feature = "serde", ...)]`), and
+//! the build environment has no crates.io access. This placeholder
+//! exists so dependency resolution succeeds; it declares the trait
+//! names but no derive macros, so building the workspace **with** the
+//! `serde` feature enabled requires restoring the real crate.
+
+#![forbid(unsafe_code)]
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker standing in for `serde::Serializer` (namespace only).
+pub mod ser {}
+
+/// Marker standing in for `serde::Deserializer` (namespace only).
+pub mod de {}

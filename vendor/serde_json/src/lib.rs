@@ -1,0 +1,8 @@
+//! Offline placeholder for the `serde_json` crate.
+//!
+//! Only referenced by test files that are fully gated behind the
+//! default-off `serde` feature (`#![cfg(feature = "serde")]`), so no
+//! symbols are required — this crate exists purely so dependency
+//! resolution succeeds without registry access.
+
+#![forbid(unsafe_code)]
