@@ -7,6 +7,7 @@
 //! $ paraconv run protein --pes 64 --iters 100
 //! $ paraconv compare speech-1 --pes 32
 //! $ paraconv gantt cat --pes 4 --window 40
+//! $ paraconv audit cat --pes 16 --iters 100
 //! ```
 
 use std::process::ExitCode;
@@ -36,6 +37,7 @@ const USAGE: &str = "usage:
   paraconv run <benchmark> [opts]       schedule + simulate with Para-CONV
   paraconv compare <benchmark> [opts]   Para-CONV vs the SPARTA baseline
   paraconv gantt <benchmark> [opts]     ASCII Gantt of the Para-CONV plan
+  paraconv audit <benchmark> [opts]     audit both schedulers' plans
 
 options:
   --pes <n>      processing engines (default 16)
@@ -118,6 +120,27 @@ fn run(args: &[String]) -> Result<(), String> {
                 "{}",
                 paraconv::pim::gantt(&graph, &result.outcome.plan, &cfg, 0, window)
             );
+            Ok(())
+        }
+        "audit" => {
+            let graph = load(args.get(1))?;
+            let (pes, iters, _) = options(args)?;
+            let cfg = config(pes)?;
+            let runner = ParaConv::new(cfg.clone());
+            let result = runner.run(&graph, iters).map_err(|e| e.to_string())?;
+            let para = paraconv::pim::audit(&graph, &result.outcome.plan, &cfg, &result.report)
+                .map_err(|e| format!("Para-CONV plan failed audit: {e}"))?;
+            println!("Para-CONV plan: PASS");
+            println!("{para}");
+            let baseline = runner
+                .run_baseline(&graph, iters)
+                .map_err(|e| e.to_string())?;
+            let sparta =
+                paraconv::pim::audit(&graph, &baseline.outcome.plan, &cfg, &baseline.report)
+                    .map_err(|e| format!("SPARTA plan failed audit: {e}"))?;
+            println!();
+            println!("SPARTA plan: PASS");
+            println!("{sparta}");
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),

@@ -3,7 +3,7 @@
 use core::fmt;
 
 use paraconv_cnn::{NetworkError, PartitionError};
-use paraconv_pim::{ConfigError, SimError};
+use paraconv_pim::{AuditError, ConfigError, SimError};
 use paraconv_sched::SchedError;
 use paraconv_synth::SynthError;
 
@@ -18,6 +18,10 @@ pub enum CoreError {
     /// The simulator rejected an emitted plan (indicates a scheduler
     /// bug; surfaced for debuggability).
     Sim(SimError),
+    /// The independent auditor rejected an emitted plan or found the
+    /// simulator's report diverging from its own derivation (indicates
+    /// a scheduler or simulator bug; surfaced for debuggability).
+    Audit(AuditError),
     /// Benchmark generation failed.
     Synth(SynthError),
     /// A CNN description could not be built.
@@ -32,6 +36,7 @@ impl fmt::Display for CoreError {
             CoreError::Config(e) => write!(f, "configuration error: {e}"),
             CoreError::Sched(e) => write!(f, "scheduling error: {e}"),
             CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::Audit(e) => write!(f, "audit error: {e}"),
             CoreError::Synth(e) => write!(f, "benchmark generation error: {e}"),
             CoreError::Network(e) => write!(f, "network construction error: {e}"),
             CoreError::Partition(e) => write!(f, "partitioning error: {e}"),
@@ -45,6 +50,7 @@ impl std::error::Error for CoreError {
             CoreError::Config(e) => Some(e),
             CoreError::Sched(e) => Some(e),
             CoreError::Sim(e) => Some(e),
+            CoreError::Audit(e) => Some(e),
             CoreError::Synth(e) => Some(e),
             CoreError::Network(e) => Some(e),
             CoreError::Partition(e) => Some(e),
@@ -70,6 +76,13 @@ impl From<SchedError> for CoreError {
 impl From<SimError> for CoreError {
     fn from(e: SimError) -> Self {
         CoreError::Sim(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<AuditError> for CoreError {
+    fn from(e: AuditError) -> Self {
+        CoreError::Audit(e)
     }
 }
 
@@ -110,5 +123,10 @@ mod tests {
         assert!(e.to_string().contains("scheduling"));
         let e: CoreError = SynthError::NoVertices.into();
         assert!(e.to_string().contains("generation"));
+        let e: CoreError = AuditError::NonFiniteMetric {
+            metric: "throughput",
+        }
+        .into();
+        assert!(e.to_string().contains("audit"));
     }
 }

@@ -9,11 +9,11 @@
 //! * the **cache capacity** — per-PE cache units drive how many IPRs
 //!   escape eDRAM and how short the prologue gets.
 
-use paraconv_pim::simulate;
+use paraconv_pim::{audit, audit_plan, simulate};
 use paraconv_sched::{AllocationPolicy, BaselineCachePolicy, ParaConvScheduler, SpartaScheduler};
 use paraconv_synth::Benchmark;
 
-use crate::sweep::{self, SweepPoint};
+use crate::sweep;
 use crate::{CoreError, ExperimentConfig, ParaConv, TextTable};
 
 /// One allocation-policy measurement.
@@ -51,10 +51,7 @@ pub fn policies(
     let mut points = Vec::with_capacity(suite.len() * policies.len());
     for &bench in suite {
         for policy in policies {
-            points.push(
-                SweepPoint::new(bench, config.pim_config(pes)?, config.iterations)
-                    .with_policy(policy),
-            );
+            points.push(config.sweep_point(bench, pes)?.with_policy(policy));
         }
     }
     let results = sweep::run_all_with(&points, config.effective_jobs())?;
@@ -101,11 +98,7 @@ pub fn penalty_sweep(
     for &penalty in penalties {
         let mut cfg = config.clone();
         cfg.edram_penalty = penalty;
-        points.push(SweepPoint::new(
-            *bench,
-            cfg.pim_config(pes)?,
-            config.iterations,
-        ));
+        points.push(cfg.sweep_point(*bench, pes)?);
     }
     let comparisons = sweep::compare_all_with(&points, config.effective_jobs())?;
     Ok(penalties
@@ -149,11 +142,7 @@ pub fn cache_sweep(
     for &units in capacities {
         let mut cfg = config.clone();
         cfg.per_pe_cache_units = units;
-        points.push(SweepPoint::new(
-            *bench,
-            cfg.pim_config(pes)?,
-            config.iterations,
-        ));
+        points.push(cfg.sweep_point(*bench, pes)?);
     }
     let results = sweep::run_all_with(&points, config.effective_jobs())?;
     Ok(capacities
@@ -206,20 +195,30 @@ pub fn contributions(
         let graph = bench.graph()?;
         let baseline = {
             let outcome = SpartaScheduler::new(pim.clone()).schedule(&graph, config.iterations)?;
-            simulate(&graph, &outcome.plan, &pim)?.total_time
+            let report = simulate(&graph, &outcome.plan, &pim)?;
+            if config.audit {
+                audit(&graph, &outcome.plan, &pim, &report)?;
+            }
+            report.total_time
         };
         let baseline_dp = {
             let outcome = SpartaScheduler::new(pim.clone())
                 .with_cache_policy(BaselineCachePolicy::OptimalDp)
                 .schedule(&graph, config.iterations)?;
-            simulate(&graph, &outcome.plan, &pim)?.total_time
+            let report = simulate(&graph, &outcome.plan, &pim)?;
+            if config.audit {
+                audit(&graph, &outcome.plan, &pim, &report)?;
+            }
+            report.total_time
         };
         let retiming_only = ParaConv::new(pim.clone())
             .with_policy(AllocationPolicy::AllEdram)
+            .with_audit(config.audit)
             .run(&graph, config.iterations)?
             .report
             .total_time;
         let full = ParaConv::new(pim.clone())
+            .with_audit(config.audit)
             .run(&graph, config.iterations)?
             .report
             .total_time;
@@ -268,6 +267,11 @@ pub fn unrolling(
             .with_max_unroll(1)
             .schedule(&graph, config.iterations)?;
         let free = ParaConvScheduler::new(pim.clone()).schedule(&graph, config.iterations)?;
+        if config.audit {
+            // No simulation here, so only the plan-level invariants.
+            audit_plan(&graph, &capped.plan, &pim)?;
+            audit_plan(&graph, &free.plan, &pim)?;
+        }
         Ok(UnrollRow {
             name: bench.name().to_owned(),
             capped_interval: capped.time_per_iteration(),

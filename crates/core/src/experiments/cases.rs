@@ -9,7 +9,7 @@
 
 use paraconv_synth::Benchmark;
 
-use crate::sweep::{self, SweepPoint};
+use crate::sweep;
 use crate::{CoreError, ExperimentConfig, TextTable};
 
 /// One benchmark's case histogram at one PE count.
@@ -56,11 +56,7 @@ pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<CaseRow
     let mut labels = Vec::with_capacity(suite.len() * pes_points.len());
     for &bench in suite {
         for &pes in &pes_points {
-            points.push(SweepPoint::new(
-                bench,
-                config.pim_config(pes)?,
-                config.iterations,
-            ));
+            points.push(config.sweep_point(bench, pes)?);
             labels.push((bench.name().to_owned(), pes));
         }
     }

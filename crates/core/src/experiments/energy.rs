@@ -6,7 +6,7 @@
 
 use paraconv_synth::Benchmark;
 
-use crate::sweep::{self, SweepPoint};
+use crate::sweep;
 use crate::{CoreError, ExperimentConfig, TextTable};
 
 /// One benchmark row of the energy comparison.
@@ -57,11 +57,7 @@ pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<EnergyR
     let pes = *config.pe_counts.first().expect("non-empty sweep");
     let mut points = Vec::with_capacity(suite.len());
     for &bench in suite {
-        points.push(SweepPoint::new(
-            bench,
-            config.pim_config(pes)?,
-            config.iterations,
-        ));
+        points.push(config.sweep_point(bench, pes)?);
     }
     let comparisons = sweep::compare_all_with(&points, config.effective_jobs())?;
     Ok(suite

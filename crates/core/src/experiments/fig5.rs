@@ -3,7 +3,7 @@
 
 use paraconv_synth::Benchmark;
 
-use crate::sweep::{self, SweepPoint};
+use crate::sweep;
 use crate::{CoreError, ExperimentConfig, TextTable};
 
 /// One benchmark series of Figure 5.
@@ -38,17 +38,9 @@ pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<Fig5Row
     let mut reference_points = Vec::with_capacity(suite.len());
     let mut points = Vec::with_capacity(suite.len() * config.pe_counts.len());
     for &bench in suite {
-        reference_points.push(SweepPoint::new(
-            bench,
-            config.pim_config(reference_pes)?,
-            config.iterations,
-        ));
+        reference_points.push(config.sweep_point(bench, reference_pes)?);
         for &pes in &config.pe_counts {
-            points.push(SweepPoint::new(
-                bench,
-                config.pim_config(pes)?,
-                config.iterations,
-            ));
+            points.push(config.sweep_point(bench, pes)?);
         }
     }
     let references = sweep::baseline_all_with(&reference_points, jobs)?;

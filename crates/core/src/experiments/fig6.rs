@@ -3,7 +3,7 @@
 
 use paraconv_synth::Benchmark;
 
-use crate::sweep::{self, SweepPoint};
+use crate::sweep;
 use crate::{CoreError, ExperimentConfig, TextTable};
 
 /// One benchmark series of Figure 6.
@@ -29,11 +29,7 @@ pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<Fig6Row
     let mut points = Vec::with_capacity(suite.len() * config.pe_counts.len());
     for &bench in suite {
         for &pes in &config.pe_counts {
-            points.push(SweepPoint::new(
-                bench,
-                config.pim_config(pes)?,
-                config.iterations,
-            ));
+            points.push(config.sweep_point(bench, pes)?);
         }
     }
     let results = sweep::run_all_with(&points, config.effective_jobs())?;

@@ -28,6 +28,7 @@ pub mod zoo;
 use paraconv_pim::{PimConfig, PimConfigBuilder};
 use paraconv_synth::Benchmark;
 
+use crate::sweep::SweepPoint;
 use crate::CoreError;
 
 /// Shared knobs for the evaluation harness.
@@ -49,6 +50,11 @@ pub struct ExperimentConfig {
     /// host's available parallelism. `Some(1)` forces the sequential
     /// path.
     pub jobs: Option<usize>,
+    /// Re-check every emitted plan and simulator report with the
+    /// independent auditor ([`paraconv_pim::audit`]). Off by default
+    /// (the auditor roughly doubles validation work); the
+    /// `paraconv audit` subcommand and the CI audit job turn it on.
+    pub audit: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -60,6 +66,7 @@ impl Default for ExperimentConfig {
             edram_penalty: 4,
             vault_queue_cost: 0,
             jobs: None,
+            audit: false,
         }
     }
 }
@@ -96,6 +103,21 @@ impl ExperimentConfig {
     #[must_use]
     pub fn effective_jobs(&self) -> usize {
         self.jobs.unwrap_or_else(crate::sweep::max_jobs).max(1)
+    }
+
+    /// Builds one sweep point for a benchmark and PE count, carrying
+    /// this harness's iteration count and audit opt-in. All experiment
+    /// modules route their points through here so `audit: true`
+    /// re-checks every plan they emit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] if the knobs are out of range.
+    pub fn sweep_point(&self, benchmark: Benchmark, pes: usize) -> Result<SweepPoint, CoreError> {
+        Ok(
+            SweepPoint::new(benchmark, self.pim_config(pes)?, self.iterations)
+                .with_audit(self.audit),
+        )
     }
 }
 

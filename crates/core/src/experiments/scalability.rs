@@ -12,7 +12,7 @@
 
 use paraconv_synth::Benchmark;
 
-use crate::sweep::{self, SweepPoint};
+use crate::sweep;
 use crate::{CoreError, ExperimentConfig, TextTable};
 
 /// One point of the PE-count scalability sweep.
@@ -41,11 +41,7 @@ pub fn pe_sweep(
 ) -> Result<Vec<ScalePoint>, CoreError> {
     let mut jobs = Vec::with_capacity(pe_counts.len());
     for &pes in pe_counts {
-        jobs.push(SweepPoint::new(
-            *bench,
-            config.pim_config(pes)?,
-            config.iterations,
-        ));
+        jobs.push(config.sweep_point(*bench, pes)?);
     }
     let comparisons = sweep::compare_all_with(&jobs, config.effective_jobs())?;
     Ok(pe_counts
@@ -101,11 +97,7 @@ pub fn fetch_penalty(
     let pes = *config.pe_counts.first().expect("non-empty sweep");
     let mut points = Vec::with_capacity(suite.len());
     for &bench in suite {
-        points.push(SweepPoint::new(
-            bench,
-            config.pim_config(pes)?,
-            config.iterations,
-        ));
+        points.push(config.sweep_point(bench, pes)?);
     }
     let comparisons = sweep::compare_all_with(&points, config.effective_jobs())?;
     Ok(suite

@@ -3,7 +3,7 @@
 
 use paraconv_synth::Benchmark;
 
-use crate::sweep::{self, SweepPoint};
+use crate::sweep;
 use crate::{CoreError, ExperimentConfig, TextTable};
 
 /// One PE-count cell of a Table 1 row.
@@ -42,11 +42,7 @@ pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<Table1R
     let mut points = Vec::with_capacity(suite.len() * config.pe_counts.len());
     for &bench in suite {
         for &pes in &config.pe_counts {
-            points.push(SweepPoint::new(
-                bench,
-                config.pim_config(pes)?,
-                config.iterations,
-            ));
+            points.push(config.sweep_point(bench, pes)?);
         }
     }
     let comparisons = sweep::compare_all_with(&points, config.effective_jobs())?;

@@ -1,7 +1,7 @@
 //! High-level entry points: schedule, simulate and compare in one call.
 
 use paraconv_graph::TaskGraph;
-use paraconv_pim::{simulate, PimConfig, SimReport};
+use paraconv_pim::{audit, simulate, PimConfig, SimReport};
 use paraconv_sched::{
     AllocationPolicy, ParaConvOutcome, ParaConvScheduler, SpartaOutcome, SpartaScheduler,
 };
@@ -79,6 +79,7 @@ impl Comparison {
 pub struct ParaConv {
     config: PimConfig,
     policy: AllocationPolicy,
+    audit: bool,
 }
 
 impl ParaConv {
@@ -88,6 +89,7 @@ impl ParaConv {
         ParaConv {
             config,
             policy: AllocationPolicy::DynamicProgram,
+            audit: false,
         }
     }
 
@@ -95,6 +97,16 @@ impl ParaConv {
     #[must_use]
     pub fn with_policy(mut self, policy: AllocationPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Enables the independent plan auditor: every emitted plan and
+    /// every simulator report is re-checked by
+    /// [`paraconv_pim::audit`], and any violation surfaces as
+    /// [`CoreError::Audit`].
+    #[must_use]
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
         self
     }
 
@@ -116,6 +128,9 @@ impl ParaConv {
             .with_policy(self.policy)
             .schedule(graph, iterations)?;
         let report = simulate(graph, &outcome.plan, &self.config)?;
+        if self.audit {
+            audit(graph, &outcome.plan, &self.config, &report)?;
+        }
         Ok(RunResult { outcome, report })
     }
 
@@ -132,6 +147,9 @@ impl ParaConv {
     ) -> Result<BaselineResult, CoreError> {
         let outcome = SpartaScheduler::new(self.config.clone()).schedule(graph, iterations)?;
         let report = simulate(graph, &outcome.plan, &self.config)?;
+        if self.audit {
+            audit(graph, &outcome.plan, &self.config, &report)?;
+        }
         Ok(BaselineResult { outcome, report })
     }
 
@@ -172,6 +190,17 @@ mod tests {
         assert_eq!(r.outcome.plan.iterations(), 10);
         let b = runner.run_baseline(&examples::motivational(), 10).unwrap();
         assert_eq!(b.report.iterations, 10);
+    }
+
+    #[test]
+    fn audited_runs_match_unaudited_runs() {
+        let plain = ParaConv::new(PimConfig::neurocube(8).unwrap());
+        let audited = plain.clone().with_audit(true);
+        let g = examples::fork_join(12);
+        let a = audited.compare(&g, 10).unwrap();
+        let b = plain.compare(&g, 10).unwrap();
+        assert_eq!(a.paraconv.report, b.paraconv.report);
+        assert_eq!(a.sparta.report, b.sparta.report);
     }
 
     #[test]

@@ -55,6 +55,8 @@ pub struct SweepPoint {
     pub policy: AllocationPolicy,
     /// Logical iterations to schedule and replay.
     pub iterations: u64,
+    /// Whether the independent plan auditor re-checks every run.
+    pub audit: bool,
 }
 
 impl SweepPoint {
@@ -66,6 +68,7 @@ impl SweepPoint {
             config,
             policy: AllocationPolicy::DynamicProgram,
             iterations,
+            audit: false,
         }
     }
 
@@ -76,8 +79,17 @@ impl SweepPoint {
         self
     }
 
+    /// Enables the independent plan auditor for this point's runs.
+    #[must_use]
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
+        self
+    }
+
     fn runner(&self) -> ParaConv {
-        ParaConv::new(self.config.clone()).with_policy(self.policy)
+        ParaConv::new(self.config.clone())
+            .with_policy(self.policy)
+            .with_audit(self.audit)
     }
 
     /// Runs Para-CONV at this point.

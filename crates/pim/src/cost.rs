@@ -42,10 +42,12 @@ impl CostModel {
     ///
     /// The vault-queue term models TSV contention: the HMC vault count
     /// is fixed, so applications with more IPR traffic see deeper
-    /// per-vault queues regardless of PE count.
+    /// per-vault queues regardless of PE count. The per-vault depth
+    /// rounds *up*: any IPR traffic at all queues at least one deep, so
+    /// small graphs on many-vault stacks still pay the contention term.
     #[must_use]
     pub fn new(config: &PimConfig, edge_count: usize) -> Self {
-        let per_vault = edge_count as u64 / config.vaults() as u64;
+        let per_vault = (edge_count as u64).div_ceil(config.vaults() as u64);
         CostModel {
             cache_cost_per_unit: config.cache_cost_per_unit(),
             edram_penalty: config.edram_penalty(),
@@ -171,8 +173,26 @@ mod tests {
 
     #[test]
     fn small_graphs_have_no_queue() {
+        // The neurocube preset leaves vault queuing off entirely.
         let m = CostModel::new(&PimConfig::neurocube(16).unwrap(), 8);
         assert_eq!(m.vault_queue_delay(), 0);
         assert_eq!(m.edram_transfer_time(1), 4);
+    }
+
+    #[test]
+    fn small_graphs_still_pay_contention() {
+        // Regression: integer division floored 8/16 to 0, silently
+        // erasing the contention term for any graph with fewer edges
+        // than vaults. The depth now rounds up.
+        let cfg = PimConfig::builder(16).vault_queue_cost(3).build().unwrap();
+        let m = CostModel::new(&cfg, 8);
+        assert_eq!(m.vault_queue_delay(), 3);
+        assert_eq!(m.edram_transfer_time(1), 4 + 3);
+        // 17 edges over 16 vaults queue two deep, not one.
+        let m = CostModel::new(&cfg, 17);
+        assert_eq!(m.vault_queue_delay(), 6);
+        // No edges, no queue.
+        let m = CostModel::new(&cfg, 0);
+        assert_eq!(m.vault_queue_delay(), 0);
     }
 }

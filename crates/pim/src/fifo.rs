@@ -9,19 +9,25 @@
 use core::fmt;
 
 /// Error returned when pushing into a full FIFO.
+///
+/// Carries the rejected item back to the caller, so back-pressure can
+/// be modelled by holding the item and retrying after a
+/// [`Fifo::pop`] — nothing is silently dropped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FifoOverflow {
+pub struct FifoOverflow<T> {
     /// The configured capacity that was exceeded.
     pub capacity: usize,
+    /// The item the FIFO refused.
+    pub item: T,
 }
 
-impl fmt::Display for FifoOverflow {
+impl<T> fmt::Display for FifoOverflow<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "fifo overflow beyond capacity {}", self.capacity)
     }
 }
 
-impl std::error::Error for FifoOverflow {}
+impl<T: fmt::Debug> std::error::Error for FifoOverflow<T> {}
 
 /// A bounded FIFO with occupancy statistics.
 ///
@@ -33,10 +39,13 @@ impl std::error::Error for FifoOverflow {}
 /// let mut fifo = Fifo::new(2);
 /// fifo.push(10u64)?;
 /// fifo.push(20u64)?;
-/// assert!(fifo.push(30u64).is_err());
+/// // A full FIFO hands the rejected item back for a later retry.
+/// let overflow = fifo.push(30u64).unwrap_err();
+/// assert_eq!(overflow.item, 30);
 /// assert_eq!(fifo.pop(), Some(10));
+/// fifo.push(overflow.item)?;
 /// assert_eq!(fifo.peak_occupancy(), 2);
-/// # Ok::<(), paraconv_pim::FifoOverflow>(())
+/// # Ok::<(), paraconv_pim::FifoOverflow<u64>>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fifo<T> {
@@ -67,12 +76,14 @@ impl<T> Fifo<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`FifoOverflow`] if the FIFO is full; the item is
-    /// dropped in that case (the caller models back-pressure).
-    pub fn push(&mut self, item: T) -> Result<(), FifoOverflow> {
+    /// Returns [`FifoOverflow`] if the FIFO is full; the rejected item
+    /// rides back in the error so the caller can model back-pressure
+    /// by retrying it after a [`pop`](Self::pop).
+    pub fn push(&mut self, item: T) -> Result<(), FifoOverflow<T>> {
         if self.items.len() == self.capacity {
             return Err(FifoOverflow {
                 capacity: self.capacity,
+                item,
             });
         }
         self.items.push_back(item);
@@ -134,12 +145,24 @@ mod tests {
     }
 
     #[test]
-    fn overflow_is_reported_and_item_dropped() {
+    fn overflow_returns_the_rejected_item() {
         let mut f = Fifo::new(1);
         f.push('a').unwrap();
-        assert_eq!(f.push('b').unwrap_err(), FifoOverflow { capacity: 1 });
+        let overflow = f.push('b').unwrap_err();
+        assert_eq!(
+            overflow,
+            FifoOverflow {
+                capacity: 1,
+                item: 'b'
+            }
+        );
         assert_eq!(f.len(), 1);
         assert_eq!(f.total_pushed(), 1);
+        // Back-pressure: drain one slot and retry the returned item.
+        assert_eq!(f.pop(), Some('a'));
+        f.push(overflow.item).unwrap();
+        assert_eq!(f.pop(), Some('b'));
+        assert_eq!(f.total_pushed(), 2);
     }
 
     #[test]

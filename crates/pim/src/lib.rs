@@ -20,6 +20,9 @@
 //!   exclusivity, dependency coverage, cache capacity and FIFO depth,
 //!   and reports throughput, data movement and energy in a
 //!   [`SimReport`];
+//! * [`audit_plan`] / [`audit`] — an independent second opinion that
+//!   re-derives the paper's architectural invariants from scratch and
+//!   cross-checks the simulator's own report;
 //! * component models ([`Pe`], [`Fifo`], [`VaultArray`], [`Crossbar`])
 //!   used by the simulator and reusable for custom analyses.
 //!
@@ -41,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod audit;
 mod config;
 mod cost;
 mod error;
@@ -54,6 +58,7 @@ mod sim;
 mod trace;
 mod vault;
 
+pub use audit::{audit, audit_plan, AuditError, AuditReport};
 pub use config::{ConfigError, PimConfig, PimConfigBuilder};
 pub use cost::CostModel;
 pub use error::SimError;

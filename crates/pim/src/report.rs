@@ -142,6 +142,12 @@ mod tests {
         r.offchip_fetches = 0;
         assert_eq!(r.throughput(), 0.0);
         assert_eq!(r.onchip_hit_rate(), 0.0);
+        // A zero-time degenerate run must never leak NaN/∞ into
+        // downstream averages.
+        assert!(r.throughput().is_finite());
+        r.iterations = 0;
+        assert!(r.throughput().is_finite());
+        assert_eq!(r.throughput(), 0.0);
     }
 
     #[test]

@@ -366,12 +366,15 @@ fn best_kernel(graph: &TaskGraph, num_pes: usize, iterations: u64) -> KernelSche
 fn greedy_prefilter(items: Vec<AllocItem>, capacity: u64) -> Vec<AllocItem> {
     let (zero, mut positive): (Vec<AllocItem>, Vec<AllocItem>) =
         items.into_iter().partition(|i| i.delta_r() == 0);
-    positive.sort_by_key(|i| {
-        // Highest ΔR per space unit first; deterministic ties.
-        (
-            std::cmp::Reverse(i.delta_r() * 1_000 / i.space().max(1)),
-            i.edge(),
-        )
+    // Highest ΔR per space unit first; deterministic ties by edge id.
+    // Densities are compared by u128 cross-multiplication: the old
+    // fixed-point key `ΔR·1000 / space` both overflowed u64 for large
+    // ΔR and collapsed distinct densities into one bucket, letting the
+    // edge-id tiebreak pick the *worse* item.
+    positive.sort_by(|a, b| {
+        let lhs = u128::from(b.delta_r()) * u128::from(a.space().max(1));
+        let rhs = u128::from(a.delta_r()) * u128::from(b.space().max(1));
+        lhs.cmp(&rhs).then_with(|| a.edge().cmp(&b.edge()))
     });
     let mut used = 0u64;
     let mut kept = zero;
@@ -387,7 +390,7 @@ fn greedy_prefilter(items: Vec<AllocItem>, capacity: u64) -> Vec<AllocItem> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use paraconv_graph::examples;
+    use paraconv_graph::{examples, EdgeId};
     use paraconv_pim::simulate;
 
     fn schedule_and_simulate(
@@ -400,6 +403,8 @@ mod tests {
             .schedule(graph, iterations)
             .unwrap();
         let report = simulate(graph, &outcome.plan, &cfg).unwrap();
+        // Every emitted plan must also satisfy the independent auditor.
+        paraconv_pim::audit(graph, &outcome.plan, &cfg, &report).unwrap();
         (outcome, report)
     }
 
@@ -528,6 +533,44 @@ mod tests {
         for outcome in [&dp, &greedy, &none] {
             assert!(simulate(&g, &outcome.plan, &cfg).is_ok());
         }
+    }
+
+    #[test]
+    fn greedy_orders_by_true_density() {
+        // Regression for the fixed-point density key `ΔR·1000/space`:
+        // item A (ΔR=6668, sp=10000, density 0.6668) and item B (ΔR=2,
+        // sp=3, density 0.6667) both hashed to bucket 666, and the
+        // edge-id tiebreak put B first — with capacity 10000 the greedy
+        // then kept only B, buying profit 2 instead of 6668.
+        let a = AllocItem::new(EdgeId::new(5), 10_000, 6_668, 1);
+        let b = AllocItem::new(EdgeId::new(3), 3, 2, 1);
+        let kept = greedy_prefilter(vec![b, a], 10_000);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].edge(), EdgeId::new(5));
+    }
+
+    #[test]
+    fn greedy_density_key_does_not_overflow() {
+        // ΔR values near u64::MAX overflowed the old `ΔR·1000`
+        // product; cross-multiplication in u128 keeps the comparison
+        // exact. The denser huge item must win the single slot.
+        let huge = AllocItem::new(EdgeId::new(1), 4, u64::MAX / 2, 1);
+        let small = AllocItem::new(EdgeId::new(0), 4, 7, 1);
+        let kept = greedy_prefilter(vec![small, huge], 4);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].edge(), EdgeId::new(1));
+    }
+
+    #[test]
+    fn greedy_keeps_zero_profit_items_and_prefix() {
+        // Zero-ΔR items ride along regardless of capacity; positive
+        // items fill greedily by density.
+        let zero = AllocItem::new(EdgeId::new(9), 100, 0, 1);
+        let dense = AllocItem::new(EdgeId::new(1), 2, 10, 1);
+        let sparse = AllocItem::new(EdgeId::new(2), 8, 10, 1);
+        let kept = greedy_prefilter(vec![sparse, zero, dense], 6);
+        let edges: Vec<EdgeId> = kept.iter().map(|i| i.edge()).collect();
+        assert_eq!(edges, vec![EdgeId::new(9), EdgeId::new(1)]);
     }
 
     #[test]

@@ -400,6 +400,8 @@ mod tests {
             .schedule(graph, iterations)
             .unwrap();
         let report = simulate(graph, &outcome.plan, &cfg).unwrap();
+        // Every emitted plan must also satisfy the independent auditor.
+        paraconv_pim::audit(graph, &outcome.plan, &cfg, &report).unwrap();
         (outcome, report)
     }
 
