@@ -51,8 +51,12 @@ impl DpTable {
     /// capacity `S`.
     #[must_use]
     pub fn fill(items: &[AllocItem], capacity: u64) -> Self {
+        let _span = paraconv_obs::span("alloc.dp.fill", "alloc");
         let n = items.len();
         let cols = capacity as usize + 1;
+        paraconv_obs::counter_add("dp.fills", 1);
+        paraconv_obs::counter_add("dp.cells_filled", (n as u64) * cols as u64);
+        paraconv_obs::observe("dp.items_per_fill", n as u64);
         let mut values = vec![0u64; (n + 1) * cols];
         for (m, item) in items.iter().enumerate() {
             let row = m + 1;
@@ -157,6 +161,7 @@ impl DpTable {
     /// Panics if `capacity` exceeds the filled capacity.
     #[must_use]
     pub fn reconstruct_at(&self, capacity: u64) -> Vec<bool> {
+        paraconv_obs::counter_add("dp.reconstructs", 1);
         let n = self.items.len();
         let mut chosen = vec![false; n];
         let mut s = capacity;
@@ -192,6 +197,8 @@ impl DpTable {
 #[must_use]
 pub fn max_profit_compact(items: &[AllocItem], capacity: u64) -> u64 {
     let cols = capacity as usize + 1;
+    paraconv_obs::counter_add("dp.compact_fills", 1);
+    paraconv_obs::counter_add("dp.cells_filled", items.len() as u64 * cols as u64);
     let mut row = vec![0u64; cols];
     for item in items {
         let sp = item.space() as usize;

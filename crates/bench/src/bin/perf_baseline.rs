@@ -1,5 +1,5 @@
 //! Tracked performance baseline: times the three hot paths this repo
-//! optimizes and writes the measurements to `BENCH_1.json` at the
+//! optimizes and writes the measurements to `BENCH_2.json` at the
 //! working directory (run it from the repo root).
 //!
 //! Three measurements:
@@ -12,6 +12,14 @@
 //! 3. **DP throughput** — 0/1-knapsack table fills per second, and
 //!    the same capacity sweep via `DpTable::fill_sweep` (one fill,
 //!    many reads) versus one `fill` per capacity point.
+//!
+//! All timed passes run with `paraconv-obs` recording **disabled** —
+//! the numbers stay comparable with the pre-observability
+//! `BENCH_1.json`, and the report embeds the throughput ratio against
+//! that file when it is present in the working directory. A separate
+//! untimed instrumented pass then captures a deterministic metrics
+//! snapshot (simulated events, DP cells filled, …) into the report's
+//! `"metrics"` section.
 //!
 //! `PARACONV_ITERS`/`PARACONV_QUICK` shrink the workload as for every
 //! other binary; `PARACONV_JOBS` pins the "default" pool width.
@@ -116,11 +124,38 @@ fn dp_throughput() -> (f64, f64, f64) {
     (fills_per_sec, per_point_secs, sweep_secs)
 }
 
+/// One untimed pass with recording enabled: a small sweep plus one DP
+/// fill, returning the deterministic metrics snapshot.
+fn instrumented_snapshot(points: &[SweepPoint]) -> paraconv_obs::MetricsSnapshot {
+    paraconv_obs::reset();
+    paraconv_obs::enable();
+    let sample = &points[..points.len().min(4)];
+    sweep::compare_all_with(sample, 2).expect("pinned suite schedules cleanly");
+    let items = dp_items(200);
+    std::hint::black_box(DpTable::fill(&items, 256));
+    paraconv_obs::disable();
+    paraconv_obs::snapshot()
+}
+
+/// Reads a prior report's simulator throughput for the regression
+/// ratio, if the file exists and parses.
+fn prior_tasks_per_sec(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text)
+        .ok()?
+        .get("simulate")?
+        .get("planned_tasks_per_sec")?
+        .as_f64()
+}
+
 fn main() {
     let config = config_from_env();
     let points = sweep_points(&config);
     let default_jobs = config.effective_jobs();
     let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // Timed sections measure the disabled-recording fast path.
+    paraconv_obs::disable();
 
     eprintln!(
         "timing {} sweep points, sequential then {default_jobs} workers...",
@@ -139,9 +174,15 @@ fn main() {
     eprintln!("timing DP fills...");
     let (dp_fills_per_sec, dp_per_point_secs, dp_sweep_secs) = dp_throughput();
 
-    // serde stays optional, so the report is formatted by hand.
+    eprintln!("capturing instrumented metrics snapshot...");
+    let metrics = instrumented_snapshot(&points);
+    let vs_bench1 =
+        prior_tasks_per_sec("BENCH_1.json").map(|prior| tasks_per_sec / prior.max(1e-12));
+
+    // serde stays optional in the library crates, so the report is
+    // formatted by hand (serde_json here is only the reader).
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"bench_id\": 1,");
+    let _ = writeln!(json, "  \"bench_id\": 2,");
     let _ = writeln!(json, "  \"host_parallelism\": {host_parallelism},");
     let _ = writeln!(json, "  \"sweep\": {{");
     let _ = writeln!(json, "    \"points\": {},", points.len());
@@ -154,6 +195,10 @@ fn main() {
     let _ = writeln!(json, "  \"simulate\": {{");
     let _ = writeln!(json, "    \"planned_tasks_per_replay\": {planned_tasks},");
     let _ = writeln!(json, "    \"planned_tasks_per_sec\": {tasks_per_sec:.0}");
+    if let Some(ratio) = vs_bench1 {
+        json.pop();
+        let _ = writeln!(json, ",\n    \"throughput_vs_bench1\": {ratio:.3}");
+    }
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"dp\": {{");
     let _ = writeln!(json, "    \"items\": 200,");
@@ -167,13 +212,41 @@ fn main() {
         json,
         "    \"capacity_sweep_fill_sweep_secs\": {dp_sweep_secs:.6}"
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"metrics\": {{");
+    let _ = writeln!(
+        json,
+        "    \"events_simulated\": {},",
+        metrics.counter("sim.events")
+    );
+    let _ = writeln!(
+        json,
+        "    \"dp_cells_filled\": {},",
+        metrics.counter("dp.cells_filled")
+    );
+    let _ = writeln!(json, "    \"sim_runs\": {},", metrics.counter("sim.runs"));
+    let _ = writeln!(
+        json,
+        "    \"tasks_validated\": {},",
+        metrics.counter("sim.tasks")
+    );
+    let _ = writeln!(
+        json,
+        "    \"peak_cache_occupancy\": {},",
+        metrics.gauge("sim.cache.peak_occupancy")
+    );
+    let _ = writeln!(
+        json,
+        "    \"peak_fifo_occupancy\": {}",
+        metrics.gauge("sim.fifo.peak_occupancy")
+    );
     let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 
-    if let Err(e) = std::fs::write("BENCH_1.json", &json) {
-        eprintln!("cannot write BENCH_1.json: {e}");
+    if let Err(e) = std::fs::write("BENCH_2.json", &json) {
+        eprintln!("cannot write BENCH_2.json: {e}");
         std::process::exit(1);
     }
     print!("{json}");
-    eprintln!("wrote BENCH_1.json");
+    eprintln!("wrote BENCH_2.json");
 }

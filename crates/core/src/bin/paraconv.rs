@@ -8,6 +8,8 @@
 //! $ paraconv compare speech-1 --pes 32
 //! $ paraconv gantt cat --pes 4 --window 40
 //! $ paraconv audit cat --pes 16 --iters 100
+//! $ paraconv table1 --quick --trace t.json --metrics m.jsonl
+//! $ paraconv stats cat --pes 16
 //! ```
 
 use std::process::ExitCode;
@@ -15,7 +17,7 @@ use std::process::ExitCode;
 use paraconv::graph::TaskGraph;
 use paraconv::pim::PimConfig;
 use paraconv::synth::benchmarks;
-use paraconv::ParaConv;
+use paraconv::{experiments, obs, ParaConv};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,11 +40,39 @@ const USAGE: &str = "usage:
   paraconv compare <benchmark> [opts]   Para-CONV vs the SPARTA baseline
   paraconv gantt <benchmark> [opts]     ASCII Gantt of the Para-CONV plan
   paraconv audit <benchmark> [opts]     audit both schedulers' plans
+  paraconv table1 [opts]                Table 1 (SPARTA vs Para-CONV sweep)
+  paraconv stats <benchmark> [opts]     run compare and print its metrics
 
 options:
-  --pes <n>      processing engines (default 16)
-  --iters <n>    iterations (default 50)
-  --window <n>   gantt window length in time units (default 60)";
+  --pes <n>       processing engines (default 16; table1 sweeps 16/32/64)
+  --iters <n>     iterations (default 50)
+  --window <n>    gantt window length in time units (default 60)
+  --quick         table1 only: small benchmark prefix, 10 iterations
+  --trace <path>  write a Chrome trace-event JSON (Perfetto-loadable)
+  --metrics <path> write the metrics snapshot as JSONL";
+
+/// Parsed command options shared by the scheduling subcommands.
+struct Opts {
+    /// `--pes`, kept optional so `table1` can distinguish "sweep the
+    /// paper's three sizes" from "pin one size".
+    pes: Option<usize>,
+    iters: u64,
+    window: u64,
+    quick: bool,
+    trace: Option<String>,
+    metrics: Option<String>,
+}
+
+impl Opts {
+    fn pes(&self) -> usize {
+        self.pes.unwrap_or(16)
+    }
+
+    /// True when any observability export was requested.
+    fn observing(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+}
 
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.first().ok_or("missing command")?;
@@ -76,9 +106,11 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "run" => {
             let graph = load(args.get(1))?;
-            let (pes, iters, _) = options(args)?;
-            let runner = ParaConv::new(config(pes)?);
-            let result = runner.run(&graph, iters).map_err(|e| e.to_string())?;
+            let opts = options(args)?;
+            start_observing(&opts);
+            let cfg = config(opts.pes())?;
+            let runner = ParaConv::new(cfg.clone());
+            let result = runner.run(&graph, opts.iters).map_err(|e| e.to_string())?;
             println!(
                 "kernel p = {} ({} iters/kernel), R_max = {}, prologue = {}",
                 result.outcome.period(),
@@ -93,13 +125,23 @@ fn run(args: &[String]) -> Result<(), String> {
                 result.outcome.analysis.case_histogram()
             );
             println!("{}", result.report);
-            Ok(())
+            export(
+                &opts,
+                Some(paraconv::pim::plan_chrome_trace(
+                    &graph,
+                    &result.outcome.plan,
+                    &cfg,
+                )),
+            )
         }
         "compare" => {
             let graph = load(args.get(1))?;
-            let (pes, iters, _) = options(args)?;
-            let runner = ParaConv::new(config(pes)?);
-            let cmp = runner.compare(&graph, iters).map_err(|e| e.to_string())?;
+            let opts = options(args)?;
+            start_observing(&opts);
+            let runner = ParaConv::new(config(opts.pes())?);
+            let cmp = runner
+                .compare(&graph, opts.iters)
+                .map_err(|e| e.to_string())?;
             println!(
                 "Para-CONV: {}   SPARTA: {}   IMP: {:.2}%   speedup: {:.2}x",
                 cmp.paraconv.report.total_time,
@@ -107,33 +149,42 @@ fn run(args: &[String]) -> Result<(), String> {
                 cmp.improvement_percent(),
                 cmp.speedup()
             );
-            Ok(())
+            export(&opts, None)
         }
         "gantt" => {
             let graph = load(args.get(1))?;
-            let (pes, iters, window) = options(args)?;
-            let cfg = config(pes)?;
+            let opts = options(args)?;
+            start_observing(&opts);
+            let cfg = config(opts.pes())?;
             let result = ParaConv::new(cfg.clone())
-                .run(&graph, iters)
+                .run(&graph, opts.iters)
                 .map_err(|e| e.to_string())?;
             print!(
                 "{}",
-                paraconv::pim::gantt(&graph, &result.outcome.plan, &cfg, 0, window)
+                paraconv::pim::gantt(&graph, &result.outcome.plan, &cfg, 0, opts.window)
             );
-            Ok(())
+            export(
+                &opts,
+                Some(paraconv::pim::plan_chrome_trace(
+                    &graph,
+                    &result.outcome.plan,
+                    &cfg,
+                )),
+            )
         }
         "audit" => {
             let graph = load(args.get(1))?;
-            let (pes, iters, _) = options(args)?;
-            let cfg = config(pes)?;
+            let opts = options(args)?;
+            start_observing(&opts);
+            let cfg = config(opts.pes())?;
             let runner = ParaConv::new(cfg.clone());
-            let result = runner.run(&graph, iters).map_err(|e| e.to_string())?;
+            let result = runner.run(&graph, opts.iters).map_err(|e| e.to_string())?;
             let para = paraconv::pim::audit(&graph, &result.outcome.plan, &cfg, &result.report)
                 .map_err(|e| format!("Para-CONV plan failed audit: {e}"))?;
             println!("Para-CONV plan: PASS");
             println!("{para}");
             let baseline = runner
-                .run_baseline(&graph, iters)
+                .run_baseline(&graph, opts.iters)
                 .map_err(|e| e.to_string())?;
             let sparta =
                 paraconv::pim::audit(&graph, &baseline.outcome.plan, &cfg, &baseline.report)
@@ -141,10 +192,91 @@ fn run(args: &[String]) -> Result<(), String> {
             println!();
             println!("SPARTA plan: PASS");
             println!("{sparta}");
-            Ok(())
+            export(&opts, None)
+        }
+        "table1" => {
+            // `table1` takes no benchmark argument, so flags start at
+            // index 1 — prepend a placeholder to reuse the parser.
+            let shifted: Vec<String> = std::iter::once(String::new())
+                .chain(args.iter().cloned())
+                .collect();
+            let opts = options(&shifted)?;
+            start_observing(&opts);
+            let mut cfg = if opts.quick {
+                experiments::ExperimentConfig::quick()
+            } else {
+                experiments::ExperimentConfig::default()
+            };
+            if let Some(pes) = opts.pes {
+                cfg.pe_counts = vec![pes];
+            }
+            if args.iter().any(|a| a == "--iters") {
+                cfg.iterations = opts.iters;
+            }
+            let suite = if opts.quick {
+                experiments::quick_suite()
+            } else {
+                experiments::full_suite()
+            };
+            let rows = experiments::table1::run(&cfg, &suite).map_err(|e| e.to_string())?;
+            print!("{}", experiments::table1::render(&rows));
+            export(&opts, None)
+        }
+        "stats" => {
+            let graph = load(args.get(1))?;
+            let opts = options(args)?;
+            // `stats` exists to show metrics, so recording is always on.
+            obs::reset();
+            obs::enable();
+            let runner = ParaConv::new(config(opts.pes())?);
+            let cmp = runner
+                .compare(&graph, opts.iters)
+                .map_err(|e| e.to_string())?;
+            obs::disable();
+            println!(
+                "Para-CONV: {}   SPARTA: {}   speedup: {:.2}x",
+                cmp.paraconv.report.total_time,
+                cmp.sparta.report.total_time,
+                cmp.speedup()
+            );
+            println!();
+            print!("{}", obs::snapshot());
+            export(&opts, None)
         }
         other => Err(format!("unknown command `{other}`")),
     }
+}
+
+/// Turns recording on (from a clean slate) when the parsed options
+/// request any export.
+fn start_observing(opts: &Opts) {
+    if opts.observing() {
+        obs::reset();
+        obs::enable();
+    }
+}
+
+/// Writes the requested observability artifacts and disables
+/// recording. `plan_trace` carries the simulated plan timeline for
+/// single-plan subcommands; phase spans are appended either way.
+fn export(opts: &Opts, plan_trace: Option<obs::ChromeTrace>) -> Result<(), String> {
+    if !opts.observing() {
+        return Ok(());
+    }
+    obs::disable();
+    if let Some(path) = &opts.metrics {
+        let snapshot = obs::snapshot();
+        std::fs::write(path, snapshot.to_jsonl())
+            .map_err(|e| format!("cannot write metrics to `{path}`: {e}"))?;
+    }
+    if let Some(path) = &opts.trace {
+        let mut trace = plan_trace.unwrap_or_default();
+        trace.name_process(0, "pipeline");
+        trace.push_spans(0, &obs::take_spans());
+        std::fs::write(path, trace.to_json())
+            .map_err(|e| format!("cannot write trace to `{path}`: {e}"))?;
+    }
+    Ok(())
 }
 
 fn load(name: Option<&String>) -> Result<TaskGraph, String> {
@@ -158,32 +290,47 @@ fn config(pes: usize) -> Result<PimConfig, String> {
     PimConfig::neurocube(pes).map_err(|e| e.to_string())
 }
 
-/// Parses `--pes`, `--iters` and `--window` with defaults.
-fn options(args: &[String]) -> Result<(usize, u64, u64), String> {
-    let mut pes = 16usize;
-    let mut iters = 50u64;
-    let mut window = 60u64;
+/// Parses the shared flags with defaults; `args[0]` is the subcommand
+/// and `args[1]` the benchmark name (or a placeholder).
+fn options(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        pes: None,
+        iters: 50,
+        window: 60,
+        quick: false,
+        trace: None,
+        metrics: None,
+    };
     let mut i = 2;
     while i < args.len() {
         let flag = &args[i];
+        if flag == "--quick" {
+            opts.quick = true;
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("{flag} needs a value"))?;
         match flag.as_str() {
-            "--pes" => pes = value.parse().map_err(|_| format!("bad --pes `{value}`"))?,
+            "--pes" => {
+                opts.pes = Some(value.parse().map_err(|_| format!("bad --pes `{value}`"))?);
+            }
             "--iters" => {
-                iters = value
+                opts.iters = value
                     .parse()
-                    .map_err(|_| format!("bad --iters `{value}`"))?
+                    .map_err(|_| format!("bad --iters `{value}`"))?;
             }
             "--window" => {
-                window = value
+                opts.window = value
                     .parse()
                     .map_err(|_| format!("bad --window `{value}`"))?;
             }
+            "--trace" => opts.trace = Some(value.clone()),
+            "--metrics" => opts.metrics = Some(value.clone()),
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 2;
     }
-    Ok((pes, iters, window))
+    Ok(opts)
 }

@@ -42,6 +42,7 @@ pub fn policies(
     config: &ExperimentConfig,
     suite: &[Benchmark],
 ) -> Result<Vec<PolicyRow>, CoreError> {
+    let _span = paraconv_obs::span("experiment.ablation.policies", "experiment");
     let pes = *config.pe_counts.first().expect("non-empty sweep");
     let policies = [
         AllocationPolicy::DynamicProgram,
@@ -93,6 +94,7 @@ pub fn penalty_sweep(
     bench: &Benchmark,
     penalties: &[u64],
 ) -> Result<Vec<PenaltyRow>, CoreError> {
+    let _span = paraconv_obs::span("experiment.ablation.penalty_sweep", "experiment");
     let pes = *config.pe_counts.first().expect("non-empty sweep");
     let mut points = Vec::with_capacity(penalties.len());
     for &penalty in penalties {
@@ -137,6 +139,7 @@ pub fn cache_sweep(
     bench: &Benchmark,
     capacities: &[u64],
 ) -> Result<Vec<CacheRow>, CoreError> {
+    let _span = paraconv_obs::span("experiment.ablation.cache_sweep", "experiment");
     let pes = *config.pe_counts.first().expect("non-empty sweep");
     let mut points = Vec::with_capacity(capacities.len());
     for &units in capacities {
@@ -187,6 +190,7 @@ pub fn contributions(
     config: &ExperimentConfig,
     suite: &[Benchmark],
 ) -> Result<Vec<ContributionRow>, CoreError> {
+    let _span = paraconv_obs::span("experiment.ablation.contributions", "experiment");
     let pes = *config.pe_counts.first().expect("non-empty sweep");
     let pim = config.pim_config(pes)?;
     // The four scheduler variants per benchmark don't fit one
@@ -257,6 +261,7 @@ pub fn unrolling(
     config: &ExperimentConfig,
     suite: &[Benchmark],
 ) -> Result<Vec<UnrollRow>, CoreError> {
+    let _span = paraconv_obs::span("experiment.ablation.unrolling", "experiment");
     let pes = *config.pe_counts.last().expect("non-empty sweep");
     let pim = config.pim_config(pes)?;
     // Schedule-only jobs (no simulation), still one irregular job per

@@ -46,6 +46,7 @@ impl CaseRow {
 /// Propagates configuration, generation, scheduling and simulation
 /// errors.
 pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<CaseRow>, CoreError> {
+    let _span = paraconv_obs::span("experiment.cases", "experiment");
     let mut pes_points = vec![*config.pe_counts.first().expect("non-empty sweep")];
     if let Some(&last) = config.pe_counts.last() {
         if !pes_points.contains(&last) {

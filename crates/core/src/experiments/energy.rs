@@ -54,6 +54,7 @@ impl EnergyRow {
 /// Propagates configuration, generation, scheduling and simulation
 /// errors.
 pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<EnergyRow>, CoreError> {
+    let _span = paraconv_obs::span("experiment.energy", "experiment");
     let pes = *config.pe_counts.first().expect("non-empty sweep");
     let mut points = Vec::with_capacity(suite.len());
     for &bench in suite {

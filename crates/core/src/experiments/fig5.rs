@@ -27,6 +27,7 @@ pub struct Fig5Row {
 /// Propagates configuration, generation, scheduling and simulation
 /// errors.
 pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<Fig5Row>, CoreError> {
+    let _span = paraconv_obs::span("experiment.fig5", "experiment");
     let &reference_pes = config
         .pe_counts
         .iter()

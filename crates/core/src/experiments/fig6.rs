@@ -26,6 +26,7 @@ pub struct Fig6Row {
 /// Propagates configuration, generation, scheduling and simulation
 /// errors.
 pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<Fig6Row>, CoreError> {
+    let _span = paraconv_obs::span("experiment.fig6", "experiment");
     let mut points = Vec::with_capacity(suite.len() * config.pe_counts.len());
     for &bench in suite {
         for &pes in &config.pe_counts {

@@ -39,6 +39,7 @@ pub fn pe_sweep(
     bench: &Benchmark,
     pe_counts: &[usize],
 ) -> Result<Vec<ScalePoint>, CoreError> {
+    let _span = paraconv_obs::span("experiment.scalability.pe_sweep", "experiment");
     let mut jobs = Vec::with_capacity(pe_counts.len());
     for &pes in pe_counts {
         jobs.push(config.sweep_point(*bench, pes)?);
@@ -94,6 +95,7 @@ pub fn fetch_penalty(
     config: &ExperimentConfig,
     suite: &[Benchmark],
 ) -> Result<Vec<FetchRow>, CoreError> {
+    let _span = paraconv_obs::span("experiment.scalability.fetch_penalty", "experiment");
     let pes = *config.pe_counts.first().expect("non-empty sweep");
     let mut points = Vec::with_capacity(suite.len());
     for &bench in suite {

@@ -39,6 +39,7 @@ pub struct Table1Row {
 /// Propagates configuration, generation, scheduling and simulation
 /// errors.
 pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<Table1Row>, CoreError> {
+    let _span = paraconv_obs::span("experiment.table1", "experiment");
     let mut points = Vec::with_capacity(suite.len() * config.pe_counts.len());
     for &bench in suite {
         for &pes in &config.pe_counts {

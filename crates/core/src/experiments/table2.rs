@@ -24,6 +24,7 @@ pub struct Table2Row {
 /// Propagates configuration, generation, scheduling and simulation
 /// errors.
 pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<Table2Row>, CoreError> {
+    let _span = paraconv_obs::span("experiment.table2", "experiment");
     let mut points = Vec::with_capacity(suite.len() * config.pe_counts.len());
     for &bench in suite {
         for &pes in &config.pe_counts {

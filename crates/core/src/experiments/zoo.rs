@@ -30,6 +30,7 @@ pub struct ZooRow {
 /// Propagates network construction, partitioning, configuration,
 /// scheduling and simulation errors.
 pub fn run(config: &ExperimentConfig) -> Result<Vec<ZooRow>, CoreError> {
+    let _span = paraconv_obs::span("experiment.zoo", "experiment");
     let zoo = paraconv_cnn::zoo::all()?;
     let jobs = config.effective_jobs();
     // The zoo graphs come from the CNN partitioner, not a `Benchmark`,

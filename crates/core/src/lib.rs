@@ -103,3 +103,6 @@ pub use paraconv_alloc as alloc;
 
 /// The schedulers (re-export of `paraconv-sched`).
 pub use paraconv_sched as sched;
+
+/// Structured tracing and metrics (re-export of `paraconv-obs`).
+pub use paraconv_obs as obs;

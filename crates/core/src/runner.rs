@@ -124,11 +124,13 @@ impl ParaConv {
     /// Returns [`CoreError`] for zero iterations or if the emitted plan
     /// fails validation (a bug, surfaced rather than hidden).
     pub fn run(&self, graph: &TaskGraph, iterations: u64) -> Result<RunResult, CoreError> {
+        let _span = paraconv_obs::span("run.paraconv", "run");
         let outcome = ParaConvScheduler::new(self.config.clone())
             .with_policy(self.policy)
             .schedule(graph, iterations)?;
         let report = simulate(graph, &outcome.plan, &self.config)?;
         if self.audit {
+            let _audit_span = paraconv_obs::span("run.audit", "run");
             audit(graph, &outcome.plan, &self.config, &report)?;
         }
         Ok(RunResult { outcome, report })
@@ -145,9 +147,11 @@ impl ParaConv {
         graph: &TaskGraph,
         iterations: u64,
     ) -> Result<BaselineResult, CoreError> {
+        let _span = paraconv_obs::span("run.sparta", "run");
         let outcome = SpartaScheduler::new(self.config.clone()).schedule(graph, iterations)?;
         let report = simulate(graph, &outcome.plan, &self.config)?;
         if self.audit {
+            let _audit_span = paraconv_obs::span("run.audit", "run");
             audit(graph, &outcome.plan, &self.config, &report)?;
         }
         Ok(BaselineResult { outcome, report })

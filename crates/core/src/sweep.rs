@@ -166,8 +166,13 @@ where
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
+                        let _span = paraconv_obs::span("sweep.job", "sweep");
                         out.push((i, f(item)));
                     }
+                    // Hand this worker's metric buffer to the global
+                    // aggregate before the scope joins; TLS destructors
+                    // are not guaranteed to have run by then.
+                    paraconv_obs::flush_thread();
                     out
                 })
             })

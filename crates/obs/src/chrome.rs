@@ -1,0 +1,259 @@
+//! Chrome trace-event JSON export (the format Perfetto and
+//! `chrome://tracing` load directly).
+//!
+//! The export uses the JSON-object envelope with complete (`"ph":"X"`)
+//! events plus metadata events naming processes and threads. Reference:
+//! the Trace Event Format document; the subset emitted here is the
+//! stable core every viewer supports.
+
+use std::fmt::Write as _;
+
+use crate::json::write_escaped;
+use crate::recorder::SpanEvent;
+
+/// One complete (`ph: "X"`) trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChromeEvent {
+    /// Event name (the label rendered on the slice).
+    pub name: String,
+    /// Category (comma-separated tags in the viewer's filter).
+    pub cat: String,
+    /// Process id — a *logical* track group (e.g. "PE array").
+    pub pid: u32,
+    /// Thread id — a row inside the process track.
+    pub tid: u32,
+    /// Start timestamp in microseconds.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Extra key/value detail shown in the viewer's args pane.
+    pub args: Vec<(String, String)>,
+}
+
+/// Builder for one trace file.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_obs::{ChromeEvent, ChromeTrace};
+///
+/// let mut trace = ChromeTrace::new();
+/// trace.name_process(1, "PE array");
+/// trace.name_thread(1, 0, "PE0");
+/// trace.push(ChromeEvent {
+///     name: "conv1".into(),
+///     cat: "task".into(),
+///     pid: 1,
+///     tid: 0,
+///     ts_us: 0,
+///     dur_us: 4,
+///     args: vec![("iteration".into(), "1".into())],
+/// });
+/// let json = trace.to_json();
+/// assert!(json.starts_with("{\"traceEvents\":["));
+/// assert!(json.contains("\"ph\":\"X\""));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTrace {
+    events: Vec<ChromeEvent>,
+    process_names: Vec<(u32, String)>,
+    thread_names: Vec<(u32, u32, String)>,
+}
+
+impl ChromeTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        ChromeTrace::default()
+    }
+
+    /// Labels a process track group.
+    pub fn name_process(&mut self, pid: u32, name: &str) {
+        self.process_names.push((pid, name.to_owned()));
+    }
+
+    /// Labels a thread row inside a process.
+    pub fn name_thread(&mut self, pid: u32, tid: u32, name: &str) {
+        self.thread_names.push((pid, tid, name.to_owned()));
+    }
+
+    /// Appends one complete event.
+    pub fn push(&mut self, event: ChromeEvent) {
+        self.events.push(event);
+    }
+
+    /// Appends recorded phase spans under process `pid`, one row per
+    /// recording thread.
+    pub fn push_spans(&mut self, pid: u32, spans: &[SpanEvent]) {
+        for s in spans {
+            self.events.push(ChromeEvent {
+                name: s.name.clone(),
+                cat: s.cat.to_owned(),
+                pid,
+                tid: s.tid,
+                ts_us: s.ts_us,
+                dur_us: s.dur_us,
+                args: Vec::new(),
+            });
+        }
+    }
+
+    /// Number of complete events queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no complete events are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the trace as a Chrome trace-event JSON object.
+    ///
+    /// Events are sorted by `(pid, tid, ts, name)` so the output is
+    /// deterministic for a given event set regardless of the order
+    /// worker threads delivered them.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut events = self.events.clone();
+        events.sort_by(|a, b| {
+            (a.pid, a.tid, a.ts_us, &a.name).cmp(&(b.pid, b.tid, b.ts_us, &b.name))
+        });
+
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if first {
+                first = false;
+            } else {
+                out.push(',');
+            }
+        };
+        for (pid, name) in &self.process_names {
+            sep(&mut out);
+            out.push_str(&format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":"
+            ));
+            write_escaped(&mut out, name);
+            out.push_str("}}");
+        }
+        for (pid, tid, name) in &self.thread_names {
+            sep(&mut out);
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":"
+            ));
+            write_escaped(&mut out, name);
+            out.push_str("}}");
+        }
+        for e in &events {
+            sep(&mut out);
+            out.push('{');
+            out.push_str("\"name\":");
+            write_escaped(&mut out, &e.name);
+            out.push_str(",\"cat\":");
+            write_escaped(&mut out, if e.cat.is_empty() { "default" } else { &e.cat });
+            let _ = write!(
+                out,
+                ",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{}",
+                e.pid, e.tid, e.ts_us, e.dur_us
+            );
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in e.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(&mut out, k);
+                    out.push(':');
+                    write_escaped(&mut out, v);
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(pid: u32, tid: u32, ts: u64, name: &str) -> ChromeEvent {
+        ChromeEvent {
+            name: name.to_owned(),
+            cat: "test".to_owned(),
+            pid,
+            tid,
+            ts_us: ts,
+            dur_us: 1,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn output_is_sorted_and_deterministic() {
+        let mut a = ChromeTrace::new();
+        a.push(event(1, 1, 5, "late"));
+        a.push(event(1, 0, 2, "early"));
+        let mut b = ChromeTrace::new();
+        b.push(event(1, 0, 2, "early"));
+        b.push(event(1, 1, 5, "late"));
+        assert_eq!(a.to_json(), b.to_json());
+        let json = a.to_json();
+        assert!(json.find("early").unwrap() < json.find("late").unwrap());
+    }
+
+    #[test]
+    fn metadata_events_are_emitted() {
+        let mut t = ChromeTrace::new();
+        t.name_process(2, "transfers");
+        t.name_thread(2, 3, "PE3");
+        t.push(event(2, 3, 0, "xfer"));
+        let json = t.to_json();
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    #[test]
+    fn spans_become_events() {
+        let spans = vec![SpanEvent {
+            name: "sched.kernel".into(),
+            cat: "sched",
+            tid: 7,
+            ts_us: 10,
+            dur_us: 5,
+        }];
+        let mut t = ChromeTrace::new();
+        t.push_spans(0, &spans);
+        assert_eq!(t.len(), 1);
+        let json = t.to_json();
+        assert!(json.contains("\"sched.kernel\""));
+        assert!(json.contains("\"tid\":7"));
+        assert!(json.contains("\"dur\":5"));
+    }
+
+    #[test]
+    fn args_and_escaping() {
+        let mut t = ChromeTrace::new();
+        t.push(ChromeEvent {
+            name: "exec \"a\"".into(),
+            cat: String::new(),
+            pid: 1,
+            tid: 0,
+            ts_us: 0,
+            dur_us: 2,
+            args: vec![("edge".into(), "e0".into())],
+        });
+        let json = t.to_json();
+        assert!(json.contains("\\\"a\\\""));
+        assert!(json.contains("\"args\":{\"edge\":\"e0\"}"));
+        assert!(json.contains("\"cat\":\"default\""));
+    }
+}

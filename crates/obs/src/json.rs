@@ -1,0 +1,56 @@
+//! Minimal JSON string escaping for the exporters.
+//!
+//! The exporters emit JSON by hand (this crate is dependency-free);
+//! the only part that needs care is string escaping, centralized here
+//! so every writer produces valid output for arbitrary names.
+
+/// Appends `s` to `out` as a JSON string literal, quotes included.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Returns `s` as a JSON string literal, quotes included.
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_escaped(&mut out, s);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_round_trip() {
+        assert_eq!(escape("sim.tasks"), "\"sim.tasks\"");
+    }
+
+    #[test]
+    fn specials_are_escaped() {
+        assert_eq!(escape("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escape("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escape("a\nb"), "\"a\\nb\"");
+        assert_eq!(escape("a\tb"), "\"a\\tb\"");
+        assert_eq!(escape("a\u{1}b"), "\"a\\u0001b\"");
+    }
+
+    #[test]
+    fn unicode_passes_through() {
+        assert_eq!(escape("…+5"), "\"…+5\"");
+    }
+}

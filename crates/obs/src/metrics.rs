@@ -1,0 +1,367 @@
+//! Metric aggregates: counters, high-water gauges and histograms.
+//!
+//! Every aggregate merges with a commutative, associative operation
+//! (sum, max, bucket-wise sum), so per-thread buffers collapse to the
+//! **same** totals regardless of how work was divided across workers —
+//! the property the sweep engine's `jobs=1` vs `jobs=N` determinism
+//! test relies on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::write_escaped;
+
+/// Number of power-of-two histogram buckets: bucket 0 holds zeros,
+/// bucket `i > 0` holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(0);
+/// h.record(3);
+/// h.record(4);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.sum(), 7);
+/// assert_eq!(h.min(), 0);
+/// assert_eq!(h.max(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// The bucket index a value falls into.
+    #[must_use]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive lower bound of bucket `i`.
+    #[must_use]
+    pub fn bucket_lower(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Merges another histogram into this one (bucket-wise sums).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub const fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    #[must_use]
+    pub const fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the samples, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The non-empty buckets as `(lower_bound, count)` pairs in
+    /// ascending bound order.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_lower(i), c))
+            .collect()
+    }
+}
+
+/// A point-in-time view of every metric recorded so far.
+///
+/// Snapshots deliberately contain **no wall-clock data**: every value
+/// derives from simulated quantities, so two runs of the same workload
+/// produce byte-identical snapshots at any worker count.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic sums, keyed by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// High-water marks (merged with `max`), keyed by metric name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Sample distributions, keyed by metric name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Creates an empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// A counter's value, 0 when never incremented.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's high-water mark, 0 when never set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram by name, if any sample was recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Merges another snapshot into this one.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            let g = self.gauges.entry(name.clone()).or_insert(0);
+            *g = (*g).max(*v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Renders the snapshot as a JSONL event stream: one JSON object
+    /// per line, counters first, then gauges, then histograms, each
+    /// group in name order — a deterministic serialization.
+    ///
+    /// Line shapes:
+    ///
+    /// ```json
+    /// {"type":"counter","name":"sim.tasks","value":128}
+    /// {"type":"gauge","name":"sim.cache.peak_occupancy","max":12}
+    /// {"type":"histogram","name":"sim.transfer.latency","count":3,"sum":9,"min":1,"max":4,"buckets":[[1,1],[2,1],[4,1]]}
+    /// ```
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            write_escaped(&mut out, name);
+            out.push_str(&format!(",\"value\":{value}}}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str("{\"type\":\"gauge\",\"name\":");
+            write_escaped(&mut out, name);
+            out.push_str(&format!(",\"max\":{value}}}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str("{\"type\":\"histogram\",\"name\":");
+            write_escaped(&mut out, name);
+            out.push_str(&format!(
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max()
+            ));
+            for (i, (lo, c)) in h.nonzero_buckets().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{lo},{c}]"));
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "counter    {name:<36} {v}")?;
+        }
+        for (name, v) in &self.gauges {
+            writeln!(f, "gauge(max) {name:<36} {v}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "histogram  {name:<36} count={} sum={} min={} max={} mean={:.2}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.mean()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_lower(0), 0);
+        assert_eq!(Histogram::bucket_lower(1), 1);
+        assert_eq!(Histogram::bucket_lower(3), 4);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let samples = [0u64, 1, 5, 9, 1024, u64::MAX];
+        let mut whole = Histogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            if i % 2 == 0 {
+                left.record(s);
+            } else {
+                right.record(s);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_min() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn snapshot_merge_is_commutative() {
+        let mut a = MetricsSnapshot::new();
+        a.counters.insert("c".into(), 3);
+        a.gauges.insert("g".into(), 10);
+        let mut b = MetricsSnapshot::new();
+        b.counters.insert("c".into(), 4);
+        b.gauges.insert("g".into(), 7);
+        b.gauges.insert("h".into(), 2);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("c"), 7);
+        assert_eq!(ab.gauge("g"), 10);
+        assert_eq!(ab.gauge("h"), 2);
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_line_per_metric() {
+        let mut s = MetricsSnapshot::new();
+        s.counters.insert("b.count".into(), 2);
+        s.counters.insert("a.count".into(), 1);
+        s.gauges.insert("peak".into(), 9);
+        let mut h = Histogram::new();
+        h.record(3);
+        s.histograms.insert("lat".into(), h);
+        let jsonl = s.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Counters sort by name, groups in fixed order.
+        assert!(lines[0].contains("\"a.count\""));
+        assert!(lines[1].contains("\"b.count\""));
+        assert!(lines[2].contains("\"gauge\""));
+        assert!(lines[3].contains("\"histogram\""));
+        assert_eq!(jsonl, s.to_jsonl());
+    }
+}

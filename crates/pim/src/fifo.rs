@@ -81,6 +81,7 @@ impl<T> Fifo<T> {
     /// by retrying it after a [`pop`](Self::pop).
     pub fn push(&mut self, item: T) -> Result<(), FifoOverflow<T>> {
         if self.items.len() == self.capacity {
+            paraconv_obs::counter_add("fifo.overflows", 1);
             return Err(FifoOverflow {
                 capacity: self.capacity,
                 item,
@@ -89,6 +90,8 @@ impl<T> Fifo<T> {
         self.items.push_back(item);
         self.peak = self.peak.max(self.items.len());
         self.total_pushed += 1;
+        paraconv_obs::counter_add("fifo.pushes", 1);
+        paraconv_obs::gauge_max("fifo.peak_occupancy", self.items.len() as u64);
         Ok(())
     }
 

@@ -69,5 +69,5 @@ pub use pe::{Pe, RecordError};
 pub use plan::{ExecutionPlan, PeId, PlannedTask, PlannedTransfer};
 pub use report::SimReport;
 pub use sim::simulate;
-pub use trace::{gantt, trace, trace_events, TraceEvent};
+pub use trace::{gantt, plan_chrome_trace, trace, trace_events, TraceEvent};
 pub use vault::{Vault, VaultArray};

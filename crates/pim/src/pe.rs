@@ -79,6 +79,7 @@ impl Pe {
         self.intervals.insert(at, (start, finish));
         self.busy_time += finish - start;
         self.tasks_executed += 1;
+        paraconv_obs::counter_add("pe.tasks_recorded", 1);
         Ok(())
     }
 

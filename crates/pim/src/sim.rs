@@ -140,6 +140,7 @@ pub fn simulate(
     plan: &ExecutionPlan,
     config: &PimConfig,
 ) -> Result<SimReport, SimError> {
+    let _span = paraconv_obs::span("pim.simulate", "pim");
     let cost = CostModel::new(config, graph.edge_count());
     let mut pes: Vec<Pe> = (0..config.num_pes())
         .map(|i| Pe::new(PeId::new(i as u32)))
@@ -233,6 +234,7 @@ pub fn simulate(
         }
 
         transfer_energy += cost.transfer_energy(ipr.size(), x.placement);
+        paraconv_obs::observe("sim.transfer.latency", x.duration);
         crossbar.record_transfer(x.dst_pe, ipr.size());
         match x.placement {
             Placement::Cache => {
@@ -288,6 +290,17 @@ pub fn simulate(
                 return Err(SimError::MissingTask(id, iter));
             }
         }
+    }
+
+    // Event-lane depths: how much sweep state this plan generated.
+    if paraconv_obs::enabled() {
+        let fifo_lane: usize = fifo_events.iter().map(Vec::len).sum();
+        let vault_lane: usize = vault_events.iter().map(Vec::len).sum();
+        let total = cache_events.len() + fifo_lane + vault_lane;
+        paraconv_obs::gauge_max("sim.lane.cache_events", cache_events.len() as u64);
+        paraconv_obs::gauge_max("sim.lane.fifo_events", fifo_lane as u64);
+        paraconv_obs::gauge_max("sim.lane.vault_events", vault_lane as u64);
+        paraconv_obs::counter_add("sim.events", total as u64);
     }
 
     // ---- cache capacity sweep --------------------------------------------
@@ -361,6 +374,15 @@ pub fn simulate(
     } else {
         total_time as f64 / plan.iterations() as f64
     };
+
+    paraconv_obs::counter_add("sim.runs", 1);
+    paraconv_obs::counter_add("sim.tasks", plan.tasks().len() as u64);
+    paraconv_obs::counter_add("sim.transfers", plan.transfers().len() as u64);
+    paraconv_obs::counter_add("sim.onchip_hits", onchip_hits);
+    paraconv_obs::counter_add("sim.offchip_fetches", offchip_fetches);
+    paraconv_obs::gauge_max("sim.cache.peak_occupancy", peak_cache.max(0) as u64);
+    paraconv_obs::gauge_max("sim.fifo.peak_occupancy", peak_fifo as u64);
+    paraconv_obs::gauge_max("sim.vault.peak_concurrency", peak_vault_concurrency as u64);
 
     Ok(SimReport {
         total_time,

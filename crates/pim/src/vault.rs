@@ -83,6 +83,9 @@ impl VaultArray {
     pub fn record_fetch(&mut self, edge: EdgeId, units: u64, duration: u64) {
         let v = self.vault_of(edge);
         self.vaults[v].record_fetch(units, duration);
+        paraconv_obs::counter_add("vault.fetches", 1);
+        paraconv_obs::counter_add("vault.units_moved", units);
+        paraconv_obs::gauge_max("vault.peak_fetches", self.vaults[v].fetches());
     }
 
     /// Iterates over the vaults.

@@ -189,6 +189,7 @@ impl ParaConvScheduler {
         // Step 1: objective schedule. The kernel is unrolled by the
         // factor that minimizes the per-iteration initiation interval
         // p/u, so wide arrays initiate several iterations per period.
+        let phase = paraconv_obs::span("sched.kernel", "sched");
         let kernel = best_kernel(
             graph,
             self.config.num_pes(),
@@ -199,6 +200,7 @@ impl ParaConvScheduler {
         let gaps = kernel.gaps(graph);
 
         // Step 2: per-edge latencies and true retiming requirements.
+        let phase = phase.next("sched.retime.analysis");
         let cache_times: Vec<u64> = graph
             .edges()
             .map(|e| cost.cache_transfer_time(e.size()))
@@ -223,6 +225,7 @@ impl ParaConvScheduler {
         let analysis = MovementAnalysis::analyze(graph, p, &gaps, &cache_times, &edram_times)
             .map_err(|e| SchedError::Analysis(e.to_string()))?;
 
+        let phase = phase.next("sched.alloc");
         // Step 3: optimal allocation. The knapsack space of an IPR is
         // its size scaled by the number of kernel instances its cache
         // residency window can overlap, so steady-state occupancy never
@@ -263,6 +266,7 @@ impl ParaConvScheduler {
         let placements = allocation.to_placement_vec(graph.edge_count());
 
         // Step 4: minimal legal retiming for the chosen placements.
+        let phase = phase.next("sched.retime");
         let requirements: Vec<u64> = graph
             .edge_ids()
             .map(|e| match placements[e.index()] {
@@ -276,6 +280,7 @@ impl ParaConvScheduler {
         // Step 5: emit the concrete plan. Iteration ℓ occupies copy
         // (ℓ−1) mod u of kernel group (ℓ−1) div u; group g of a node
         // retimed by R(i) executes in kernel window g + R_max − R(i).
+        let _phase = phase.next("sched.emit");
         let mut plan = ExecutionPlan::new(iterations);
         for iter in 1..=iterations {
             let group = (iter - 1) / unroll;

@@ -140,6 +140,7 @@ impl SpartaScheduler {
         if iterations == 0 {
             return Err(SchedError::ZeroIterations);
         }
+        let _span = paraconv_obs::span("sched.sparta", "sched");
         let cost = CostModel::new(&self.config, graph.edge_count());
         let n_pes = self.config.num_pes();
 
