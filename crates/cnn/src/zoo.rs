@@ -125,6 +125,7 @@ pub fn vgg_stack(blocks: usize) -> Result<Network, NetworkError> {
                 window: 2,
                 stride: 2,
             },
+            // lint: allow(no-unwrap) — zoo networks are valid layer stacks by inspection
             &[cursor.expect("block added layers")],
         )?);
         channels = (channels * 2).min(256);
@@ -132,6 +133,7 @@ pub fn vgg_stack(blocks: usize) -> Result<Network, NetworkError> {
     let fc1 = b.add(
         "fc1",
         Layer::FullyConnected { out_features: 512 },
+        // lint: allow(no-unwrap) — zoo networks are valid layer stacks by inspection
         &[cursor.expect("at least one block")],
     )?;
     b.add("fc2", Layer::FullyConnected { out_features: 100 }, &[fc1])?;

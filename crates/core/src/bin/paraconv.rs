@@ -8,6 +8,8 @@
 //! $ paraconv compare speech-1 --pes 32
 //! $ paraconv gantt cat --pes 4 --window 40
 //! $ paraconv audit cat --pes 16 --iters 100
+//! $ paraconv verify cat --pes 16
+//! $ paraconv verify --all --zoo
 //! $ paraconv table1 --quick --trace t.json --metrics m.jsonl
 //! $ paraconv stats cat --pes 16
 //! ```
@@ -40,6 +42,7 @@ const USAGE: &str = "usage:
   paraconv compare <benchmark> [opts]   Para-CONV vs the SPARTA baseline
   paraconv gantt <benchmark> [opts]     ASCII Gantt of the Para-CONV plan
   paraconv audit <benchmark> [opts]     audit both schedulers' plans
+  paraconv verify [<benchmark>] [opts]  statically prove the Para-CONV plan
   paraconv table1 [opts]                Table 1 (SPARTA vs Para-CONV sweep)
   paraconv stats <benchmark> [opts]     run compare and print its metrics
 
@@ -48,6 +51,8 @@ options:
   --iters <n>     iterations (default 50)
   --window <n>    gantt window length in time units (default 60)
   --quick         table1 only: small benchmark prefix, 10 iterations
+  --all           verify only: the whole benchmark suite (the default)
+  --zoo           verify only: also verify the real-CNN model zoo
   --trace <path>  write a Chrome trace-event JSON (Perfetto-loadable)
   --metrics <path> write the metrics snapshot as JSONL";
 
@@ -193,6 +198,60 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("SPARTA plan: PASS");
             println!("{sparta}");
             export(&opts, None)
+        }
+        "verify" => {
+            // `verify` takes an optional benchmark name; `--all` (the
+            // default with no name) covers the suite and `--zoo` adds
+            // the partitioned real CNNs.
+            let named = args.get(1).filter(|a| !a.starts_with("--"));
+            let mut shifted = vec![args[0].clone(), named.cloned().unwrap_or_default()];
+            shifted.extend(
+                args.iter()
+                    .skip(if named.is_some() { 2 } else { 1 })
+                    .filter(|a| a.as_str() != "--all" && a.as_str() != "--zoo")
+                    .cloned(),
+            );
+            let opts = options(&shifted)?;
+            let cfg = config(opts.pes())?;
+
+            let mut targets: Vec<(String, TaskGraph)> = Vec::new();
+            if let Some(name) = named {
+                targets.push((name.clone(), load(Some(name))?));
+            } else {
+                for b in benchmarks::all() {
+                    targets.push((b.name().to_owned(), b.graph().map_err(|e| e.to_string())?));
+                }
+            }
+            if args.iter().any(|a| a == "--zoo") {
+                let zoo = paraconv::cnn::zoo::all().map_err(|e| e.to_string())?;
+                for (class, network) in &zoo {
+                    let graph = paraconv::cnn::partition(
+                        network,
+                        paraconv::cnn::PartitionConfig::default(),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    targets.push((format!("{class}/{}", network.name()), graph));
+                }
+            }
+
+            let runner = ParaConv::new(cfg.clone());
+            for (name, graph) in &targets {
+                let result = runner
+                    .run(graph, opts.iters)
+                    .map_err(|e| format!("{name}: {e}"))?;
+                let report =
+                    paraconv::verify::verify_run(graph, &result.outcome, &cfg, &result.report)
+                        .map_err(|e| format!("{name}: verification FAILED: {e}"))?;
+                println!("{name}: PROVED");
+                println!("{report}");
+            }
+            println!(
+                "{} plan(s) statically verified on {} PEs, {} iterations",
+                targets.len(),
+                opts.pes(),
+                opts.iters
+            );
+            Ok(())
         }
         "table1" => {
             // `table1` takes no benchmark argument, so flags start at

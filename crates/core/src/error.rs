@@ -6,6 +6,7 @@ use paraconv_cnn::{NetworkError, PartitionError};
 use paraconv_pim::{AuditError, ConfigError, SimError};
 use paraconv_sched::SchedError;
 use paraconv_synth::SynthError;
+use paraconv_verify::VerifyError;
 
 /// Any failure surfaced by the high-level Para-CONV API.
 #[derive(Debug)]
@@ -28,6 +29,12 @@ pub enum CoreError {
     Network(NetworkError),
     /// A network could not be partitioned into a task graph.
     Partition(PartitionError),
+    /// The static verifier rejected an emitted plan: illegal or
+    /// insufficient retiming, an occupancy bound above capacity, a DP
+    /// invariant violation, or a static bound below an observed
+    /// high-water mark (indicates a scheduler or verifier bug;
+    /// surfaced for debuggability).
+    Verify(VerifyError),
 }
 
 impl fmt::Display for CoreError {
@@ -40,6 +47,7 @@ impl fmt::Display for CoreError {
             CoreError::Synth(e) => write!(f, "benchmark generation error: {e}"),
             CoreError::Network(e) => write!(f, "network construction error: {e}"),
             CoreError::Partition(e) => write!(f, "partitioning error: {e}"),
+            CoreError::Verify(e) => write!(f, "static verification error: {e}"),
         }
     }
 }
@@ -54,6 +62,7 @@ impl std::error::Error for CoreError {
             CoreError::Synth(e) => Some(e),
             CoreError::Network(e) => Some(e),
             CoreError::Partition(e) => Some(e),
+            CoreError::Verify(e) => Some(e),
         }
     }
 }
@@ -104,6 +113,13 @@ impl From<NetworkError> for CoreError {
 impl From<PartitionError> for CoreError {
     fn from(e: PartitionError) -> Self {
         CoreError::Partition(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<VerifyError> for CoreError {
+    fn from(e: VerifyError) -> Self {
+        CoreError::Verify(e)
     }
 }
 

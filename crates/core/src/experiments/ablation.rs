@@ -43,6 +43,7 @@ pub fn policies(
     suite: &[Benchmark],
 ) -> Result<Vec<PolicyRow>, CoreError> {
     let _span = paraconv_obs::span("experiment.ablation.policies", "experiment");
+    // lint: allow(no-unwrap) — sweeps are built from non-empty literal benchmark lists
     let pes = *config.pe_counts.first().expect("non-empty sweep");
     let policies = [
         AllocationPolicy::DynamicProgram,
@@ -95,6 +96,7 @@ pub fn penalty_sweep(
     penalties: &[u64],
 ) -> Result<Vec<PenaltyRow>, CoreError> {
     let _span = paraconv_obs::span("experiment.ablation.penalty_sweep", "experiment");
+    // lint: allow(no-unwrap) — sweeps are built from non-empty literal benchmark lists
     let pes = *config.pe_counts.first().expect("non-empty sweep");
     let mut points = Vec::with_capacity(penalties.len());
     for &penalty in penalties {
@@ -140,6 +142,7 @@ pub fn cache_sweep(
     capacities: &[u64],
 ) -> Result<Vec<CacheRow>, CoreError> {
     let _span = paraconv_obs::span("experiment.ablation.cache_sweep", "experiment");
+    // lint: allow(no-unwrap) — sweeps are built from non-empty literal benchmark lists
     let pes = *config.pe_counts.first().expect("non-empty sweep");
     let mut points = Vec::with_capacity(capacities.len());
     for &units in capacities {
@@ -191,6 +194,7 @@ pub fn contributions(
     suite: &[Benchmark],
 ) -> Result<Vec<ContributionRow>, CoreError> {
     let _span = paraconv_obs::span("experiment.ablation.contributions", "experiment");
+    // lint: allow(no-unwrap) — sweeps are built from non-empty literal benchmark lists
     let pes = *config.pe_counts.first().expect("non-empty sweep");
     let pim = config.pim_config(pes)?;
     // The four scheduler variants per benchmark don't fit one
@@ -218,11 +222,13 @@ pub fn contributions(
         let retiming_only = ParaConv::new(pim.clone())
             .with_policy(AllocationPolicy::AllEdram)
             .with_audit(config.audit)
+            .with_verify(config.verify)
             .run(&graph, config.iterations)?
             .report
             .total_time;
         let full = ParaConv::new(pim.clone())
             .with_audit(config.audit)
+            .with_verify(config.verify)
             .run(&graph, config.iterations)?
             .report
             .total_time;
@@ -262,6 +268,7 @@ pub fn unrolling(
     suite: &[Benchmark],
 ) -> Result<Vec<UnrollRow>, CoreError> {
     let _span = paraconv_obs::span("experiment.ablation.unrolling", "experiment");
+    // lint: allow(no-unwrap) — sweeps are built from non-empty literal benchmark lists
     let pes = *config.pe_counts.last().expect("non-empty sweep");
     let pim = config.pim_config(pes)?;
     // Schedule-only jobs (no simulation), still one irregular job per
@@ -276,6 +283,11 @@ pub fn unrolling(
             // No simulation here, so only the plan-level invariants.
             audit_plan(&graph, &capped.plan, &pim)?;
             audit_plan(&graph, &free.plan, &pim)?;
+        }
+        if config.verify {
+            // Likewise: static verification only, no dominance check.
+            paraconv_verify::verify_outcome(&graph, &capped, &pim)?;
+            paraconv_verify::verify_outcome(&graph, &free, &pim)?;
         }
         Ok(UnrollRow {
             name: bench.name().to_owned(),

@@ -47,6 +47,7 @@ impl CaseRow {
 /// errors.
 pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<CaseRow>, CoreError> {
     let _span = paraconv_obs::span("experiment.cases", "experiment");
+    // lint: allow(no-unwrap) — sweeps are built from non-empty literal benchmark lists
     let mut pes_points = vec![*config.pe_counts.first().expect("non-empty sweep")];
     if let Some(&last) = config.pe_counts.last() {
         if !pes_points.contains(&last) {

@@ -55,6 +55,7 @@ impl EnergyRow {
 /// errors.
 pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<EnergyRow>, CoreError> {
     let _span = paraconv_obs::span("experiment.energy", "experiment");
+    // lint: allow(no-unwrap) — sweeps are built from non-empty literal benchmark lists
     let pes = *config.pe_counts.first().expect("non-empty sweep");
     let mut points = Vec::with_capacity(suite.len());
     for &bench in suite {

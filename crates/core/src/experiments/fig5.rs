@@ -32,6 +32,7 @@ pub fn run(config: &ExperimentConfig, suite: &[Benchmark]) -> Result<Vec<Fig5Row
         .pe_counts
         .iter()
         .max()
+        // lint: allow(no-unwrap) — sweeps are built from non-empty literal benchmark lists
         .expect("at least one PE count in the sweep");
     let jobs = config.effective_jobs();
     // Normalization bases: the baseline's steady-state per-iteration

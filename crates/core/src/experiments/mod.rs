@@ -55,6 +55,13 @@ pub struct ExperimentConfig {
     /// (the auditor roughly doubles validation work); the
     /// `paraconv audit` subcommand and the CI audit job turn it on.
     pub audit: bool,
+    /// Statically verify every Para-CONV plan the sweep emits
+    /// ([`paraconv_verify::verify_run`]): retiming legality,
+    /// steady-state occupancy bounds within capacity, and bound
+    /// dominance over the simulator's observed peaks. Off by default;
+    /// the `paraconv verify` subcommand and the CI static-analysis job
+    /// turn it on.
+    pub verify: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -67,6 +74,7 @@ impl Default for ExperimentConfig {
             vault_queue_cost: 0,
             jobs: None,
             audit: false,
+            verify: false,
         }
     }
 }
@@ -116,7 +124,8 @@ impl ExperimentConfig {
     pub fn sweep_point(&self, benchmark: Benchmark, pes: usize) -> Result<SweepPoint, CoreError> {
         Ok(
             SweepPoint::new(benchmark, self.pim_config(pes)?, self.iterations)
-                .with_audit(self.audit),
+                .with_audit(self.audit)
+                .with_verify(self.verify),
         )
     }
 }

@@ -96,6 +96,7 @@ pub fn fetch_penalty(
     suite: &[Benchmark],
 ) -> Result<Vec<FetchRow>, CoreError> {
     let _span = paraconv_obs::span("experiment.scalability.fetch_penalty", "experiment");
+    // lint: allow(no-unwrap) — sweeps are built from non-empty literal benchmark lists
     let pes = *config.pe_counts.first().expect("non-empty sweep");
     let mut points = Vec::with_capacity(suite.len());
     for &bench in suite {

@@ -49,6 +49,7 @@ pub fn run(config: &ExperimentConfig) -> Result<Vec<ZooRow>, CoreError> {
     let imps = sweep::parallel_map(&points, jobs, |(graph, pim)| {
         Ok(ParaConv::new(pim.clone())
             .with_audit(config.audit)
+            .with_verify(config.verify)
             .compare(graph, config.iterations)?
             .improvement_percent())
     });

@@ -28,6 +28,7 @@
 //! | schedulers | [`sched`] | Para-CONV and the SPARTA baseline |
 //! | harness | [`experiments`] | Tables 1–2, Figures 5–6, ablations |
 //! | sweep engine | [`sweep`] | parallel fan-out over experiment points |
+//! | static analysis | [`verify`] | plan verifier, occupancy bounds, lint engine |
 //!
 //! # Examples
 //!
@@ -106,3 +107,7 @@ pub use paraconv_sched as sched;
 
 /// Structured tracing and metrics (re-export of `paraconv-obs`).
 pub use paraconv_obs as obs;
+
+/// Static plan verification and the project lint engine (re-export of
+/// `paraconv-verify`).
+pub use paraconv_verify as verify;

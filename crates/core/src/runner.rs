@@ -80,6 +80,7 @@ pub struct ParaConv {
     config: PimConfig,
     policy: AllocationPolicy,
     audit: bool,
+    verify: bool,
 }
 
 impl ParaConv {
@@ -90,6 +91,7 @@ impl ParaConv {
             config,
             policy: AllocationPolicy::DynamicProgram,
             audit: false,
+            verify: false,
         }
     }
 
@@ -107,6 +109,18 @@ impl ParaConv {
     #[must_use]
     pub fn with_audit(mut self, audit: bool) -> Self {
         self.audit = audit;
+        self
+    }
+
+    /// Enables the static plan verifier: every Para-CONV outcome is
+    /// proved retiming-legal with steady-state occupancy bounds within
+    /// capacity, the bounds are checked against the simulator's
+    /// observed high-water marks, and any violation surfaces as
+    /// [`CoreError::Verify`]. The SPARTA baseline is not a retimed
+    /// plan and is never statically verified.
+    #[must_use]
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
         self
     }
 
@@ -132,6 +146,10 @@ impl ParaConv {
         if self.audit {
             let _audit_span = paraconv_obs::span("run.audit", "run");
             audit(graph, &outcome.plan, &self.config, &report)?;
+        }
+        if self.verify {
+            let _verify_span = paraconv_obs::span("run.verify", "run");
+            paraconv_verify::verify_run(graph, &outcome, &self.config, &report)?;
         }
         Ok(RunResult { outcome, report })
     }

@@ -57,6 +57,9 @@ pub struct SweepPoint {
     pub iterations: u64,
     /// Whether the independent plan auditor re-checks every run.
     pub audit: bool,
+    /// Whether the static plan verifier proves every Para-CONV run's
+    /// retiming and occupancy bounds (SPARTA runs are never verified).
+    pub verify: bool,
 }
 
 impl SweepPoint {
@@ -69,6 +72,7 @@ impl SweepPoint {
             policy: AllocationPolicy::DynamicProgram,
             iterations,
             audit: false,
+            verify: false,
         }
     }
 
@@ -86,10 +90,19 @@ impl SweepPoint {
         self
     }
 
+    /// Enables the static plan verifier for this point's Para-CONV
+    /// runs.
+    #[must_use]
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
     fn runner(&self) -> ParaConv {
         ParaConv::new(self.config.clone())
             .with_policy(self.policy)
             .with_audit(self.audit)
+            .with_verify(self.verify)
     }
 
     /// Runs Para-CONV at this point.
@@ -190,6 +203,7 @@ where
     }
     slots
         .into_iter()
+        // lint: allow(no-unwrap) — worker threads propagate panics instead of poisoning results
         .map(|s| s.expect("every index claimed exactly once"))
         .collect()
 }

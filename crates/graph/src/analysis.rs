@@ -60,14 +60,18 @@ impl TaskGraph {
     /// finish(p)` (0 max for sources).
     #[must_use]
     pub fn finish_depths(&self) -> Vec<u64> {
+        // lint: allow(no-unwrap) — nodes exist after a successful toposort of the same graph
         let order = self.topological_order().expect("built graphs are acyclic");
         let mut finish = vec![0u64; self.node_count()];
         for &id in &order {
+            // lint: allow(no-unwrap) — nodes exist after a successful toposort of the same graph
             let c = self.node(id).expect("node from topo order").exec_time();
             let pred_max = self
                 .in_edges(id)
+                // lint: allow(no-unwrap) — nodes exist after a successful toposort of the same graph
                 .expect("node from topo order")
                 .iter()
+                // lint: allow(no-unwrap) — nodes exist after a successful toposort of the same graph
                 .map(|&e| finish[self.edge(e).expect("edge from adjacency").src().index()])
                 .max()
                 .unwrap_or(0);
@@ -81,14 +85,18 @@ impl TaskGraph {
     /// level* used as a list-scheduling priority.
     #[must_use]
     pub fn bottom_levels(&self) -> Vec<u64> {
+        // lint: allow(no-unwrap) — nodes exist after a successful toposort of the same graph
         let order = self.topological_order().expect("built graphs are acyclic");
         let mut bl = vec![0u64; self.node_count()];
         for &id in order.iter().rev() {
+            // lint: allow(no-unwrap) — nodes exist after a successful toposort of the same graph
             let c = self.node(id).expect("node from topo order").exec_time();
             let succ_max = self
                 .out_edges(id)
+                // lint: allow(no-unwrap) — nodes exist after a successful toposort of the same graph
                 .expect("node from topo order")
                 .iter()
+                // lint: allow(no-unwrap) — nodes exist after a successful toposort of the same graph
                 .map(|&e| bl[self.edge(e).expect("edge from adjacency").dst().index()])
                 .max()
                 .unwrap_or(0);
@@ -105,6 +113,7 @@ impl TaskGraph {
         let cp = self.critical_path_length();
         self.node_ids()
             .filter(|id| {
+                // lint: allow(no-unwrap) — nodes exist after a successful toposort of the same graph
                 let c = self.node(*id).expect("iterating own ids").exec_time();
                 // start depth + bottom level spans the whole critical path
                 (finish[id.index()] - c) + bottom[id.index()] == cp

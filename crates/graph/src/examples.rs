@@ -24,6 +24,7 @@ use crate::{GraphError, TaskGraph, TaskGraphBuilder};
 /// ```
 #[must_use]
 pub fn motivational() -> TaskGraph {
+    // lint: allow(no-unwrap) — hard-coded example graphs are valid by inspection
     try_motivational().expect("motivational example graph is statically valid")
 }
 
@@ -67,9 +68,11 @@ pub fn chain(n: usize) -> TaskGraph {
     for _ in 1..n {
         let next = b.add_conv(1);
         b.add_edge(prev, next, 1)
+            // lint: allow(no-unwrap) — hard-coded example graphs are valid by inspection
             .expect("chain edges are unique and acyclic");
         prev = next;
     }
+    // lint: allow(no-unwrap) — hard-coded example graphs are valid by inspection
     b.build().expect("chains are valid DAGs")
 }
 
@@ -97,6 +100,7 @@ pub fn fork_join(width: usize) -> TaskGraph {
         .map(|_| {
             let mid = b.add_conv(1);
             b.add_edge(src, mid, 1)
+                // lint: allow(no-unwrap) — hard-coded example graphs are valid by inspection
                 .expect("fork edges are unique and acyclic");
             mid
         })
@@ -104,8 +108,10 @@ pub fn fork_join(width: usize) -> TaskGraph {
     let sink = b.add_conv(1);
     for mid in sink_pending {
         b.add_edge(mid, sink, 1)
+            // lint: allow(no-unwrap) — hard-coded example graphs are valid by inspection
             .expect("join edges are unique and acyclic");
     }
+    // lint: allow(no-unwrap) — hard-coded example graphs are valid by inspection
     b.build().expect("fork-join graphs are valid DAGs")
 }
 

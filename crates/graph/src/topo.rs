@@ -43,6 +43,7 @@ impl TaskGraph {
                 .iter()
                 .position(|&d| d > 0)
                 .map(|i| NodeId::new(i as u32))
+                // lint: allow(no-unwrap) — queue/degree bookkeeping guarantees the entry exists
                 .expect("order shorter than node count implies a leftover node");
             return Err(GraphError::Cycle(culprit));
         }
@@ -72,10 +73,13 @@ impl TaskGraph {
     /// ```
     #[must_use]
     pub fn levels(&self) -> Vec<usize> {
+        // lint: allow(no-unwrap) — queue/degree bookkeeping guarantees the entry exists
         let order = self.topological_order().expect("built graphs are acyclic");
         let mut level = vec![0usize; self.node_count()];
         for &id in &order {
+            // lint: allow(no-unwrap) — queue/degree bookkeeping guarantees the entry exists
             for &e in self.out_edges(id).expect("node from topological order") {
+                // lint: allow(no-unwrap) — queue/degree bookkeeping guarantees the entry exists
                 let dst = self.edge(e).expect("edge from adjacency").dst();
                 level[dst.index()] = level[dst.index()].max(level[id.index()] + 1);
             }

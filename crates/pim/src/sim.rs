@@ -84,7 +84,9 @@ impl InstanceIndex {
     fn insert(&mut self, key: usize, iteration: u64, value: usize) -> Option<usize> {
         match self.slot(key, iteration) {
             Some(slot) => {
+                // lint: allow(unchecked-index) — ids are validated against the plan before the event loop starts
                 let prev = self.dense[slot];
+                // lint: allow(unchecked-index) — ids are validated against the plan before the event loop starts
                 self.dense[slot] = value;
                 (prev != Self::ABSENT).then_some(prev)
             }
@@ -95,6 +97,7 @@ impl InstanceIndex {
     fn get(&self, key: usize, iteration: u64) -> Option<usize> {
         match self.slot(key, iteration) {
             Some(slot) => {
+                // lint: allow(unchecked-index) — ids are validated against the plan before the event loop starts
                 let v = self.dense[slot];
                 (v != Self::ABSENT).then_some(v)
             }
@@ -170,6 +173,7 @@ pub fn simulate(
         {
             return Err(SimError::DuplicateTask(t.node, t.iteration));
         }
+        // lint: allow(unchecked-index) — ids are validated against the plan before the event loop starts
         match pes[t.pe.index()].record_task(t.start, t.finish()) {
             Ok(()) => {}
             Err(RecordError::EmptyInterval) => {
@@ -227,6 +231,7 @@ pub fn simulate(
         // Producer must exist and finish before the transfer starts.
         let producer = task_index
             .get(ipr.src().index(), x.iteration)
+            // lint: allow(unchecked-index) — ids are validated against the plan before the event loop starts
             .map(|i| &plan.tasks()[i])
             .ok_or(SimError::MissingProducer(ipr.src(), x.iteration))?;
         if x.start < producer.finish() {
@@ -249,11 +254,15 @@ pub fn simulate(
                 offchip_units += ipr.size();
                 vaults.record_fetch(x.edge, ipr.size(), x.duration);
                 let v = vaults.vault_of(x.edge);
+                // lint: allow(unchecked-index) — ids are validated against the plan before the event loop starts
                 vault_events[v].push((x.start, 1));
+                // lint: allow(unchecked-index) — ids are validated against the plan before the event loop starts
                 vault_events[v].push((x.finish(), -1));
             }
         }
+        // lint: allow(unchecked-index) — ids are validated against the plan before the event loop starts
         fifo_events[x.dst_pe.index()].push((x.start, 1));
+        // lint: allow(unchecked-index) — ids are validated against the plan before the event loop starts
         fifo_events[x.dst_pe.index()].push((x.finish(), -1));
     }
 
@@ -265,6 +274,7 @@ pub fn simulate(
         {
             let x = transfer_index
                 .get(e.index(), t.iteration)
+                // lint: allow(unchecked-index) — ids are validated against the plan before the event loop starts
                 .map(|i| &plan.transfers()[i])
                 .ok_or(SimError::MissingTransfer(e, t.iteration))?;
             if x.finish() > t.start {

@@ -114,6 +114,7 @@ impl MovementAnalysis {
             let k_cache = bounded_relative_retiming(cache_times[i], gaps[i], period);
             let k_edram = bounded_relative_retiming(edram_times[i], gaps[i], period).max(k_cache);
             let case = RetimingCase::classify(k_cache, k_edram)
+                // lint: allow(no-unwrap) — gaps/latencies vectors are sized to the edge count above
                 .expect("bounded requirements with k_cache <= k_edram are always classifiable");
             cases.push(case);
         }

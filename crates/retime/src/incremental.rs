@@ -67,6 +67,7 @@ impl Retiming {
             // Producers feeding `n` must stay at least at `n`'s level;
             // their edge values must cover the consumer too.
             for &e in graph.in_edges(n).map_err(|_| RetimeError::UnknownNode(n))? {
+                // lint: allow(no-unwrap) — the base retiming covers every node of the graph it was built from
                 let ipr = graph.edge(e).expect("edge from adjacency");
                 let edge_val = self.edge_value(e)?;
                 if edge_val < needed {

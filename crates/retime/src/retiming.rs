@@ -101,13 +101,16 @@ impl Retiming {
             graph.edge_count(),
             "one requirement per edge"
         );
+        // lint: allow(no-unwrap) — edge endpoints are valid node ids of the same graph
         let order = graph.topological_order().expect("built graphs are acyclic");
         let mut node_values = vec![0u64; graph.node_count()];
         for &id in order.iter().rev() {
+            // lint: allow(no-unwrap) — edge endpoints are valid node ids of the same graph
             let out = graph.out_edges(id).expect("node from topological order");
             let needed = out
                 .iter()
                 .map(|&e| {
+                    // lint: allow(no-unwrap) — edge endpoints are valid node ids of the same graph
                     let dst = graph.edge(e).expect("edge from adjacency").dst();
                     node_values[dst.index()] + requirements[e.index()]
                 })

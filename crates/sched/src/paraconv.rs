@@ -288,7 +288,7 @@ impl ParaConvScheduler {
             for node in graph.nodes() {
                 let r = retiming
                     .node_value(node.id())
-                    .expect("retiming covers every node");
+                    .map_err(|e| SchedError::Analysis(e.to_string()))?;
                 let start = (group + rmax - r) * p + kernel.start_at(node.id(), copy);
                 plan.push_task(PlannedTask {
                     node: node.id(),
@@ -302,7 +302,7 @@ impl ParaConvScheduler {
                 let i = ipr.id().index();
                 let r_src = retiming
                     .node_value(ipr.src())
-                    .expect("retiming covers every node");
+                    .map_err(|e| SchedError::Analysis(e.to_string()))?;
                 let producer_finish =
                     (group + rmax - r_src) * p + kernel.finish_at(ipr.src(), copy);
                 let placement = placements[i];
@@ -349,18 +349,15 @@ fn best_kernel(graph: &TaskGraph, num_pes: usize, iterations: u64) -> KernelSche
         .div_ceil(work)
         .clamp(1, 64)
         .min(iterations);
-    let mut best: Option<KernelSchedule> = None;
-    for u in 1..=u_max {
+    // u = 1 always exists, so the fold needs no Option.
+    let mut best = KernelSchedule::compact_copies(graph, num_pes, 1);
+    for u in 2..=u_max {
         let candidate = KernelSchedule::compact_copies(graph, num_pes, u);
-        let better = match &best {
-            None => true,
-            Some(b) => candidate.time_per_iteration() < b.time_per_iteration(),
-        };
-        if better {
-            best = Some(candidate);
+        if candidate.time_per_iteration() < best.time_per_iteration() {
+            best = candidate;
         }
     }
-    best.expect("at least the u = 1 kernel is evaluated")
+    best
 }
 
 /// Greedy profit-density prefilter for

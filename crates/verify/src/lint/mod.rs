@@ -1,0 +1,227 @@
+//! The project lint engine — a token-level scanner over workspace
+//! sources with **no external dependencies**.
+//!
+//! Rules (see [`rules`]):
+//!
+//! | rule | what it denies | where |
+//! |---|---|---|
+//! | `no-unwrap` | `.unwrap()`, `.expect()`, `panic!` | non-test library code (binaries exempt) |
+//! | `unchecked-index` | `x[i]` slice indexing | `pim::sim` and `alloc` hot paths |
+//! | `wallclock-rng` | `Instant::now`, `SystemTime::now`, `thread_rng`, `from_entropy` | deterministic sweep paths |
+//! | `nan-unsafe-cmp` | `partial_cmp`, `== 1.0` float equality | everywhere |
+//!
+//! `#[cfg(test)]` modules, `#[test]` functions, comments (including
+//! doc-comment examples) and string literals are never scanned.
+//!
+//! The escape hatch is an inline annotation on the offending line or
+//! the line directly above it:
+//!
+//! ```text
+//! // lint: allow(no-unwrap) — capacity was validated at build time
+//! let slot = table.get(i).unwrap();
+//! ```
+//!
+//! `// lint: allow(all)` suppresses every rule for one line. The
+//! `paraconv-verify` binary walks the workspace, prints unsuppressed
+//! findings as `path:line: [rule] message` and exits non-zero when any
+//! exist.
+
+mod lexer;
+pub mod rules;
+
+use lexer::{lex, Tok, TokKind};
+
+/// One unsuppressed lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired (one of [`rules::ALL_RULES`]).
+    pub rule: &'static str,
+    /// The 1-based source line.
+    pub line: u32,
+    /// A human-readable explanation.
+    pub message: String,
+}
+
+impl core::fmt::Display for Finding {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: [{}] {}", self.line, self.rule, self.message)
+    }
+}
+
+/// Lints one source file. `path` selects the path-scoped rules
+/// (indexing hot paths, wall-clock exemptions); `source` is the file
+/// content. Returns the findings that survive `// lint: allow(...)`
+/// annotations, sorted by line.
+#[must_use]
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    let lexed = lex(source);
+    let stripped = strip_test_items(&lexed.tokens);
+    let mut findings = rules::scan(path, &stripped);
+    findings.retain(|f| {
+        let allowed_on = |line: u32| {
+            lexed
+                .allows
+                .get(&line)
+                .is_some_and(|rules| rules.iter().any(|r| r == f.rule || r == "all"))
+        };
+        !(allowed_on(f.line) || (f.line > 1 && allowed_on(f.line - 1)))
+    });
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Removes `#[cfg(test)]` / `#[test]` items (attributes, the item
+/// head, and its body) from the token stream, so test code is never
+/// linted. `#[cfg(not(test))]` is production code and is kept.
+fn strip_test_items(tokens: &[Tok]) -> Vec<Tok> {
+    let mut out: Vec<Tok> = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let close = matching(tokens, i + 1, '[', ']');
+            let inner = &tokens[i + 2..close.min(tokens.len())];
+            let is_test_attr = inner.iter().any(|t| t.is_ident("test"))
+                && !inner.iter().any(|t| t.is_ident("not"));
+            if is_test_attr {
+                // Skip any further attributes, then the whole item.
+                let mut j = close + 1;
+                while j < tokens.len()
+                    && tokens[j].is_punct('#')
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    j = matching(tokens, j + 1, '[', ']') + 1;
+                }
+                i = skip_item(tokens, j);
+                continue;
+            }
+            // A kept attribute: copy it wholesale so its brackets never
+            // look like indexing.
+            for tok in &tokens[i..=close.min(tokens.len() - 1)] {
+                out.push(tok.clone());
+            }
+            i = close + 1;
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Index of the token closing the bracket opened at `open`.
+fn matching(tokens: &[Tok], open: usize, open_c: char, close_c: char) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        if tokens[j].is_punct(open_c) {
+            depth += 1;
+        } else if tokens[j].is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Index just past one item starting at `start`: either the matching
+/// `}` of its first brace block, or the first `;` outside any braces.
+fn skip_item(tokens: &[Tok], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            TokKind::Punct(';') if depth == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_modules_are_not_linted() {
+        let src = "
+            pub fn lib() -> u64 { 1 }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); panic!(\"boom\"); }
+            }
+        ";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_linted() {
+        let src = "
+            #[cfg(not(test))]
+            pub fn lib() { Some(1).unwrap(); }
+        ";
+        let findings = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, rules::NO_UNWRAP);
+    }
+
+    #[test]
+    fn allow_on_the_line_above_suppresses() {
+        let src = "
+            pub fn lib() {
+                // lint: allow(no-unwrap) validated by the builder
+                Some(1).unwrap();
+            }
+        ";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_of_a_different_rule_does_not_suppress() {
+        let src = "
+            pub fn lib() {
+                // lint: allow(wallclock-rng)
+                Some(1).unwrap();
+            }
+        ";
+        assert_eq!(lint_source("crates/x/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn doc_examples_are_not_findings() {
+        let src = "
+            /// ```
+            /// let x = foo().unwrap();
+            /// ```
+            pub fn foo() -> Option<u64> { None }
+        ";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn indexing_fires_only_on_hot_paths() {
+        let src = "pub fn f(v: &[u64], i: usize) -> u64 { v[i] }";
+        assert!(lint_source("crates/graph/src/graph.rs", src).is_empty());
+        let hot = lint_source("crates/pim/src/sim.rs", src);
+        assert_eq!(hot.len(), 1);
+        assert_eq!(hot[0].rule, rules::UNCHECKED_INDEX);
+    }
+
+    #[test]
+    fn panic_path_calls_are_not_macro_findings() {
+        // `std::panic::resume_unwind` is not `panic!`.
+        let src = "pub fn f(p: Box<dyn std::any::Any + Send>) { std::panic::resume_unwind(p) }";
+        assert!(lint_source("crates/x/src/lib.rs", src).is_empty());
+    }
+}

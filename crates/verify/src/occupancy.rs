@@ -1,0 +1,352 @@
+//! Abstract-interpretation occupancy analysis.
+//!
+//! Every Para-CONV transfer is periodic: iteration group `g` of an
+//! edge's copy `c` starts at `(g + R_max − R(src))·p + f` where `f` is
+//! the producer's finish offset inside the kernel. Retiming offsets
+//! are whole multiples of the period `p`, so **the phase of every
+//! instance modulo `p` is just `f mod p`** — the retiming terms vanish
+//! and the steady state is fully described by per-phase profiles.
+//!
+//! For one periodic interval family (phase `f`, duration `d`, period
+//! `p`), the number of instances alive at any time `t` is
+//!
+//! ```text
+//! N(t) = ⌊d/p⌋ + [ (t − f) mod p  <  d mod p ]
+//! ```
+//!
+//! Summing the constant `⌊d/p⌋` terms and sweeping the partial windows
+//! `[f mod p, f mod p + d mod p)` around the period circle yields an
+//! upper bound on the occupancy **over all iterations** — including
+//! runs longer than any simulation. The finite plan's intervals are a
+//! subset of the infinite periodic families, so the bound dominates
+//! every runtime high-water mark the simulator or auditor can record.
+
+use paraconv_graph::{EdgeId, Placement, TaskGraph};
+use paraconv_pim::{CostModel, PimConfig};
+use paraconv_sched::ParaConvOutcome;
+
+use crate::diag::VerifyError;
+
+/// The peak of one resource's steady-state phase profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeakBound {
+    /// The occupancy upper bound.
+    pub bound: u64,
+    /// An in-period phase at which the bound is attained.
+    pub phase: u64,
+    /// The edges contributing at that phase.
+    pub edges: Vec<EdgeId>,
+}
+
+/// A steady-state occupancy profile over one kernel period.
+///
+/// Intervals are added as `(phase, duration, weight)` triples; the
+/// profile accumulates the always-active `⌊d/p⌋` component and the
+/// partial windows, and [`peak`](Self::peak) sweeps the period circle
+/// for the maximum.
+#[derive(Debug, Clone)]
+pub struct PhaseProfile {
+    period: u64,
+    base: u64,
+    /// Partial windows already split at the period boundary:
+    /// `(start, end, weight, edge)` with `0 ≤ start < end ≤ period`.
+    segments: Vec<(u64, u64, u64, EdgeId)>,
+    /// Edges contributing through the always-active component.
+    full_edges: Vec<EdgeId>,
+}
+
+impl PhaseProfile {
+    /// An empty profile over `period`. A zero period is clamped to 1
+    /// so degenerate inputs degrade to a diagnostic upstream instead
+    /// of a panic here.
+    #[must_use]
+    pub fn new(period: u64) -> Self {
+        PhaseProfile {
+            period: period.max(1),
+            base: 0,
+            segments: Vec::new(),
+            full_edges: Vec::new(),
+        }
+    }
+
+    /// Adds the periodic interval family starting at `phase` with
+    /// `duration` and `weight`, attributed to `edge`.
+    pub fn add(&mut self, edge: EdgeId, phase: u64, duration: u64, weight: u64) {
+        if duration == 0 || weight == 0 {
+            return;
+        }
+        let p = self.period;
+        let whole = duration / p;
+        if whole > 0 {
+            self.base += weight * whole;
+            self.full_edges.push(edge);
+        }
+        let rem = duration % p;
+        if rem > 0 {
+            let s = phase % p;
+            let e = s + rem;
+            if e <= p {
+                self.segments.push((s, e, weight, edge));
+            } else {
+                self.segments.push((s, p, weight, edge));
+                self.segments.push((0, e - p, weight, edge));
+            }
+        }
+    }
+
+    /// The profile's peak over the period circle.
+    ///
+    /// Release events sort before acquire events at equal positions,
+    /// matching the half-open `[start, finish)` semantics of the
+    /// simulator's event sweeps.
+    #[must_use]
+    pub fn peak(&self) -> PeakBound {
+        let mut events: Vec<(u64, i128)> = Vec::with_capacity(self.segments.len() * 2);
+        for &(s, e, w, _) in &self.segments {
+            events.push((s, i128::from(w)));
+            events.push((e, -i128::from(w)));
+        }
+        events.sort_unstable_by_key(|&(pos, delta)| (pos, delta));
+        let mut level: i128 = 0;
+        let mut max_level: i128 = 0;
+        let mut peak_phase: u64 = 0;
+        for (pos, delta) in events {
+            level += delta;
+            if level > max_level {
+                max_level = level;
+                peak_phase = pos;
+            }
+        }
+        let mut edges: Vec<EdgeId> = self.full_edges.clone();
+        edges.extend(
+            self.segments
+                .iter()
+                .filter(|&&(s, e, _, _)| s <= peak_phase && peak_phase < e)
+                .map(|&(_, _, _, edge)| edge),
+        );
+        edges.sort_unstable_by_key(|e| e.index());
+        edges.dedup();
+        // `max_level` is a sum of u64 weights; it is non-negative and
+        // fits back into u64 because every weight entered as a u64.
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        PeakBound {
+            bound: self.base + max_level as u64,
+            phase: peak_phase,
+            edges,
+        }
+    }
+
+    /// The period this profile is phrased over.
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+}
+
+/// The three resource bounds the verifier proves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancyBounds {
+    /// Aggregate PE-cache occupancy (IPR units).
+    pub cache: PeakBound,
+    /// Per-destination-PE iFIFO occupancy (transfers in flight).
+    pub fifo: Vec<PeakBound>,
+    /// Per-vault fetch concurrency (eDRAM transfers in flight).
+    pub vault: Vec<PeakBound>,
+}
+
+impl OccupancyBounds {
+    /// The worst per-PE iFIFO bound and the PE attaining it.
+    #[must_use]
+    pub fn worst_fifo(&self) -> (usize, u64) {
+        self.fifo
+            .iter()
+            .enumerate()
+            .map(|(pe, b)| (pe, b.bound))
+            .max_by_key(|&(pe, bound)| (bound, usize::MAX - pe))
+            .unwrap_or((0, 0))
+    }
+
+    /// The worst per-vault bound and the vault attaining it.
+    #[must_use]
+    pub fn worst_vault(&self) -> (usize, u64) {
+        self.vault
+            .iter()
+            .enumerate()
+            .map(|(v, b)| (v, b.bound))
+            .max_by_key(|&(v, bound)| (bound, usize::MAX - v))
+            .unwrap_or((0, 0))
+    }
+}
+
+/// Computes the steady-state occupancy bounds of an outcome from its
+/// kernel, retiming-induced placements and the cost model alone — no
+/// simulation.
+///
+/// # Errors
+///
+/// Returns a structured diagnostic for degenerate inputs (zero-period
+/// or empty kernels, shape mismatches); never panics.
+pub fn occupancy_bounds(
+    graph: &TaskGraph,
+    outcome: &ParaConvOutcome,
+    config: &PimConfig,
+) -> Result<OccupancyBounds, VerifyError> {
+    let kernel = &outcome.kernel;
+    crate::guard_shape(graph, outcome)?;
+    let p = kernel.period();
+    let unroll = kernel.copies();
+    let cost = CostModel::new(config, graph.edge_count());
+    let placements = outcome.allocation.to_placement_vec(graph.edge_count());
+
+    let mut cache = PhaseProfile::new(p);
+    let mut fifo: Vec<PhaseProfile> = (0..config.num_pes())
+        .map(|_| PhaseProfile::new(p))
+        .collect();
+    let mut vault: Vec<PhaseProfile> = (0..config.vaults()).map(|_| PhaseProfile::new(p)).collect();
+
+    for e in graph.edges() {
+        let i = e.id().index();
+        let duration = cost.transfer_time(e.size(), placements[i]);
+        for c in 0..unroll {
+            // The retiming offset is a multiple of p, so the phase of
+            // every instance is the producer's in-kernel finish offset.
+            let phase = kernel.finish_at(e.src(), c);
+            let dst_pe = kernel.pe_at(e.dst(), c).index();
+            fifo[dst_pe].add(e.id(), phase, duration, 1);
+            match placements[i] {
+                Placement::Cache => cache.add(e.id(), phase, duration, e.size()),
+                Placement::Edram => {
+                    vault[i % config.vaults()].add(e.id(), phase, duration, 1);
+                }
+            }
+        }
+    }
+
+    Ok(OccupancyBounds {
+        cache: cache.peak(),
+        fifo: fifo.iter().map(PhaseProfile::peak).collect(),
+        vault: vault.iter().map(PhaseProfile::peak).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(i: u32) -> EdgeId {
+        EdgeId::new(i)
+    }
+
+    #[test]
+    fn empty_profile_peaks_at_zero() {
+        let prof = PhaseProfile::new(8);
+        let peak = prof.peak();
+        assert_eq!(peak.bound, 0);
+        assert!(peak.edges.is_empty());
+    }
+
+    #[test]
+    fn zero_period_is_clamped_not_panicking() {
+        let mut prof = PhaseProfile::new(0);
+        prof.add(edge(0), 5, 3, 2);
+        assert_eq!(prof.period(), 1);
+        // d = 3 over p = 1: three instances always alive, weight 2.
+        assert_eq!(prof.peak().bound, 6);
+    }
+
+    #[test]
+    fn disjoint_windows_do_not_stack() {
+        let mut prof = PhaseProfile::new(10);
+        prof.add(edge(0), 0, 3, 1);
+        prof.add(edge(1), 5, 3, 1);
+        let peak = prof.peak();
+        assert_eq!(peak.bound, 1);
+    }
+
+    #[test]
+    fn overlapping_windows_stack_with_weights() {
+        let mut prof = PhaseProfile::new(10);
+        prof.add(edge(0), 2, 4, 3);
+        prof.add(edge(1), 4, 4, 5);
+        let peak = prof.peak();
+        // [2,6) w3 and [4,8) w5 overlap on [4,6).
+        assert_eq!(peak.bound, 8);
+        assert_eq!(peak.phase, 4);
+        assert_eq!(peak.edges, vec![edge(0), edge(1)]);
+    }
+
+    #[test]
+    fn half_open_intervals_do_not_touch() {
+        let mut prof = PhaseProfile::new(10);
+        prof.add(edge(0), 0, 5, 1);
+        prof.add(edge(1), 5, 5, 1);
+        // [0,5) releases exactly when [5,10) acquires.
+        assert_eq!(prof.peak().bound, 1);
+    }
+
+    #[test]
+    fn long_durations_accumulate_the_floor_component() {
+        let mut prof = PhaseProfile::new(4);
+        // d = 10 = 2·4 + 2: two instances always alive plus a partial
+        // window [1, 3).
+        prof.add(edge(0), 1, 10, 1);
+        let peak = prof.peak();
+        assert_eq!(peak.bound, 3);
+        assert_eq!(peak.edges, vec![edge(0)]);
+    }
+
+    #[test]
+    fn wraparound_windows_split_correctly() {
+        let mut prof = PhaseProfile::new(10);
+        // [8, 13) mod 10 → [8, 10) + [0, 3).
+        prof.add(edge(0), 8, 5, 1);
+        prof.add(edge(1), 1, 3, 1);
+        let peak = prof.peak();
+        // [0,3) from the wrap and [1,4)... wait: edge(1) is [1,4); they
+        // overlap on [1,3).
+        assert_eq!(peak.bound, 2);
+        assert_eq!(peak.phase, 1);
+    }
+
+    #[test]
+    fn exact_period_duration_is_always_active() {
+        let mut prof = PhaseProfile::new(6);
+        prof.add(edge(0), 2, 6, 4);
+        let peak = prof.peak();
+        assert_eq!(peak.bound, 4);
+        assert_eq!(peak.edges, vec![edge(0)]);
+    }
+
+    #[test]
+    fn peak_matches_brute_force_simulation() {
+        // Cross-check the closed form against literally counting
+        // instances of each family over a long horizon.
+        let p = 7u64;
+        let families = [(0u64, 3u64, 2u64), (2, 9, 1), (5, 4, 3), (6, 14, 1)];
+        let mut prof = PhaseProfile::new(p);
+        for (i, &(f, d, w)) in families.iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            prof.add(edge(i as u32), f, d, w);
+        }
+        let mut brute = 0u64;
+        for t in 0..(p * 40) {
+            let mut level = 0u64;
+            for &(f, d, w) in &families {
+                // Count g ≥ 0 with f + g·p ≤ t < f + g·p + d.
+                let mut g = 0u64;
+                loop {
+                    let start = f + g * p;
+                    if start > t {
+                        break;
+                    }
+                    if t < start + d {
+                        level += w;
+                    }
+                    g += 1;
+                }
+            }
+            brute = brute.max(level);
+        }
+        assert_eq!(prof.peak().bound, brute);
+    }
+}

@@ -1,0 +1,202 @@
+//! Fixture self-tests for the lint engine: every rule has a positive
+//! fixture that fires and an allow-annotated twin that stays silent,
+//! plus the path- and test-scoping exemptions.
+
+use paraconv_verify::lint::{lint_source, rules};
+
+const LIB: &str = "crates/x/src/lib.rs";
+const SIM: &str = "crates/pim/src/sim.rs";
+
+fn rules_fired(path: &str, src: &str) -> Vec<&'static str> {
+    lint_source(path, src).into_iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn no_unwrap_fires_on_each_form() {
+    assert_eq!(
+        rules_fired(LIB, "fn f() { Some(1).unwrap(); }"),
+        [rules::NO_UNWRAP]
+    );
+    assert_eq!(
+        rules_fired(LIB, "fn f() { Some(1).expect(\"x\"); }"),
+        [rules::NO_UNWRAP]
+    );
+    assert_eq!(
+        rules_fired(LIB, "fn f() { panic!(\"boom\"); }"),
+        [rules::NO_UNWRAP]
+    );
+}
+
+#[test]
+fn no_unwrap_allow_annotation_silences() {
+    let src = "
+        fn f() {
+            // lint: allow(no-unwrap) — value exists by construction
+            Some(1).unwrap();
+            // lint: allow(no-unwrap) — unreachable without a prior bug
+            panic!(\"boom\");
+        }
+    ";
+    assert!(lint_source(LIB, src).is_empty());
+}
+
+#[test]
+fn no_unwrap_same_line_annotation_silences() {
+    let src = "fn f() { Some(1).unwrap(); } // lint: allow(no-unwrap) — fixture";
+    assert!(lint_source(LIB, src).is_empty());
+}
+
+#[test]
+fn no_unwrap_skips_binaries_and_tests() {
+    let src = "fn main() { std::fs::read(\"x\").unwrap(); }";
+    assert!(lint_source("crates/x/src/bin/tool.rs", src).is_empty());
+
+    let test_src = "
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() { Some(1).unwrap(); }
+        }
+    ";
+    assert!(lint_source(LIB, test_src).is_empty());
+}
+
+#[test]
+fn unchecked_index_fires_only_on_hot_paths() {
+    let src = "fn f(v: &[u64], i: usize) -> u64 { v[i] }";
+    assert_eq!(rules_fired(SIM, src), [rules::UNCHECKED_INDEX]);
+    assert_eq!(
+        rules_fired("crates/alloc/src/dp.rs", src),
+        [rules::UNCHECKED_INDEX]
+    );
+    assert!(lint_source(LIB, src).is_empty());
+    assert!(lint_source("crates/graph/src/graph.rs", src).is_empty());
+}
+
+#[test]
+fn unchecked_index_allow_annotation_silences() {
+    let src = "
+        fn f(v: &[u64], i: usize) -> u64 {
+            // lint: allow(unchecked-index) — i < v.len() checked above
+            v[i]
+        }
+    ";
+    assert!(lint_source(SIM, src).is_empty());
+}
+
+#[test]
+fn unchecked_index_ignores_macros_types_and_attributes() {
+    // `vec![...]` has a `!` before the bracket, `[u64; 4]` follows a
+    // punct, and attribute brackets are copied wholesale.
+    let src = "
+        #[derive(Debug)]
+        struct S;
+        fn f() -> Vec<u64> { let _a: [u64; 4] = [0; 4]; vec![1, 2] }
+    ";
+    assert!(lint_source(SIM, src).is_empty());
+}
+
+#[test]
+fn wallclock_rng_fires_on_each_source() {
+    assert_eq!(
+        rules_fired(LIB, "fn f() { let _t = std::time::Instant::now(); }"),
+        [rules::WALLCLOCK_RNG]
+    );
+    assert_eq!(
+        rules_fired(LIB, "fn f() { let _t = SystemTime::now(); }"),
+        [rules::WALLCLOCK_RNG]
+    );
+    assert_eq!(
+        rules_fired(LIB, "fn f() { let _r = rand::thread_rng(); }"),
+        [rules::WALLCLOCK_RNG]
+    );
+    assert_eq!(
+        rules_fired(LIB, "fn f() { let _r = SmallRng::from_entropy(); }"),
+        [rules::WALLCLOCK_RNG]
+    );
+}
+
+#[test]
+fn wallclock_rng_exempts_obs_and_binaries() {
+    let src = "fn f() { let _t = std::time::Instant::now(); }";
+    assert!(lint_source("crates/obs/src/recorder.rs", src).is_empty());
+    assert!(lint_source("crates/x/src/bin/tool.rs", src).is_empty());
+}
+
+#[test]
+fn wallclock_rng_allow_annotation_silences() {
+    let src = "
+        fn f() {
+            // lint: allow(wallclock-rng) — coarse progress logging only
+            let _t = std::time::Instant::now();
+        }
+    ";
+    assert!(lint_source(LIB, src).is_empty());
+}
+
+#[test]
+fn nan_unsafe_cmp_fires_on_partial_cmp_and_float_equality() {
+    assert_eq!(
+        rules_fired(LIB, "fn f(a: f64, b: f64) { a.partial_cmp(&b); }"),
+        [rules::NAN_UNSAFE_CMP]
+    );
+    assert_eq!(
+        rules_fired(LIB, "fn f(a: f64) -> bool { a == 1.0 }"),
+        [rules::NAN_UNSAFE_CMP]
+    );
+    assert_eq!(
+        rules_fired(LIB, "fn f(a: f64) -> bool { 0.5 != a }"),
+        [rules::NAN_UNSAFE_CMP]
+    );
+}
+
+#[test]
+fn nan_unsafe_cmp_leaves_safe_comparisons_alone() {
+    assert!(lint_source(LIB, "fn f(a: f64, b: f64) { a.total_cmp(&b); }").is_empty());
+    assert!(lint_source(LIB, "fn f(a: u64) -> bool { a == 1 }").is_empty());
+    assert!(lint_source(LIB, "fn f(a: u64, b: u64) -> bool { a != b }").is_empty());
+    assert!(lint_source(LIB, "fn f(a: u64) -> bool { a <= 1 }").is_empty());
+}
+
+#[test]
+fn nan_unsafe_cmp_allow_annotation_silences() {
+    let src = "
+        fn f(a: f64) -> bool {
+            // lint: allow(nan-unsafe-cmp) — sentinel is exact by contract
+            a == 1.0
+        }
+    ";
+    assert!(lint_source(LIB, src).is_empty());
+}
+
+#[test]
+fn allow_all_silences_every_rule() {
+    let src = "
+        fn f(v: &[f64], i: usize) -> bool {
+            // lint: allow(all) — fixture exercising the blanket escape
+            v[i].partial_cmp(&1.0).unwrap() == std::cmp::Ordering::Equal
+        }
+    ";
+    assert!(lint_source(SIM, src).is_empty());
+}
+
+#[test]
+fn findings_report_rule_line_and_message() {
+    let findings = lint_source(LIB, "\n\nfn f() { Some(1).unwrap(); }");
+    assert_eq!(findings.len(), 1);
+    assert_eq!(findings[0].rule, rules::NO_UNWRAP);
+    assert_eq!(findings[0].line, 3);
+    assert!(findings[0].message.contains("unwrap"));
+    assert!(findings[0].to_string().contains("[no-unwrap]"));
+    assert!(rules::ALL_RULES.contains(&findings[0].rule));
+}
+
+#[test]
+fn comments_and_strings_never_fire() {
+    let src = "
+        // a comment mentioning .unwrap() and panic! goes unlinted
+        /* Instant::now() in a block comment too */
+        fn f() -> &'static str { \"contains .unwrap() and panic!\" }
+    ";
+    assert!(lint_source(LIB, src).is_empty());
+}
