@@ -151,6 +151,67 @@ impl CacheAllocator {
             capacity: self.capacity,
         }
     }
+
+    /// Re-decides placements after a degradation event, seeding from a
+    /// `prior` allocation.
+    ///
+    /// Fast path: if every edge the prior allocation cached still has
+    /// positive `ΔR` among the current `items` and their combined
+    /// current space fits this allocator's (possibly reduced)
+    /// capacity, the prior cached set is kept verbatim — profits and
+    /// occupancy are recomputed from the *current* items, so the
+    /// result is always internally consistent with the new timing.
+    /// Otherwise the full §3.3 dynamic program re-runs from scratch.
+    ///
+    /// The fast path may be suboptimal (it is the prior optimum, not
+    /// the new one), which downstream invariant checks permit: a valid
+    /// allocation only needs `claimed ≤ dp_max` and `used ≤ capacity`.
+    #[must_use]
+    pub fn reallocate(&self, prior: &CacheAllocation, items: Vec<AllocItem>) -> CacheAllocation {
+        let by_edge: HashMap<EdgeId, &AllocItem> =
+            items.iter().map(|item| (item.edge(), item)).collect();
+        let mut used = 0u64;
+        let mut profit = 0u64;
+        let mut reusable = true;
+        for &edge in prior.cached() {
+            match by_edge.get(&edge) {
+                Some(item) if item.delta_r() > 0 => {
+                    used += item.space();
+                    profit += item.delta_r();
+                }
+                // The edge vanished or no longer profits from caching:
+                // the prior set no longer describes this problem.
+                _ => {
+                    reusable = false;
+                    break;
+                }
+            }
+        }
+        if !reusable || used > self.capacity {
+            return self.allocate(items);
+        }
+        let keep: std::collections::HashSet<EdgeId> = prior.cached().iter().copied().collect();
+        let mut placements = HashMap::with_capacity(items.len());
+        let mut competing = Vec::new();
+        for item in items {
+            if keep.contains(&item.edge()) {
+                placements.insert(item.edge(), Placement::Cache);
+                competing.push(item);
+            } else {
+                placements.insert(item.edge(), Placement::Edram);
+            }
+        }
+        // Deadline order, matching what allocate() reports.
+        let competing = sort_by_deadline(competing);
+        let cached = competing.iter().map(|item| item.edge()).collect();
+        CacheAllocation {
+            placements,
+            cached,
+            total_profit: profit,
+            used_capacity: used,
+            capacity: self.capacity,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +275,51 @@ mod tests {
         assert_eq!(v[0], Placement::Edram); // not an item
         assert_eq!(v[1], Placement::Cache);
         assert_eq!(v[2], Placement::Edram); // not an item
+    }
+
+    #[test]
+    fn reallocate_keeps_a_prior_set_that_still_fits() {
+        let items = vec![item(0, 2, 5, 1), item(1, 2, 4, 2), item(2, 1, 3, 3)];
+        let prior = CacheAllocator::new(3).allocate(items.clone());
+        assert_eq!(prior.cached(), &[EdgeId::new(0), EdgeId::new(2)]);
+        let again = CacheAllocator::new(3).reallocate(&prior, items);
+        assert_eq!(again.cached(), prior.cached());
+        assert_eq!(again.total_profit(), prior.total_profit());
+        assert_eq!(again.used_capacity(), prior.used_capacity());
+    }
+
+    #[test]
+    fn reallocate_falls_back_to_the_dp_when_capacity_shrinks() {
+        let items = vec![item(0, 2, 5, 1), item(1, 2, 4, 2), item(2, 1, 3, 3)];
+        let prior = CacheAllocator::new(3).allocate(items.clone());
+        // Capacity 3 → 1: the prior set (space 3) no longer fits, so
+        // the DP re-runs and picks the best single-unit item.
+        let shrunk = CacheAllocator::new(1).reallocate(&prior, items);
+        assert!(shrunk.used_capacity() <= 1);
+        assert_eq!(shrunk.cached(), &[EdgeId::new(2)]);
+        assert_eq!(shrunk.total_profit(), 3);
+    }
+
+    #[test]
+    fn reallocate_rejects_a_prior_with_stale_edges() {
+        let prior = CacheAllocator::new(4).allocate(vec![item(7, 1, 9, 1)]);
+        assert_eq!(prior.cached(), &[EdgeId::new(7)]);
+        // Edge 7 is gone from the new items: full re-solve.
+        let fresh = CacheAllocator::new(4).reallocate(&prior, vec![item(0, 1, 2, 1)]);
+        assert_eq!(fresh.cached(), &[EdgeId::new(0)]);
+        assert_eq!(fresh.total_profit(), 2);
+    }
+
+    #[test]
+    fn reallocate_never_caches_zero_profit_items() {
+        // An edge the prior cached can drop to ΔR = 0 under new timing
+        // (e.g. a longer kernel period absorbs the transfer); keeping
+        // it would waste space for no profit, so the DP re-runs.
+        let prior = CacheAllocator::new(4).allocate(vec![item(0, 1, 5, 1), item(1, 1, 2, 2)]);
+        let fresh =
+            CacheAllocator::new(4).reallocate(&prior, vec![item(0, 1, 0, 1), item(1, 1, 2, 2)]);
+        assert_eq!(fresh.placement(EdgeId::new(0)), Some(Placement::Edram));
+        assert_eq!(fresh.cached(), &[EdgeId::new(1)]);
     }
 
     #[test]

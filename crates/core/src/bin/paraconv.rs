@@ -12,23 +12,48 @@
 //! $ paraconv verify --all --zoo
 //! $ paraconv table1 --quick --trace t.json --metrics m.jsonl
 //! $ paraconv stats cat --pes 16
+//! $ paraconv chaos cat --seed 42 --fault-rate 100 --kill-pe 1@40 --json
 //! ```
+//!
+//! Exit codes: `0` success, `1` runtime failure (a run that errored),
+//! `2` usage error (unknown subcommand, malformed or unknown flags —
+//! usage is printed to stderr).
 
 use std::process::ExitCode;
 
+use paraconv::fault::FaultSpec;
 use paraconv::graph::TaskGraph;
 use paraconv::pim::PimConfig;
 use paraconv::synth::benchmarks;
 use paraconv::{experiments, obs, ParaConv};
 
+/// A CLI failure, split by exit code: usage errors (exit 2) echo the
+/// usage text, runtime errors (exit 1) do not.
+enum CliError {
+    /// The invocation itself is malformed.
+    Usage(String),
+    /// The invocation is well-formed but the work failed.
+    Runtime(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Runtime(msg)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
     }
@@ -45,6 +70,7 @@ const USAGE: &str = "usage:
   paraconv verify [<benchmark>] [opts]  statically prove the Para-CONV plan
   paraconv table1 [opts]                Table 1 (SPARTA vs Para-CONV sweep)
   paraconv stats <benchmark> [opts]     run compare and print its metrics
+  paraconv chaos <benchmark> [opts]     deterministic fault campaign + recovery
 
 options:
   --pes <n>       processing engines (default 16; table1 sweeps 16/32/64)
@@ -54,7 +80,13 @@ options:
   --all           verify only: the whole benchmark suite (the default)
   --zoo           verify only: also verify the real-CNN model zoo
   --trace <path>  write a Chrome trace-event JSON (Perfetto-loadable)
-  --metrics <path> write the metrics snapshot as JSONL";
+  --metrics <path> write the metrics snapshot as JSONL
+
+chaos options:
+  --seed <n>          campaign seed (default 0; same seed => same report)
+  --fault-rate <bp>   vault/congestion/corruption rate in basis points (0-10000)
+  --kill-pe <id>@<c>  fail-stop PE <id> at cycle <c> (repeatable)
+  --json              machine-readable result on stdout";
 
 /// Parsed command options shared by the scheduling subcommands.
 struct Opts {
@@ -79,8 +111,10 @@ impl Opts {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let command = args.first().ok_or("missing command")?;
+fn run(args: &[String]) -> Result<(), CliError> {
+    let command = args
+        .first()
+        .ok_or_else(|| CliError::Usage("missing command".into()))?;
     match command.as_str() {
         "list" => {
             println!("{:<16} {:>8} {:>7}", "benchmark", "vertices", "edges");
@@ -302,8 +336,160 @@ fn run(args: &[String]) -> Result<(), String> {
             print!("{}", obs::snapshot());
             export(&opts, None)
         }
-        other => Err(format!("unknown command `{other}`")),
+        "chaos" => {
+            let graph = load(args.get(1))?;
+            let name = args.get(1).cloned().unwrap_or_default();
+            let chaos_opts = chaos_options(args)?;
+            let spec = chaos_opts.spec()?;
+            let cfg = config(chaos_opts.pes)?;
+            obs::reset();
+            obs::enable();
+            let result = ParaConv::new(cfg)
+                .with_audit(true)
+                .with_verify(true)
+                .run_chaos(&graph, chaos_opts.iters, &spec)
+                .map_err(|e| e.to_string())?;
+            obs::disable();
+            let replan_count = result.replans;
+            if chaos_opts.json {
+                let f = &result.faults;
+                let failed: Vec<String> =
+                    result.failed_pes.iter().map(ToString::to_string).collect();
+                println!("{{");
+                println!("  \"benchmark\": \"{name}\",");
+                println!("  \"seed\": {},", chaos_opts.seed);
+                println!("  \"fault_rate_bp\": {},", chaos_opts.rate_bp);
+                println!("  \"pes\": {},", chaos_opts.pes);
+                println!("  \"active_pes\": {},", result.config.active_pes());
+                println!("  \"iterations\": {},", chaos_opts.iters);
+                println!("  \"replans\": {replan_count},");
+                println!("  \"failed_pes\": [{}],", failed.join(", "));
+                println!("  \"injected\": {},", f.injected);
+                println!("  \"vault_faults\": {},", f.vault_faults);
+                println!("  \"retries\": {},", f.retries);
+                println!("  \"corruptions\": {},", f.corruptions);
+                println!("  \"congestion_events\": {},", f.congestion_events);
+                println!("  \"injected_delay\": {},", f.injected_delay);
+                println!("  \"planned_makespan\": {},", f.planned_makespan);
+                println!("  \"achieved_makespan\": {},", f.achieved_makespan);
+                println!("  \"total_time\": {}", result.report.total_time);
+                println!("}}");
+            } else {
+                println!(
+                    "campaign: seed {}, rate {} bp, {} kill(s)",
+                    chaos_opts.seed,
+                    chaos_opts.rate_bp,
+                    spec.pe_kills().len()
+                );
+                println!(
+                    "recovery: {} replan(s), failed PEs {:?}, {} of {} PEs surviving",
+                    replan_count,
+                    result.failed_pes,
+                    result.config.active_pes(),
+                    result.config.num_pes()
+                );
+                println!(
+                    "faults:   {} injected ({} vault, {} congestion, {} corruption), {} retries",
+                    result.faults.injected,
+                    result.faults.vault_faults,
+                    result.faults.congestion_events,
+                    result.faults.corruptions,
+                    result.faults.retries
+                );
+                println!(
+                    "timeline: planned {} -> achieved {} (+{} injected delay)",
+                    result.faults.planned_makespan,
+                    result.faults.achieved_makespan,
+                    result.faults.injected_delay
+                );
+                println!("{}", result.report);
+            }
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
+}
+
+/// Parsed `chaos` subcommand options.
+struct ChaosOpts {
+    seed: u64,
+    rate_bp: u32,
+    kills: Vec<(u32, u64)>,
+    pes: usize,
+    iters: u64,
+    json: bool,
+}
+
+impl ChaosOpts {
+    /// Builds the validated fault specification.
+    fn spec(&self) -> Result<FaultSpec, CliError> {
+        let mut builder = FaultSpec::builder(self.seed).uniform_rate_bp(self.rate_bp);
+        for &(pe, cycle) in &self.kills {
+            builder = builder.kill_pe(pe, cycle);
+        }
+        builder
+            .build()
+            .map_err(|e| CliError::Usage(format!("invalid fault campaign: {e}")))
+    }
+}
+
+/// Parses `chaos` flags; `args[0]` is the subcommand and `args[1]` the
+/// benchmark name.
+fn chaos_options(args: &[String]) -> Result<ChaosOpts, CliError> {
+    let mut opts = ChaosOpts {
+        seed: 0,
+        rate_bp: 0,
+        kills: Vec::new(),
+        pes: 16,
+        iters: 50,
+        json: false,
+    };
+    let mut i = 2;
+    while i < args.len() {
+        let flag = &args[i];
+        if flag == "--json" {
+            opts.json = true;
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+        match flag.as_str() {
+            "--seed" => {
+                opts.seed = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --seed `{value}`")))?;
+            }
+            "--fault-rate" => {
+                opts.rate_bp = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --fault-rate `{value}`")))?;
+            }
+            "--kill-pe" => {
+                let (pe, cycle) = value
+                    .split_once('@')
+                    .and_then(|(pe, cycle)| Some((pe.parse().ok()?, cycle.parse().ok()?)))
+                    .ok_or_else(|| {
+                        CliError::Usage(format!("bad --kill-pe `{value}` (expected <id>@<cycle>)"))
+                    })?;
+                opts.kills.push((pe, cycle));
+            }
+            "--pes" => {
+                opts.pes = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --pes `{value}`")))?;
+            }
+            "--iters" => {
+                opts.iters = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --iters `{value}`")))?;
+            }
+            other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
+        }
+        i += 2;
+    }
+    Ok(opts)
 }
 
 /// Turns recording on (from a clean slate) when the parsed options
@@ -318,7 +504,7 @@ fn start_observing(opts: &Opts) {
 /// Writes the requested observability artifacts and disables
 /// recording. `plan_trace` carries the simulated plan timeline for
 /// single-plan subcommands; phase spans are appended either way.
-fn export(opts: &Opts, plan_trace: Option<obs::ChromeTrace>) -> Result<(), String> {
+fn export(opts: &Opts, plan_trace: Option<obs::ChromeTrace>) -> Result<(), CliError> {
     if !opts.observing() {
         return Ok(());
     }
@@ -338,20 +524,21 @@ fn export(opts: &Opts, plan_trace: Option<obs::ChromeTrace>) -> Result<(), Strin
     Ok(())
 }
 
-fn load(name: Option<&String>) -> Result<TaskGraph, String> {
-    let name = name.ok_or("missing benchmark name")?;
-    let bench = benchmarks::by_name(name)
-        .ok_or_else(|| format!("unknown benchmark `{name}` (try `paraconv list`)"))?;
-    bench.graph().map_err(|e| e.to_string())
+fn load(name: Option<&String>) -> Result<TaskGraph, CliError> {
+    let name = name.ok_or_else(|| CliError::Usage("missing benchmark name".into()))?;
+    let bench = benchmarks::by_name(name).ok_or_else(|| {
+        CliError::Usage(format!("unknown benchmark `{name}` (try `paraconv list`)"))
+    })?;
+    bench.graph().map_err(|e| CliError::Runtime(e.to_string()))
 }
 
-fn config(pes: usize) -> Result<PimConfig, String> {
-    PimConfig::neurocube(pes).map_err(|e| e.to_string())
+fn config(pes: usize) -> Result<PimConfig, CliError> {
+    PimConfig::neurocube(pes).map_err(|e| CliError::Usage(e.to_string()))
 }
 
 /// Parses the shared flags with defaults; `args[0]` is the subcommand
 /// and `args[1]` the benchmark name (or a placeholder).
-fn options(args: &[String]) -> Result<Opts, String> {
+fn options(args: &[String]) -> Result<Opts, CliError> {
     let mut opts = Opts {
         pes: None,
         iters: 50,
@@ -370,24 +557,28 @@ fn options(args: &[String]) -> Result<Opts, String> {
         }
         let value = args
             .get(i + 1)
-            .ok_or_else(|| format!("{flag} needs a value"))?;
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
         match flag.as_str() {
             "--pes" => {
-                opts.pes = Some(value.parse().map_err(|_| format!("bad --pes `{value}`"))?);
+                opts.pes = Some(
+                    value
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("bad --pes `{value}`")))?,
+                );
             }
             "--iters" => {
                 opts.iters = value
                     .parse()
-                    .map_err(|_| format!("bad --iters `{value}`"))?;
+                    .map_err(|_| CliError::Usage(format!("bad --iters `{value}`")))?;
             }
             "--window" => {
                 opts.window = value
                     .parse()
-                    .map_err(|_| format!("bad --window `{value}`"))?;
+                    .map_err(|_| CliError::Usage(format!("bad --window `{value}`")))?;
             }
             "--trace" => opts.trace = Some(value.clone()),
             "--metrics" => opts.metrics = Some(value.clone()),
-            other => return Err(format!("unknown option `{other}`")),
+            other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
         }
         i += 2;
     }

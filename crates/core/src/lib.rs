@@ -79,7 +79,7 @@ mod table;
 
 pub use error::CoreError;
 pub use experiments::ExperimentConfig;
-pub use runner::{BaselineResult, Comparison, ParaConv, RunResult};
+pub use runner::{BaselineResult, ChaosResult, Comparison, ParaConv, RunResult};
 pub use sweep::SweepPoint;
 pub use table::TextTable;
 
@@ -107,6 +107,10 @@ pub use paraconv_sched as sched;
 
 /// Structured tracing and metrics (re-export of `paraconv-obs`).
 pub use paraconv_obs as obs;
+
+/// Deterministic fault injection and recovery policies (re-export of
+/// `paraconv-fault`).
+pub use paraconv_fault as fault;
 
 /// Static plan verification and the project lint engine (re-export of
 /// `paraconv-verify`).

@@ -1,7 +1,11 @@
 //! High-level entry points: schedule, simulate and compare in one call.
 
+use paraconv_alloc::CacheAllocation;
+use paraconv_fault::FaultSpec;
 use paraconv_graph::TaskGraph;
-use paraconv_pim::{audit, simulate, PimConfig, SimReport};
+use paraconv_pim::{
+    audit, simulate, simulate_with_faults, FaultOutcome, PimConfig, SimError, SimReport,
+};
 use paraconv_sched::{
     AllocationPolicy, ParaConvOutcome, ParaConvScheduler, SpartaOutcome, SpartaScheduler,
 };
@@ -16,6 +20,26 @@ pub struct RunResult {
     pub outcome: ParaConvOutcome,
     /// The simulator's report for the emitted plan.
     pub report: SimReport,
+}
+
+/// The result of a fault-injected chaos run: the final (possibly
+/// degraded) plan, its fault-perturbed report, and the recovery
+/// history.
+#[derive(Debug, Clone)]
+pub struct ChaosResult {
+    /// The scheduler's output for the final surviving-PE set.
+    pub outcome: ParaConvOutcome,
+    /// The fault-perturbed simulation report of the final plan.
+    pub report: SimReport,
+    /// Injection and recovery statistics for the final replay.
+    pub faults: FaultOutcome,
+    /// PEs that fail-stopped during the campaign (sorted by index).
+    pub failed_pes: Vec<u32>,
+    /// Number of degraded-mode replans the campaign forced.
+    pub replans: u64,
+    /// The degraded architecture the final plan targets (equals the
+    /// runner's config when nothing fail-stopped).
+    pub config: PimConfig,
 }
 
 /// A SPARTA-baseline schedule together with its simulation report.
@@ -154,6 +178,78 @@ impl ParaConv {
         Ok(RunResult { outcome, report })
     }
 
+    /// Runs a deterministic fault campaign: schedule, replay under
+    /// `spec`'s injected faults, and recover.
+    ///
+    /// Transient faults (vault retries, congestion, IPR corruption)
+    /// are absorbed inside the replay; a PE fail-stop aborts it, after
+    /// which the runner degrades the architecture
+    /// ([`PimConfig::degrade`]), remaps the dead PE's rotation slots
+    /// onto the survivors, re-runs the allocation DP under the reduced
+    /// cache budget (seeded from the prior allocation via
+    /// [`paraconv_sched::ParaConvScheduler::reschedule`]), and replays
+    /// again. The loop terminates because each replan retires one PE
+    /// for good: either a plan completes or no PEs survive.
+    ///
+    /// When auditing/verification are enabled they run against the
+    /// *clean* replay of the final degraded plan — the paper's
+    /// invariants are properties of the plan, not of the fault
+    /// campaign perturbing it.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Sim`] for unrecoverable faults
+    /// ([`SimError::RetryExhausted`], [`SimError::WatchdogExceeded`]),
+    /// [`CoreError::Config`] when the last PE dies
+    /// ([`paraconv_pim::ConfigError::NoSurvivingPes`]), plus
+    /// everything [`run`](Self::run) can return.
+    pub fn run_chaos(
+        &self,
+        graph: &TaskGraph,
+        iterations: u64,
+        spec: &FaultSpec,
+    ) -> Result<ChaosResult, CoreError> {
+        let _span = paraconv_obs::span("run.chaos", "run");
+        let mut config = self.config.clone();
+        let mut prior: Option<CacheAllocation> = None;
+        let mut replans = 0u64;
+        loop {
+            let scheduler = ParaConvScheduler::new(config.clone()).with_policy(self.policy);
+            let outcome = match &prior {
+                Some(p) => scheduler.reschedule(graph, iterations, p)?,
+                None => scheduler.schedule(graph, iterations)?,
+            };
+            match simulate_with_faults(graph, &outcome.plan, &config, spec) {
+                Ok((report, faults)) => {
+                    if self.audit {
+                        let _audit_span = paraconv_obs::span("run.audit", "run");
+                        let clean = simulate(graph, &outcome.plan, &config)?;
+                        audit(graph, &outcome.plan, &config, &clean)?;
+                    }
+                    if self.verify {
+                        let _verify_span = paraconv_obs::span("run.verify", "run");
+                        paraconv_verify::verify_outcome(graph, &outcome, &config)?;
+                    }
+                    return Ok(ChaosResult {
+                        outcome,
+                        report,
+                        faults,
+                        failed_pes: config.failed_pes().to_vec(),
+                        replans,
+                        config,
+                    });
+                }
+                Err(SimError::PeFailStop { pe, .. }) => {
+                    paraconv_obs::counter_add(paraconv_fault::metrics::REPLANS, 1);
+                    replans += 1;
+                    config = config.degrade(&[pe.index() as u32])?;
+                    prior = Some(outcome.allocation.clone());
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
     /// Schedules `iterations` iterations with the SPARTA baseline and
     /// replays the plan on the simulator.
     ///
@@ -223,6 +319,56 @@ mod tests {
         let b = plain.compare(&g, 10).unwrap();
         assert_eq!(a.paraconv.report, b.paraconv.report);
         assert_eq!(a.sparta.report, b.sparta.report);
+    }
+
+    #[test]
+    fn quiet_chaos_matches_a_plain_run() {
+        let runner = ParaConv::new(PimConfig::neurocube(8).unwrap());
+        let g = examples::fork_join(12);
+        let plain = runner.run(&g, 10).unwrap();
+        let chaos = runner
+            .run_chaos(&g, 10, &paraconv_fault::FaultSpec::quiet(1))
+            .unwrap();
+        assert_eq!(plain.report, chaos.report);
+        assert_eq!(chaos.replans, 0);
+        assert!(chaos.failed_pes.is_empty());
+        assert_eq!(chaos.faults.injected, 0);
+    }
+
+    #[test]
+    fn pe_fail_stop_triggers_a_degraded_replan() {
+        let runner = ParaConv::new(PimConfig::neurocube(4).unwrap())
+            .with_audit(true)
+            .with_verify(true);
+        let g = examples::fork_join(12);
+        // Kill PE1 at cycle 0: every task it would run fails, forcing
+        // an immediate remap onto the three survivors.
+        let spec = paraconv_fault::FaultSpec::builder(7)
+            .kill_pe(1, 0)
+            .build()
+            .unwrap();
+        let chaos = runner.run_chaos(&g, 10, &spec).unwrap();
+        assert_eq!(chaos.replans, 1);
+        assert_eq!(chaos.failed_pes, vec![1]);
+        assert_eq!(chaos.config.active_pes(), 3);
+        for t in chaos.outcome.plan.tasks() {
+            assert_ne!(t.pe.index(), 1, "task on the killed PE");
+        }
+    }
+
+    #[test]
+    fn killing_every_pe_is_a_typed_config_error() {
+        let runner = ParaConv::new(PimConfig::neurocube(4).unwrap());
+        let g = examples::motivational();
+        let mut builder = paraconv_fault::FaultSpec::builder(9);
+        for pe in 0..4 {
+            builder = builder.kill_pe(pe, 0);
+        }
+        let spec = builder.build().unwrap();
+        assert!(matches!(
+            runner.run_chaos(&g, 5, &spec).unwrap_err(),
+            CoreError::Config(paraconv_pim::ConfigError::NoSurvivingPes)
+        ));
     }
 
     #[test]

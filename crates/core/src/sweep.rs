@@ -37,6 +37,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
+use paraconv_fault::FaultSpec;
 use paraconv_pim::PimConfig;
 use paraconv_sched::AllocationPolicy;
 use paraconv_synth::Benchmark;
@@ -60,6 +61,11 @@ pub struct SweepPoint {
     /// Whether the static plan verifier proves every Para-CONV run's
     /// retiming and occupancy bounds (SPARTA runs are never verified).
     pub verify: bool,
+    /// When set, [`SweepPoint::run`] replays under this deterministic
+    /// fault campaign via [`ParaConv::run_chaos`] (degradation-curve
+    /// experiments). Baseline and comparison runs stay fault-free: the
+    /// SPARTA scheduler has no degraded-mode replanning to exercise.
+    pub fault: Option<FaultSpec>,
 }
 
 impl SweepPoint {
@@ -73,6 +79,7 @@ impl SweepPoint {
             iterations,
             audit: false,
             verify: false,
+            fault: None,
         }
     }
 
@@ -98,6 +105,14 @@ impl SweepPoint {
         self
     }
 
+    /// Replays this point's Para-CONV run under a deterministic fault
+    /// campaign (see [`SweepPoint::fault`]).
+    #[must_use]
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.fault = Some(spec);
+        self
+    }
+
     fn runner(&self) -> ParaConv {
         ParaConv::new(self.config.clone())
             .with_policy(self.policy)
@@ -112,7 +127,16 @@ impl SweepPoint {
     /// Propagates generation, scheduling and simulation errors.
     pub fn run(&self) -> Result<RunResult, CoreError> {
         let graph = self.benchmark.graph()?;
-        self.runner().run(&graph, self.iterations)
+        match &self.fault {
+            Some(spec) => {
+                let chaos = self.runner().run_chaos(&graph, self.iterations, spec)?;
+                Ok(RunResult {
+                    outcome: chaos.outcome,
+                    report: chaos.report,
+                })
+            }
+            None => self.runner().run(&graph, self.iterations),
+        }
     }
 
     /// Runs the SPARTA baseline at this point.

@@ -1,0 +1,77 @@
+//! The process-global injection hook, gated exactly like the
+//! `paraconv-obs` recorder: one relaxed `AtomicBool` load on the fast
+//! path, so a fault layer that is compiled in but not installed costs
+//! a single predictable branch per `simulate()` call.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use crate::spec::FaultSpec;
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn slot() -> &'static Mutex<Option<Arc<FaultSpec>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<FaultSpec>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Whether a fault spec is installed. This is the zero-cost gate: a
+/// single relaxed load, checked by the simulator before anything
+/// fault-related is touched.
+#[inline]
+#[must_use]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Installs `spec` as the process-global fault campaign. Replaces any
+/// previously installed spec.
+pub fn install(spec: FaultSpec) {
+    let mut guard = slot().lock().unwrap_or_else(PoisonError::into_inner);
+    *guard = Some(Arc::new(spec));
+    // Publish after the spec is in place so `active()` readers that
+    // win the race still find a spec behind `current()`.
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// Uninstalls the global fault campaign; `simulate()` returns to the
+/// exact fault-free replay.
+pub fn clear() {
+    ACTIVE.store(false, Ordering::SeqCst);
+    let mut guard = slot().lock().unwrap_or_else(PoisonError::into_inner);
+    *guard = None;
+}
+
+/// The currently installed spec, if any.
+#[must_use]
+pub fn current() -> Option<Arc<FaultSpec>> {
+    slot()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_clear_roundtrip() {
+        // The hook is process-global; this test owns it briefly and
+        // restores the disabled state for its neighbours.
+        clear();
+        assert!(!active());
+        assert!(current().is_none());
+
+        install(FaultSpec::quiet(9));
+        assert!(active());
+        assert_eq!(current().map(|s| s.seed()), Some(9));
+
+        install(FaultSpec::quiet(10));
+        assert_eq!(current().map(|s| s.seed()), Some(10), "install replaces");
+
+        clear();
+        assert!(!active());
+        assert!(current().is_none());
+    }
+}

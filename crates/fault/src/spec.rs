@@ -1,0 +1,518 @@
+//! The fault specification: what can go wrong, how often, and the
+//! recovery budget. Everything is derived from one seed through a
+//! counter-mode SplitMix64 mix, so a given `(seed, site)` pair always
+//! answers the same way — independent of evaluation order, thread
+//! count, or how many other sites were sampled first.
+
+use core::fmt;
+
+/// Rates are expressed in basis points: 10 000 bp = every access.
+pub const BASIS_POINTS: u32 = 10_000;
+
+/// Domain-separation tags so the vault, interconnect and corruption
+/// streams never correlate even at identical `(edge, iteration)` keys.
+const STREAM_VAULT: u64 = 0x5641_554C_5421_0001;
+const STREAM_NET: u64 = 0x4E45_5457_4F52_4B02;
+const STREAM_NET_MAG: u64 = 0x4E45_544A_4954_5403;
+const STREAM_IPR: u64 = 0x4950_5243_4845_4B04;
+
+/// A PE declared dead from a given cycle onward (fail-stop: it
+/// completes nothing that would still be running at that cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeKill {
+    /// The physical PE index.
+    pub pe: u32,
+    /// The first cycle at which the PE no longer makes progress.
+    pub cycle: u64,
+}
+
+/// Bounded-retry budget for transient vault/interconnect failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first failed attempt.
+    pub max_retries: u32,
+    /// First backoff wait in cycles; doubles per retry (saturating).
+    pub backoff_base: u64,
+    /// Total cycles a single transfer may spend waiting before the
+    /// simulator gives up with `RetryExhausted`.
+    pub deadline: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 6,
+            backoff_base: 2,
+            deadline: 4096,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait after the `attempt`-th consecutive failure (0-based):
+    /// `backoff_base << attempt`, saturating at `u64::MAX`.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        if attempt >= 64 {
+            return u64::MAX;
+        }
+        self.backoff_base.saturating_mul(1u64 << attempt)
+    }
+}
+
+/// A rejected [`FaultSpec`] configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultSpecError {
+    /// A probability knob exceeds 10 000 basis points.
+    RateOutOfRange {
+        /// Which knob was out of range.
+        knob: &'static str,
+        /// The rejected value.
+        bp: u32,
+    },
+    /// The same PE was scheduled to fail twice.
+    DuplicateKill(u32),
+    /// A retry policy whose backoff never advances the clock would
+    /// livelock the replay loop.
+    ZeroBackoff,
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpecError::RateOutOfRange { knob, bp } => {
+                write!(f, "{knob} = {bp} bp exceeds {BASIS_POINTS} basis points")
+            }
+            FaultSpecError::DuplicateKill(pe) => {
+                write!(f, "PE{pe} is scheduled to fail-stop more than once")
+            }
+            FaultSpecError::ZeroBackoff => {
+                write!(f, "retry backoff base must be at least one cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+/// A validated, immutable fault campaign: seeded rates for the three
+/// transient fault classes, an explicit fail-stop list, and the retry
+/// budget recovery runs under.
+///
+/// Determinism guarantee: every sampling method is a pure function of
+/// `(seed, site)`, where the site is the `(stream, edge, iteration,
+/// attempt)` tuple. Two spec instances with equal fields answer every
+/// query identically, and raising a rate only **adds** fault events —
+/// a site that faults at rate `r` still faults at every rate `r' ≥ r`
+/// (the basis-point threshold test is monotone in the rate while the
+/// mixed hash of the site stays fixed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    seed: u64,
+    vault_fault_bp: u32,
+    congestion_bp: u32,
+    congestion_jitter: u64,
+    corruption_bp: u32,
+    pe_kills: Vec<PeKill>,
+    retry: RetryPolicy,
+}
+
+impl FaultSpec {
+    /// Starts a builder for the given seed.
+    #[must_use]
+    pub fn builder(seed: u64) -> FaultSpecBuilder {
+        FaultSpecBuilder {
+            seed,
+            vault_fault_bp: 0,
+            congestion_bp: 0,
+            congestion_jitter: 4,
+            corruption_bp: 0,
+            pe_kills: Vec::new(),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// A spec that injects nothing — replay under it is the identity.
+    #[must_use]
+    pub fn quiet(seed: u64) -> FaultSpec {
+        FaultSpec {
+            seed,
+            vault_fault_bp: 0,
+            congestion_bp: 0,
+            congestion_jitter: 4,
+            corruption_bp: 0,
+            pe_kills: Vec::new(),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// The campaign seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Transient vault-access failure rate in basis points.
+    #[must_use]
+    pub fn vault_fault_bp(&self) -> u32 {
+        self.vault_fault_bp
+    }
+
+    /// Interconnect congestion rate in basis points.
+    #[must_use]
+    pub fn congestion_bp(&self) -> u32 {
+        self.congestion_bp
+    }
+
+    /// Largest congestion delay a single transfer can pick up.
+    #[must_use]
+    pub fn congestion_jitter(&self) -> u64 {
+        self.congestion_jitter
+    }
+
+    /// IPR-corruption rate in basis points.
+    #[must_use]
+    pub fn corruption_bp(&self) -> u32 {
+        self.corruption_bp
+    }
+
+    /// The scheduled fail-stops.
+    #[must_use]
+    pub fn pe_kills(&self) -> &[PeKill] {
+        &self.pe_kills
+    }
+
+    /// The retry budget transient failures are recovered under.
+    #[must_use]
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// True when the spec can never perturb a replay.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.vault_fault_bp == 0
+            && self.congestion_bp == 0
+            && self.corruption_bp == 0
+            && self.pe_kills.is_empty()
+    }
+
+    /// SplitMix64 finalizer over the seed and a site key. Counter-mode:
+    /// there is no evolving generator state, so sampling order is
+    /// irrelevant and any site can be (re-)queried at any time.
+    fn mix(&self, stream: u64, edge: u64, iteration: u64, attempt: u64) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(stream)
+            .wrapping_add(edge.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(iteration.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(attempt.wrapping_mul(0x94D0_49BB_1331_11EB));
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Whether a basis-point threshold fires at a mixed site. The
+    /// threshold test keeps the monotonicity property: for a fixed
+    /// site the hash is fixed, so `bp1 ≤ bp2` means every `bp1` hit is
+    /// a `bp2` hit.
+    fn fires(&self, hash: u64, bp: u32) -> bool {
+        (hash % u64::from(BASIS_POINTS)) < u64::from(bp)
+    }
+
+    /// Does the `attempt`-th access for `(edge, iteration)` hit a vault
+    /// refresh collision?
+    #[must_use]
+    pub fn vault_fault(&self, edge: usize, iteration: u64, attempt: u32) -> bool {
+        self.vault_fault_bp != 0
+            && self.fires(
+                self.mix(STREAM_VAULT, edge as u64, iteration, u64::from(attempt)),
+                self.vault_fault_bp,
+            )
+    }
+
+    /// Congestion delay (cycles) the interconnect adds to this
+    /// transfer; 0 when the link is clear. The delay magnitude is
+    /// drawn from a separate stream so an already-congested transfer
+    /// keeps the same delay when the congestion *rate* is raised.
+    #[must_use]
+    pub fn congestion_delay(&self, edge: usize, iteration: u64) -> u64 {
+        if self.congestion_bp == 0
+            || !self.fires(
+                self.mix(STREAM_NET, edge as u64, iteration, 0),
+                self.congestion_bp,
+            )
+        {
+            return 0;
+        }
+        1 + self.mix(STREAM_NET_MAG, edge as u64, iteration, 0) % self.congestion_jitter.max(1)
+    }
+
+    /// Is the IPR for `(edge, iteration)` corrupted in the PE cache
+    /// (detected by checksum on consume, repaired by an eDRAM
+    /// re-fetch)?
+    #[must_use]
+    pub fn corrupted(&self, edge: usize, iteration: u64) -> bool {
+        self.corruption_bp != 0
+            && self.fires(
+                self.mix(STREAM_IPR, edge as u64, iteration, 0),
+                self.corruption_bp,
+            )
+    }
+
+    /// The cycle at which `pe` fail-stops, if it is scheduled to.
+    #[must_use]
+    pub fn kill_cycle(&self, pe: u32) -> Option<u64> {
+        self.pe_kills.iter().find(|k| k.pe == pe).map(|k| k.cycle)
+    }
+}
+
+/// Builder for [`FaultSpec`]; `build` validates every knob.
+#[derive(Debug, Clone)]
+pub struct FaultSpecBuilder {
+    seed: u64,
+    vault_fault_bp: u32,
+    congestion_bp: u32,
+    congestion_jitter: u64,
+    corruption_bp: u32,
+    pe_kills: Vec<PeKill>,
+    retry: RetryPolicy,
+}
+
+impl FaultSpecBuilder {
+    /// Transient vault-access failure rate in basis points.
+    #[must_use]
+    pub fn vault_fault_bp(mut self, bp: u32) -> Self {
+        self.vault_fault_bp = bp;
+        self
+    }
+
+    /// Interconnect congestion rate in basis points.
+    #[must_use]
+    pub fn congestion_bp(mut self, bp: u32) -> Self {
+        self.congestion_bp = bp;
+        self
+    }
+
+    /// Largest congestion delay (cycles) one transfer can pick up.
+    #[must_use]
+    pub fn congestion_jitter(mut self, cycles: u64) -> Self {
+        self.congestion_jitter = cycles;
+        self
+    }
+
+    /// IPR-corruption rate in basis points.
+    #[must_use]
+    pub fn corruption_bp(mut self, bp: u32) -> Self {
+        self.corruption_bp = bp;
+        self
+    }
+
+    /// One knob for all three transient fault classes (the CLI's
+    /// `--fault-rate`).
+    #[must_use]
+    pub fn uniform_rate_bp(mut self, bp: u32) -> Self {
+        self.vault_fault_bp = bp;
+        self.congestion_bp = bp;
+        self.corruption_bp = bp;
+        self
+    }
+
+    /// Schedules `pe` to fail-stop at `cycle`.
+    #[must_use]
+    pub fn kill_pe(mut self, pe: u32, cycle: u64) -> Self {
+        self.pe_kills.push(PeKill { pe, cycle });
+        self
+    }
+
+    /// Overrides the retry budget.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Validates and freezes the spec.
+    ///
+    /// # Errors
+    ///
+    /// Rejects rates above 10 000 bp, duplicate fail-stops for the
+    /// same PE, and zero-cycle backoff (which would livelock retries).
+    pub fn build(self) -> Result<FaultSpec, FaultSpecError> {
+        for (knob, bp) in [
+            ("vault_fault_bp", self.vault_fault_bp),
+            ("congestion_bp", self.congestion_bp),
+            ("corruption_bp", self.corruption_bp),
+        ] {
+            if bp > BASIS_POINTS {
+                return Err(FaultSpecError::RateOutOfRange { knob, bp });
+            }
+        }
+        let mut seen = self.pe_kills.iter().map(|k| k.pe).collect::<Vec<_>>();
+        seen.sort_unstable();
+        for pair in seen.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(FaultSpecError::DuplicateKill(pair[0]));
+            }
+        }
+        if self.retry.backoff_base == 0 {
+            return Err(FaultSpecError::ZeroBackoff);
+        }
+        Ok(FaultSpec {
+            seed: self.seed,
+            vault_fault_bp: self.vault_fault_bp,
+            congestion_bp: self.congestion_bp,
+            congestion_jitter: self.congestion_jitter,
+            corruption_bp: self.corruption_bp,
+            pe_kills: self.pe_kills,
+            retry: self.retry,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_spec_never_fires() {
+        let spec = FaultSpec::quiet(42);
+        assert!(spec.is_quiet());
+        for edge in 0..64 {
+            for iter in 0..16 {
+                assert!(!spec.vault_fault(edge, iter, 0));
+                assert_eq!(spec.congestion_delay(edge, iter), 0);
+                assert!(!spec.corrupted(edge, iter));
+            }
+        }
+        assert_eq!(spec.kill_cycle(0), None);
+    }
+
+    #[test]
+    fn full_rate_always_fires() {
+        let spec = FaultSpec::builder(7)
+            .uniform_rate_bp(BASIS_POINTS)
+            .build()
+            .expect("valid spec");
+        for edge in 0..64 {
+            assert!(spec.vault_fault(edge, 1, 0));
+            assert!(spec.congestion_delay(edge, 1) >= 1);
+            assert!(spec.corrupted(edge, 1));
+        }
+    }
+
+    #[test]
+    fn sampling_is_order_independent_and_repeatable() {
+        let a = FaultSpec::builder(99).uniform_rate_bp(500).build().unwrap();
+        let b = a.clone();
+        // Query b backwards and interleaved; answers must match a's
+        // forward pass exactly.
+        let forward: Vec<bool> = (0..256).map(|e| a.vault_fault(e, 3, 1)).collect();
+        let backward: Vec<bool> = (0..256).rev().map(|e| b.vault_fault(e, 3, 1)).collect();
+        assert_eq!(
+            forward,
+            backward.into_iter().rev().collect::<Vec<_>>(),
+            "same (seed, site) must answer identically in any order"
+        );
+    }
+
+    #[test]
+    fn raising_a_rate_only_adds_faults() {
+        let low = FaultSpec::builder(5).uniform_rate_bp(200).build().unwrap();
+        let high = FaultSpec::builder(5).uniform_rate_bp(2000).build().unwrap();
+        for edge in 0..512 {
+            for iter in 0..4 {
+                if low.vault_fault(edge, iter, 0) {
+                    assert!(high.vault_fault(edge, iter, 0));
+                }
+                if low.corrupted(edge, iter) {
+                    assert!(high.corrupted(edge, iter));
+                }
+                let (dl, dh) = (
+                    low.congestion_delay(edge, iter),
+                    high.congestion_delay(edge, iter),
+                );
+                if dl > 0 {
+                    // Same magnitude stream: the delay must be
+                    // *identical*, not merely nonzero.
+                    assert_eq!(dl, dh);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_decorrelated() {
+        // At a full vault rate and zero other rates, only the vault
+        // stream fires; the site keys are shared, the streams are not.
+        let spec = FaultSpec::builder(11)
+            .vault_fault_bp(BASIS_POINTS)
+            .build()
+            .unwrap();
+        assert!(spec.vault_fault(3, 2, 0));
+        assert_eq!(spec.congestion_delay(3, 2), 0);
+        assert!(!spec.corrupted(3, 2));
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let retry = RetryPolicy::default();
+        assert_eq!(retry.backoff(0), 2);
+        assert_eq!(retry.backoff(1), 4);
+        assert_eq!(retry.backoff(2), 8);
+        assert_eq!(retry.backoff(200), u64::MAX);
+    }
+
+    #[test]
+    fn builder_rejects_bad_knobs() {
+        assert!(matches!(
+            FaultSpec::builder(0).vault_fault_bp(10_001).build(),
+            Err(FaultSpecError::RateOutOfRange {
+                knob: "vault_fault_bp",
+                bp: 10_001,
+            })
+        ));
+        assert!(matches!(
+            FaultSpec::builder(0).kill_pe(3, 10).kill_pe(3, 20).build(),
+            Err(FaultSpecError::DuplicateKill(3))
+        ));
+        assert!(matches!(
+            FaultSpec::builder(0)
+                .retry(RetryPolicy {
+                    max_retries: 1,
+                    backoff_base: 0,
+                    deadline: 10,
+                })
+                .build(),
+            Err(FaultSpecError::ZeroBackoff)
+        ));
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        for e in [
+            FaultSpecError::RateOutOfRange {
+                knob: "congestion_bp",
+                bp: 20_000,
+            },
+            FaultSpecError::DuplicateKill(5),
+            FaultSpecError::ZeroBackoff,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn kill_cycles_are_looked_up_by_pe() {
+        let spec = FaultSpec::builder(1)
+            .kill_pe(2, 100)
+            .kill_pe(7, 40)
+            .build()
+            .unwrap();
+        assert_eq!(spec.kill_cycle(2), Some(100));
+        assert_eq!(spec.kill_cycle(7), Some(40));
+        assert_eq!(spec.kill_cycle(0), None);
+    }
+}

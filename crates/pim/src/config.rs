@@ -22,6 +22,10 @@ pub enum ConfigError {
     PenaltyOutOfRange(u64),
     /// Cache transfer cost per capacity unit must be positive.
     ZeroCacheCost,
+    /// A failed-PE index points outside the PE array.
+    FailedPeOutOfRange(u32),
+    /// Every PE in the array is marked failed; nothing can execute.
+    NoSurvivingPes,
 }
 
 impl fmt::Display for ConfigError {
@@ -36,6 +40,12 @@ impl fmt::Display for ConfigError {
                 "eDRAM penalty {p} outside the 2-10x range reported for 3D PIM"
             ),
             ConfigError::ZeroCacheCost => f.write_str("cache transfer cost must be positive"),
+            ConfigError::FailedPeOutOfRange(pe) => {
+                write!(f, "failed PE{pe} is outside the PE array")
+            }
+            ConfigError::NoSurvivingPes => {
+                f.write_str("every PE is marked failed; no capacity survives")
+            }
         }
     }
 }
@@ -70,6 +80,7 @@ pub struct PimConfig {
     vault_queue_cost: u64,
     pfifo_depth: usize,
     max_vault_concurrency: Option<usize>,
+    failed_pes: Vec<u32>,
 }
 
 impl PimConfig {
@@ -85,6 +96,7 @@ impl PimConfig {
             vault_queue_cost: 0,
             pfifo_depth: 256,
             max_vault_concurrency: None,
+            failed_pes: Vec::new(),
         }
     }
 
@@ -118,10 +130,11 @@ impl PimConfig {
     /// Aggregate on-chip cache of the PE array — the knapsack capacity
     /// `S` of the paper's dynamic program. Grows linearly with the PE
     /// count, which is why larger arrays can keep more intermediate
-    /// processing results on chip.
+    /// processing results on chip. Failed PEs take their cache with
+    /// them: the degraded capacity profile only counts survivors.
     #[must_use]
     pub const fn total_cache_units(&self) -> u64 {
-        self.per_pe_cache_units * self.num_pes as u64
+        self.per_pe_cache_units * self.active_pes() as u64
     }
 
     /// Number of DRAM vaults in the 3D stack (fixed at 16 for HMC-style
@@ -166,6 +179,61 @@ impl PimConfig {
     pub const fn max_vault_concurrency(&self) -> Option<usize> {
         self.max_vault_concurrency
     }
+
+    /// PEs marked permanently failed (fail-stop), sorted ascending.
+    /// The simulator rejects any plan that places work on them.
+    #[must_use]
+    pub fn failed_pes(&self) -> &[u32] {
+        &self.failed_pes
+    }
+
+    /// Whether `pe` is marked failed.
+    #[must_use]
+    pub fn is_pe_failed(&self, pe: u32) -> bool {
+        self.failed_pes.binary_search(&pe).is_ok()
+    }
+
+    /// Surviving PE count — always at least one (the builder rejects a
+    /// fully failed array).
+    #[must_use]
+    pub const fn active_pes(&self) -> usize {
+        self.num_pes - self.failed_pes.len()
+    }
+
+    /// Physical indices of the surviving PEs, ascending. Schedulers
+    /// compact work onto exactly this list in degraded mode.
+    #[must_use]
+    pub fn active_pe_indices(&self) -> Vec<u32> {
+        (0..self.num_pes as u32)
+            .filter(|pe| !self.is_pe_failed(*pe))
+            .collect()
+    }
+
+    /// A copy of this configuration with `dead` added to the failed
+    /// set — the degraded capacity profile after a fail-stop. Cache
+    /// capacity, the scheduler's PE list and the static verifier's
+    /// bounds all shrink accordingly.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::FailedPeOutOfRange`] for an index outside the
+    /// array, [`ConfigError::NoSurvivingPes`] when the merged set
+    /// leaves nothing to execute on.
+    pub fn degrade(&self, dead: &[u32]) -> Result<PimConfig, ConfigError> {
+        let mut cfg = self.clone();
+        cfg.failed_pes.extend_from_slice(dead);
+        cfg.failed_pes.sort_unstable();
+        cfg.failed_pes.dedup();
+        for &pe in &cfg.failed_pes {
+            if pe as usize >= cfg.num_pes {
+                return Err(ConfigError::FailedPeOutOfRange(pe));
+            }
+        }
+        if cfg.failed_pes.len() >= cfg.num_pes {
+            return Err(ConfigError::NoSurvivingPes);
+        }
+        Ok(cfg)
+    }
 }
 
 /// Builder for [`PimConfig`] (C-BUILDER).
@@ -193,6 +261,7 @@ pub struct PimConfigBuilder {
     vault_queue_cost: u64,
     pfifo_depth: usize,
     max_vault_concurrency: Option<usize>,
+    failed_pes: Vec<u32>,
 }
 
 impl PimConfigBuilder {
@@ -247,6 +316,14 @@ impl PimConfigBuilder {
         self
     }
 
+    /// Marks PEs as permanently failed (fail-stop). Duplicates are
+    /// merged; the list is sorted by `build`.
+    #[must_use]
+    pub fn failed_pes(mut self, pes: Vec<u32>) -> Self {
+        self.failed_pes = pes;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -267,6 +344,17 @@ impl PimConfigBuilder {
         if self.cache_cost_per_unit == 0 {
             return Err(ConfigError::ZeroCacheCost);
         }
+        let mut failed_pes = self.failed_pes;
+        failed_pes.sort_unstable();
+        failed_pes.dedup();
+        for &pe in &failed_pes {
+            if pe as usize >= self.num_pes {
+                return Err(ConfigError::FailedPeOutOfRange(pe));
+            }
+        }
+        if failed_pes.len() >= self.num_pes {
+            return Err(ConfigError::NoSurvivingPes);
+        }
         Ok(PimConfig {
             num_pes: self.num_pes,
             per_pe_cache_units: self.per_pe_cache_units,
@@ -276,6 +364,7 @@ impl PimConfigBuilder {
             vault_queue_cost: self.vault_queue_cost,
             pfifo_depth: self.pfifo_depth,
             max_vault_concurrency: self.max_vault_concurrency,
+            failed_pes,
         })
     }
 }
@@ -369,8 +458,72 @@ mod tests {
             ConfigError::NoVaults,
             ConfigError::PenaltyOutOfRange(1),
             ConfigError::ZeroCacheCost,
+            ConfigError::FailedPeOutOfRange(9),
+            ConfigError::NoSurvivingPes,
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn degraded_capacity_profile_shrinks_with_failures() {
+        let cfg = PimConfig::neurocube(16).unwrap();
+        assert_eq!(cfg.active_pes(), 16);
+        assert!(cfg.failed_pes().is_empty());
+
+        let degraded = cfg.degrade(&[3, 7]).unwrap();
+        assert_eq!(degraded.active_pes(), 14);
+        assert_eq!(degraded.total_cache_units(), 4 * 14);
+        assert!(degraded.is_pe_failed(3));
+        assert!(degraded.is_pe_failed(7));
+        assert!(!degraded.is_pe_failed(0));
+        assert_eq!(degraded.failed_pes(), &[3, 7]);
+        assert_eq!(degraded.active_pe_indices().len(), 14);
+        assert!(!degraded.active_pe_indices().contains(&3));
+
+        // Degrading is cumulative and idempotent per PE.
+        let again = degraded.degrade(&[7, 0]).unwrap();
+        assert_eq!(again.failed_pes(), &[0, 3, 7]);
+        assert_eq!(again.active_pes(), 13);
+    }
+
+    #[test]
+    fn degrade_rejects_bad_indices_and_total_loss() {
+        let cfg = PimConfig::neurocube(4).unwrap();
+        assert_eq!(
+            cfg.degrade(&[4]).unwrap_err(),
+            ConfigError::FailedPeOutOfRange(4)
+        );
+        assert_eq!(
+            cfg.degrade(&[0, 1, 2, 3]).unwrap_err(),
+            ConfigError::NoSurvivingPes
+        );
+        // Three of four dead is still a valid (if grim) machine.
+        let last = cfg.degrade(&[0, 1, 2]).unwrap();
+        assert_eq!(last.active_pe_indices(), vec![3]);
+        assert_eq!(last.total_cache_units(), 4);
+    }
+
+    #[test]
+    fn builder_validates_failed_pes() {
+        let cfg = PimConfig::builder(8)
+            .failed_pes(vec![5, 1, 5])
+            .build()
+            .unwrap();
+        assert_eq!(cfg.failed_pes(), &[1, 5], "sorted and deduped");
+        assert_eq!(
+            PimConfig::builder(8)
+                .failed_pes(vec![8])
+                .build()
+                .unwrap_err(),
+            ConfigError::FailedPeOutOfRange(8)
+        );
+        assert_eq!(
+            PimConfig::builder(1)
+                .failed_pes(vec![0])
+                .build()
+                .unwrap_err(),
+            ConfigError::NoSurvivingPes
+        );
     }
 }

@@ -108,6 +108,48 @@ pub enum SimError {
         /// The configured limit.
         limit: usize,
     },
+    /// A transient vault failure could not be recovered within the
+    /// retry budget (attempt count or backoff deadline).
+    RetryExhausted {
+        /// The edge whose transfer kept failing.
+        edge: EdgeId,
+        /// Iteration of the failing transfer.
+        iteration: u64,
+        /// Attempts performed before giving up.
+        attempts: u32,
+        /// Total cycles spent in backoff waits.
+        waited: u64,
+    },
+    /// A PE fail-stopped while work planned on it was still running;
+    /// callers recover by replanning on the surviving PEs.
+    PeFailStop {
+        /// The dead processing engine.
+        pe: PeId,
+        /// The task instance that could not complete.
+        node: NodeId,
+        /// Its iteration.
+        iteration: u64,
+        /// The cycle at which the PE stopped.
+        cycle: u64,
+    },
+    /// The plan places a task on a PE the configuration marks failed.
+    TaskOnFailedPe {
+        /// The failed processing engine.
+        pe: PeId,
+        /// The task planned on it.
+        node: NodeId,
+        /// Its iteration.
+        iteration: u64,
+    },
+    /// The fault-injected replay overran its watchdog bound
+    /// (`planned makespan + total injected delay`) — a fault-model
+    /// bug, surfaced as an error rather than a livelock.
+    WatchdogExceeded {
+        /// The achieved makespan.
+        achieved: u64,
+        /// The bound it must stay under.
+        bound: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -188,6 +230,36 @@ impl fmt::Display for SimError {
                 f,
                 "vault {vault} has {in_flight} in-flight transfers, port limit is {limit}"
             ),
+            SimError::RetryExhausted {
+                edge,
+                iteration,
+                attempts,
+                waited,
+            } => write!(
+                f,
+                "transfer {edge} iteration {iteration} failed {attempts} attempts ({waited} cycles in backoff)"
+            ),
+            SimError::PeFailStop {
+                pe,
+                node,
+                iteration,
+                cycle,
+            } => write!(
+                f,
+                "{pe} fail-stopped at cycle {cycle} with {node} iteration {iteration} unfinished"
+            ),
+            SimError::TaskOnFailedPe {
+                pe,
+                node,
+                iteration,
+            } => write!(
+                f,
+                "task {node} iteration {iteration} planned on failed {pe}"
+            ),
+            SimError::WatchdogExceeded { achieved, bound } => write!(
+                f,
+                "fault replay makespan {achieved} exceeds the watchdog bound {bound}"
+            ),
         }
     }
 }
@@ -256,6 +328,27 @@ mod tests {
                 vault: 3,
                 in_flight: 5,
                 limit: 4,
+            },
+            SimError::RetryExhausted {
+                edge: EdgeId::new(0),
+                iteration: 1,
+                attempts: 7,
+                waited: 254,
+            },
+            SimError::PeFailStop {
+                pe: PeId::new(2),
+                node: NodeId::new(0),
+                iteration: 1,
+                cycle: 40,
+            },
+            SimError::TaskOnFailedPe {
+                pe: PeId::new(2),
+                node: NodeId::new(0),
+                iteration: 1,
+            },
+            SimError::WatchdogExceeded {
+                achieved: 100,
+                bound: 90,
             },
         ];
         for e in errors {

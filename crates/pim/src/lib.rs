@@ -48,6 +48,7 @@ mod audit;
 mod config;
 mod cost;
 mod error;
+mod faulty;
 mod fifo;
 mod interconnect;
 mod latency;
@@ -62,6 +63,7 @@ pub use audit::{audit, audit_plan, AuditError, AuditReport};
 pub use config::{ConfigError, PimConfig, PimConfigBuilder};
 pub use cost::CostModel;
 pub use error::SimError;
+pub use faulty::{simulate_with_faults, FaultOutcome};
 pub use fifo::{Fifo, FifoOverflow};
 pub use interconnect::Crossbar;
 pub use latency::{LatencyModel, MemoryTech};

@@ -143,6 +143,26 @@ pub fn simulate(
     plan: &ExecutionPlan,
     config: &PimConfig,
 ) -> Result<SimReport, SimError> {
+    let report = replay(graph, plan, config)?;
+    // Zero-cost-when-disabled fault hook: one relaxed load on the
+    // fault-free path, same gating discipline as paraconv-obs.
+    if paraconv_fault::active() {
+        if let Some(spec) = paraconv_fault::current() {
+            let (report, _faults) = crate::faulty::perturb(graph, plan, config, &spec, report)?;
+            return Ok(report);
+        }
+    }
+    Ok(report)
+}
+
+/// The fault-free validation and replay pass behind [`simulate`]; the
+/// fault layer (`crate::faulty`) reuses it so every fault campaign
+/// starts from a fully validated plan.
+pub(crate) fn replay(
+    graph: &TaskGraph,
+    plan: &ExecutionPlan,
+    config: &PimConfig,
+) -> Result<SimReport, SimError> {
     let _span = paraconv_obs::span("pim.simulate", "pim");
     let cost = CostModel::new(config, graph.edge_count());
     let mut pes: Vec<Pe> = (0..config.num_pes())
@@ -159,6 +179,13 @@ pub fn simulate(
             .map_err(|_| SimError::UnknownNode(t.node))?;
         if t.pe.index() >= config.num_pes() {
             return Err(SimError::UnknownPe(t.pe));
+        }
+        if config.is_pe_failed(t.pe.index() as u32) {
+            return Err(SimError::TaskOnFailedPe {
+                pe: t.pe,
+                node: t.node,
+                iteration: t.iteration,
+            });
         }
         if t.duration != node.exec_time() {
             return Err(SimError::WrongTaskDuration {
@@ -696,6 +723,20 @@ mod tests {
             }
         ));
         assert!(simulate(&g, &plan, &mk(Some(2))).is_ok());
+    }
+
+    #[test]
+    fn rejects_tasks_on_failed_pes() {
+        let g = two_node_graph();
+        let cfg = PimConfig::builder(4).failed_pes(vec![0]).build().unwrap();
+        // valid_plan places the producer on PE0, now marked dead.
+        assert!(matches!(
+            simulate(&g, &valid_plan(), &cfg).unwrap_err(),
+            SimError::TaskOnFailedPe { .. }
+        ));
+        // The same plan on a machine where only PE3 failed is fine.
+        let cfg = PimConfig::builder(4).failed_pes(vec![3]).build().unwrap();
+        assert!(simulate(&g, &valid_plan(), &cfg).is_ok());
     }
 
     #[test]

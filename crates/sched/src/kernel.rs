@@ -73,12 +73,35 @@ impl KernelSchedule {
     #[must_use]
     pub fn compact_copies(graph: &TaskGraph, num_pes: usize, copies: u64) -> Self {
         assert!(num_pes > 0, "PE count must be positive");
+        let pes: Vec<PeId> = (0..num_pes as u32).map(PeId::new).collect();
+        Self::compact_copies_on(graph, &pes, copies)
+    }
+
+    /// [`compact_copies`](Self::compact_copies) over an explicit PE
+    /// list instead of the full `0..num_pes` array — the degraded-mode
+    /// entry point: after a fail-stop, the scheduler passes only the
+    /// surviving PEs and every slot of the dead engine is remapped
+    /// onto them.
+    ///
+    /// With the identity list `[PE0, PE1, …]` this is byte-identical
+    /// to [`compact_copies`](Self::compact_copies): the earliest-
+    /// available tie-break is by list position, which then coincides
+    /// with the PE index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pes` is empty (no surviving PE — callers gate this
+    /// through `PimConfig::degrade`, which rejects a fully failed
+    /// array) or `copies == 0`.
+    #[must_use]
+    pub fn compact_copies_on(graph: &TaskGraph, pes: &[PeId], copies: u64) -> Self {
+        assert!(!pes.is_empty(), "surviving PE list must be positive");
         assert!(copies > 0, "copy count must be positive");
         // lint: allow(no-unwrap) — the compact schedule assigns every node before any accessor runs
         let order = graph.topological_order().expect("built graphs are acyclic");
         let n = graph.node_count();
         let total = n * copies as usize;
-        let mut avail = vec![0u64; num_pes];
+        let mut avail = vec![0u64; pes.len()];
         let mut pe_of = vec![PeId::new(0); total];
         let mut start_of = vec![0u64; total];
         let mut finish_of = vec![0u64; total];
@@ -87,16 +110,16 @@ impl KernelSchedule {
             let c = graph.node(id).expect("node from topo order").exec_time();
             for copy in 0..copies as usize {
                 let slot = copy * n + id.index();
-                let (pe, _) = avail
+                let (pos, _) = avail
                     .iter()
                     .enumerate()
                     .min_by_key(|&(i, &t)| (t, i))
                     // lint: allow(no-unwrap) — the compact schedule assigns every node before any accessor runs
                     .expect("at least one PE");
-                pe_of[slot] = PeId::new(pe as u32);
-                start_of[slot] = avail[pe];
-                finish_of[slot] = avail[pe] + c;
-                avail[pe] += c;
+                pe_of[slot] = pes[pos];
+                start_of[slot] = avail[pos];
+                finish_of[slot] = avail[pos] + c;
+                avail[pos] += c;
             }
         }
         let period = avail.into_iter().max().unwrap_or(0).max(1);
@@ -308,5 +331,42 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_pes_panics() {
         let _ = KernelSchedule::compact(&examples::chain(2), 0);
+    }
+
+    #[test]
+    fn identity_pe_list_matches_the_dense_compaction() {
+        let g = examples::fork_join(9);
+        for pes in [1, 3, 8] {
+            let list: Vec<PeId> = (0..pes as u32).map(PeId::new).collect();
+            for copies in [1, 2, 4] {
+                assert_eq!(
+                    KernelSchedule::compact_copies(&g, pes, copies),
+                    KernelSchedule::compact_copies_on(&g, &list, copies),
+                    "pes={pes} copies={copies}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_list_remaps_onto_survivors() {
+        let g = examples::fork_join(10);
+        // PE1 of four died; slots must land only on the survivors.
+        let survivors = [PeId::new(0), PeId::new(2), PeId::new(3)];
+        let k = KernelSchedule::compact_copies_on(&g, &survivors, 2);
+        for n in g.node_ids() {
+            for copy in 0..2 {
+                assert_ne!(k.pe_at(n, copy), PeId::new(1), "slot on dead PE");
+            }
+        }
+        // Three survivors pack no tighter than three healthy PEs.
+        let healthy = KernelSchedule::compact_copies(&g, 3, 2);
+        assert_eq!(k.period(), healthy.period());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn empty_pe_list_panics() {
+        let _ = KernelSchedule::compact_copies_on(&examples::chain(2), &[], 1);
     }
 }

@@ -20,7 +20,7 @@
 
 use paraconv_alloc::{AllocItem, CacheAllocation, CacheAllocator};
 use paraconv_graph::{Placement, TaskGraph};
-use paraconv_pim::{CostModel, ExecutionPlan, PimConfig, PlannedTask, PlannedTransfer};
+use paraconv_pim::{CostModel, ExecutionPlan, PeId, PimConfig, PlannedTask, PlannedTransfer};
 use paraconv_retime::{minimal_relative_retiming, MovementAnalysis, Retiming};
 
 use crate::{KernelSchedule, SchedError};
@@ -181,6 +181,37 @@ impl ParaConvScheduler {
         graph: &TaskGraph,
         iterations: u64,
     ) -> Result<ParaConvOutcome, SchedError> {
+        self.schedule_impl(graph, iterations, None)
+    }
+
+    /// Re-schedules `graph` after a degradation event (a PE fail-stop
+    /// shrinking [`PimConfig::failed_pes`] survivors, or a capacity
+    /// change), seeding the cache allocation from `prior`.
+    ///
+    /// The kernel is re-compacted onto the surviving PEs and the
+    /// allocation DP re-runs under the reduced aggregate cache budget;
+    /// where the prior allocation still fits it is reused verbatim
+    /// (see [`CacheAllocator::reallocate`]), keeping replans cheap in
+    /// the common single-failure case.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ParaConvScheduler::schedule`].
+    pub fn reschedule(
+        &self,
+        graph: &TaskGraph,
+        iterations: u64,
+        prior: &CacheAllocation,
+    ) -> Result<ParaConvOutcome, SchedError> {
+        self.schedule_impl(graph, iterations, Some(prior))
+    }
+
+    fn schedule_impl(
+        &self,
+        graph: &TaskGraph,
+        iterations: u64,
+        prior: Option<&CacheAllocation>,
+    ) -> Result<ParaConvOutcome, SchedError> {
         if iterations == 0 {
             return Err(SchedError::ZeroIterations);
         }
@@ -189,12 +220,17 @@ impl ParaConvScheduler {
         // Step 1: objective schedule. The kernel is unrolled by the
         // factor that minimizes the per-iteration initiation interval
         // p/u, so wide arrays initiate several iterations per period.
+        // Only surviving PEs receive slots: for a healthy config the
+        // active list is the identity and this is byte-identical to the
+        // dense compaction.
         let phase = paraconv_obs::span("sched.kernel", "sched");
-        let kernel = best_kernel(
-            graph,
-            self.config.num_pes(),
-            iterations.min(self.max_unroll),
-        );
+        let pes: Vec<PeId> = self
+            .config
+            .active_pe_indices()
+            .into_iter()
+            .map(PeId::new)
+            .collect();
+        let kernel = best_kernel(graph, &pes, iterations.min(self.max_unroll));
         let unroll = kernel.copies();
         let p = kernel.period();
         let gaps = kernel.gaps(graph);
@@ -262,7 +298,11 @@ impl ParaConvScheduler {
             AllocationPolicy::GreedyByDensity => greedy_prefilter(items, capacity),
             _ => items,
         };
-        let allocation = CacheAllocator::new(capacity).allocate(items);
+        let allocator = CacheAllocator::new(capacity);
+        let allocation = match prior {
+            Some(prior) => allocator.reallocate(prior, items),
+            None => allocator.allocate(items),
+        };
         let placements = allocation.to_placement_vec(graph.edge_count());
 
         // Step 4: minimal legal retiming for the chosen placements.
@@ -334,8 +374,9 @@ impl ParaConvScheduler {
 /// Picks the kernel unroll factor minimizing the per-iteration
 /// initiation interval `p_u / u` (ties favour the smaller unroll and
 /// therefore the smaller plan). The search stops at the point where
-/// the resource bound `⌈u·W/N⌉/u` has converged.
-fn best_kernel(graph: &TaskGraph, num_pes: usize, iterations: u64) -> KernelSchedule {
+/// the resource bound `⌈u·W/N⌉/u` has converged. Slots land only on
+/// the PEs in `pes` (the surviving engines).
+fn best_kernel(graph: &TaskGraph, pes: &[PeId], iterations: u64) -> KernelSchedule {
     let work = graph.total_exec_time().max(1);
     let max_c = graph
         .nodes()
@@ -345,14 +386,14 @@ fn best_kernel(graph: &TaskGraph, num_pes: usize, iterations: u64) -> KernelSche
     // Beyond u·W ≥ 2·N·max_c the ratio is within one task of its
     // asymptote W/N; cap the search there (and at the iteration count
     // and a hard bound to keep plans small).
-    let u_max = (2 * num_pes as u64 * max_c)
+    let u_max = (2 * pes.len() as u64 * max_c)
         .div_ceil(work)
         .clamp(1, 64)
         .min(iterations);
     // u = 1 always exists, so the fold needs no Option.
-    let mut best = KernelSchedule::compact_copies(graph, num_pes, 1);
+    let mut best = KernelSchedule::compact_copies_on(graph, pes, 1);
     for u in 2..=u_max {
-        let candidate = KernelSchedule::compact_copies(graph, num_pes, u);
+        let candidate = KernelSchedule::compact_copies_on(graph, pes, u);
         if candidate.time_per_iteration() < best.time_per_iteration() {
             best = candidate;
         }
@@ -573,6 +614,56 @@ mod tests {
         let kept = greedy_prefilter(vec![sparse, zero, dense], 6);
         let edges: Vec<EdgeId> = kept.iter().map(|i| i.edge()).collect();
         assert_eq!(edges, vec![EdgeId::new(9), EdgeId::new(1)]);
+    }
+
+    #[test]
+    fn degraded_config_schedules_onto_survivors() {
+        let g = examples::fork_join(12);
+        let cfg = PimConfig::builder(4).failed_pes(vec![1]).build().unwrap();
+        let outcome = ParaConvScheduler::new(cfg.clone()).schedule(&g, 6).unwrap();
+        for t in outcome.plan.tasks() {
+            assert_ne!(t.pe, PeId::new(1), "task placed on failed PE");
+        }
+        // The degraded plan still passes full validation + audit under
+        // the degraded config (which rejects tasks on failed PEs).
+        let report = simulate(&g, &outcome.plan, &cfg).unwrap();
+        paraconv_pim::audit(&g, &outcome.plan, &cfg, &report).unwrap();
+    }
+
+    #[test]
+    fn healthy_config_is_unchanged_by_the_pe_list_path() {
+        // The active-PE list is the identity for a healthy config, so
+        // plans must be byte-identical to what the dense path emitted.
+        let g = examples::motivational();
+        let cfg = PimConfig::neurocube(4).unwrap();
+        let outcome = ParaConvScheduler::new(cfg.clone()).schedule(&g, 8).unwrap();
+        let report = simulate(&g, &outcome.plan, &cfg).unwrap();
+        assert_eq!(report.iterations, 8);
+    }
+
+    #[test]
+    fn reschedule_reuses_the_prior_allocation_when_it_fits() {
+        let g = examples::fork_join(24);
+        let cfg = PimConfig::builder(8).per_pe_cache_units(4).build().unwrap();
+        let healthy = ParaConvScheduler::new(cfg.clone()).schedule(&g, 4).unwrap();
+        // Same capacity: the prior allocation fits and is reused, so
+        // the cached set is identical.
+        let again = ParaConvScheduler::new(cfg.clone())
+            .reschedule(&g, 4, &healthy.allocation)
+            .unwrap();
+        assert_eq!(healthy.allocation.cached(), again.allocation.cached());
+
+        // Degraded capacity: the replan still validates and audits.
+        let degraded_cfg = cfg.degrade(&[3]).unwrap();
+        assert!(degraded_cfg.total_cache_units() < cfg.total_cache_units());
+        let degraded = ParaConvScheduler::new(degraded_cfg.clone())
+            .reschedule(&g, 4, &healthy.allocation)
+            .unwrap();
+        for t in degraded.plan.tasks() {
+            assert_ne!(t.pe, PeId::new(3), "task placed on failed PE");
+        }
+        let report = simulate(&g, &degraded.plan, &degraded_cfg).unwrap();
+        paraconv_pim::audit(&g, &degraded.plan, &degraded_cfg, &report).unwrap();
     }
 
     #[test]

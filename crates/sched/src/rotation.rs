@@ -76,6 +76,24 @@ impl RotationResult {
 #[must_use]
 pub fn rotation_schedule(graph: &TaskGraph, num_pes: usize, rounds: usize) -> RotationResult {
     assert!(num_pes > 0, "PE count must be positive");
+    let pes: Vec<PeId> = (0..num_pes as u32).map(PeId::new).collect();
+    rotation_schedule_on(graph, &pes, rounds)
+}
+
+/// Runs rotation scheduling on an explicit PE list instead of the
+/// dense `0..num_pes` range.
+///
+/// With the identity list this is byte-identical to
+/// [`rotation_schedule`] (ties break by list position, which is then
+/// the PE index). Degraded-mode replanning passes the surviving PEs
+/// after a fail-stop so rotation slots remap onto live engines only.
+///
+/// # Panics
+///
+/// Panics if `pes` is empty.
+#[must_use]
+pub fn rotation_schedule_on(graph: &TaskGraph, pes: &[PeId], rounds: usize) -> RotationResult {
+    assert!(!pes.is_empty(), "surviving PE list must be positive");
     let n = graph.node_count();
     // lint: allow(no-unwrap) — schedule tables are fully populated for every (node, copy) by construction
     let order = graph.topological_order().expect("built graphs are acyclic");
@@ -86,7 +104,7 @@ pub fn rotation_schedule(graph: &TaskGraph, num_pes: usize, rounds: usize) -> Ro
     let mut start_of = vec![0u64; n];
     let mut finish_of = vec![0u64; n];
     {
-        let mut avail = vec![0u64; num_pes];
+        let mut avail = vec![0u64; pes.len()];
         for &id in &order {
             // lint: allow(no-unwrap) — schedule tables are fully populated for every (node, copy) by construction
             let c = graph.node(id).expect("topo order node").exec_time();
@@ -99,17 +117,17 @@ pub fn rotation_schedule(graph: &TaskGraph, num_pes: usize, rounds: usize) -> Ro
                 .map(|&e| finish_of[graph.edge(e).expect("adjacency edge").src().index()])
                 .max()
                 .unwrap_or(0);
-            let (pe, _) = avail
+            let (pos, _) = avail
                 .iter()
                 .enumerate()
                 .min_by_key(|&(i, &t)| (t.max(est), i))
                 // lint: allow(no-unwrap) — schedule tables are fully populated for every (node, copy) by construction
                 .expect("at least one PE");
-            let s = avail[pe].max(est);
-            pe_of[id.index()] = PeId::new(pe as u32);
+            let s = avail[pos].max(est);
+            pe_of[id.index()] = pes[pos];
             start_of[id.index()] = s;
             finish_of[id.index()] = s + c;
-            avail[pe] = s + c;
+            avail[pos] = s + c;
         }
     }
     let mut lengths = vec![finish_of.iter().copied().max().unwrap_or(0).max(1)];
@@ -167,8 +185,7 @@ pub fn rotation_schedule(graph: &TaskGraph, num_pes: usize, rounds: usize) -> Ro
                 })
                 .max()
                 .unwrap_or(0);
-            let (pe, start) =
-                earliest_slot(graph, &pe_of, &start_of, &finish_of, id, est, c, num_pes);
+            let (pe, start) = earliest_slot(graph, &pe_of, &start_of, &finish_of, id, est, c, pes);
             pe_of[id.index()] = pe;
             start_of[id.index()] = start;
             finish_of[id.index()] = start + c;
@@ -213,6 +230,7 @@ pub fn rotation_schedule(graph: &TaskGraph, num_pes: usize, rounds: usize) -> Ro
 
 /// Finds the earliest `(pe, start)` with `start ≥ est` where `id` fits
 /// for `c` units without overlapping any other node's placement.
+/// Candidate PEs come from `pes`; ties break by list position.
 #[allow(clippy::too_many_arguments)]
 fn earliest_slot(
     graph: &TaskGraph,
@@ -222,14 +240,14 @@ fn earliest_slot(
     id: NodeId,
     est: u64,
     c: u64,
-    num_pes: usize,
+    pes: &[PeId],
 ) -> (PeId, u64) {
     let mut best: Option<(u64, usize)> = None;
-    for pe in 0..num_pes {
+    for (pos, &pe) in pes.iter().enumerate() {
         // Busy intervals on this PE, excluding the node being placed.
         let mut busy: Vec<(u64, u64)> = graph
             .node_ids()
-            .filter(|&o| o != id && pe_of[o.index()].index() == pe)
+            .filter(|&o| o != id && pe_of[o.index()] == pe)
             .map(|o| (start_of[o.index()], finish_of[o.index()]))
             .collect();
         busy.sort_unstable();
@@ -240,14 +258,14 @@ fn earliest_slot(
             }
             t = t.max(f);
         }
-        let candidate = (t, pe);
+        let candidate = (t, pos);
         if best.is_none_or(|b| candidate < b) {
             best = Some(candidate);
         }
     }
     // lint: allow(no-unwrap) — schedule tables are fully populated for every (node, copy) by construction
-    let (start, pe) = best.expect("at least one PE");
-    (PeId::new(pe as u32), start)
+    let (start, pos) = best.expect("at least one PE");
+    (pes[pos], start)
 }
 
 #[cfg(test)]
@@ -360,5 +378,34 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_pes_panics() {
         let _ = rotation_schedule(&examples::chain(2), 0, 1);
+    }
+
+    #[test]
+    fn identity_pe_list_matches_the_dense_rotation() {
+        let g = examples::fork_join(8);
+        for pes in [1usize, 2, 4] {
+            let list: Vec<PeId> = (0..pes as u32).map(PeId::new).collect();
+            let dense = rotation_schedule(&g, pes, 10);
+            let listed = rotation_schedule_on(&g, &list, 10);
+            assert_eq!(dense.lengths, listed.lengths);
+            assert_eq!(dense.pe_of, listed.pe_of);
+            assert_eq!(dense.start_of, listed.start_of);
+        }
+    }
+
+    #[test]
+    fn degraded_list_avoids_the_dead_pe() {
+        let g = examples::fork_join(8);
+        let survivors = [PeId::new(0), PeId::new(2), PeId::new(3)];
+        let result = rotation_schedule_on(&g, &survivors, 10);
+        for id in g.node_ids() {
+            assert_ne!(result.pe_of[id.index()], PeId::new(1), "slot on dead PE");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn empty_pe_list_panics() {
+        let _ = rotation_schedule_on(&examples::chain(2), &[], 1);
     }
 }

@@ -141,6 +141,12 @@ pub enum VerifyError {
         /// The independently computed optimum.
         optimal: u64,
     },
+    /// A kernel slot lands on a PE the degraded capacity profile marks
+    /// as failed — the plan would dispatch work to a dead engine.
+    FailedPeUsed {
+        /// The failed PE the kernel still uses.
+        pe: u32,
+    },
     /// A static bound fell below an observed runtime high-water mark —
     /// the abstraction is unsound (this is the differential check
     /// against the simulator/auditor).
@@ -229,6 +235,10 @@ impl fmt::Display for VerifyError {
             VerifyError::AllocationExceedsOptimal { profit, optimal } => write!(
                 f,
                 "allocation claims profit {profit} above the DP optimum {optimal}"
+            ),
+            VerifyError::FailedPeUsed { pe } => write!(
+                f,
+                "kernel assigns a slot to failed PE{pe} (degraded capacity profile)"
             ),
             VerifyError::BoundBelowObserved {
                 metric,
@@ -345,6 +355,8 @@ mod tests {
         };
         assert!(e.to_string().contains("bound 9"));
         assert!(e.to_string().contains("capacity 4"));
+        let e = VerifyError::FailedPeUsed { pe: 7 };
+        assert!(e.to_string().contains("PE7"));
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub use occupancy::{occupancy_bounds, OccupancyBounds, PeakBound, PhaseProfile};
 pub use retime_check::check_retiming;
 
 use paraconv_graph::TaskGraph;
-use paraconv_pim::{PimConfig, SimReport};
+use paraconv_pim::{PeId, PimConfig, SimReport};
 use paraconv_sched::ParaConvOutcome;
 
 /// Degenerate-input guard shared by every check: a kernel with no
@@ -95,6 +95,19 @@ pub fn verify_outcome(
     config: &PimConfig,
 ) -> Result<VerifyReport, VerifyError> {
     guard_shape(graph, outcome)?;
+    // Degraded capacity profile: a plan for a config with failed PEs
+    // must keep every kernel slot (across all unroll copies) off the
+    // dead engines.
+    for &pe in config.failed_pes() {
+        let dead = PeId::new(pe);
+        for copy in 0..outcome.kernel.copies() {
+            for node in graph.node_ids() {
+                if outcome.kernel.pe_at(node, copy) == dead {
+                    return Err(VerifyError::FailedPeUsed { pe });
+                }
+            }
+        }
+    }
     let checked_edges = check_retiming(graph, outcome, config)?;
     let bounds = occupancy_bounds(graph, outcome, config)?;
 
@@ -260,6 +273,28 @@ mod tests {
         assert!(matches!(
             verify_outcome(&other, &outcome, &cfg),
             Err(VerifyError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn degraded_outcomes_verify_under_the_reduced_profile() {
+        let g = examples::fork_join(12);
+        let healthy = PimConfig::neurocube(8).expect("valid config");
+        let degraded = healthy.degrade(&[2, 5]).expect("survivors remain");
+        let outcome = ParaConvScheduler::new(degraded.clone())
+            .schedule(&g, 6)
+            .expect("schedulable");
+        let report = verify_outcome(&g, &outcome, &degraded).expect("degraded plan verifies");
+        assert_eq!(report.cache_capacity, degraded.total_cache_units());
+
+        // A plan built for the healthy array uses the dead PEs and is
+        // rejected under the degraded profile.
+        let healthy_outcome = ParaConvScheduler::new(healthy.clone())
+            .schedule(&g, 6)
+            .expect("schedulable");
+        assert!(matches!(
+            verify_outcome(&g, &healthy_outcome, &degraded),
+            Err(VerifyError::FailedPeUsed { .. })
         ));
     }
 

@@ -1,0 +1,129 @@
+//! Black-box tests for the `paraconv` binary's argument handling.
+//!
+//! Exit-code contract: usage errors (unknown subcommand, malformed
+//! flags, unknown benchmark) print the usage text and exit 2; runtime
+//! failures exit 1; success exits 0.
+
+use std::process::{Command, Output};
+
+fn paraconv(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_paraconv"))
+        .args(args)
+        .output()
+        .expect("binary spawns")
+}
+
+fn assert_usage_error(args: &[&str]) {
+    let out = paraconv(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} should exit 2, stderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "{args:?} should print usage, got: {stderr}"
+    );
+}
+
+#[test]
+fn no_arguments_is_a_usage_error() {
+    assert_usage_error(&[]);
+}
+
+#[test]
+fn unknown_subcommand_is_a_usage_error() {
+    assert_usage_error(&["bogus"]);
+}
+
+#[test]
+fn unknown_option_is_a_usage_error() {
+    assert_usage_error(&["run", "cat", "--frobnicate"]);
+}
+
+#[test]
+fn malformed_numeric_value_is_a_usage_error() {
+    assert_usage_error(&["run", "cat", "--pes", "abc"]);
+}
+
+#[test]
+fn malformed_kill_pe_value_is_a_usage_error() {
+    assert_usage_error(&["chaos", "cat", "--kill-pe", "3"]);
+    assert_usage_error(&["chaos", "cat", "--kill-pe", "x@9"]);
+}
+
+#[test]
+fn out_of_range_fault_rate_is_a_usage_error() {
+    assert_usage_error(&["chaos", "cat", "--fault-rate", "10001"]);
+}
+
+#[test]
+fn unknown_benchmark_is_a_usage_error() {
+    assert_usage_error(&["run", "no-such-benchmark"]);
+}
+
+#[test]
+fn list_succeeds() {
+    let out = paraconv(&["list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cat"), "list should name the benchmarks");
+}
+
+#[test]
+fn chaos_json_emits_a_parsable_campaign_summary() {
+    let out = paraconv(&[
+        "chaos",
+        "cat",
+        "--seed",
+        "42",
+        "--fault-rate",
+        "100",
+        "--iters",
+        "5",
+        "--pes",
+        "8",
+        "--json",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value: serde_json::Value =
+        serde_json::from_str(&stdout).unwrap_or_else(|e| panic!("bad JSON ({e}): {stdout}"));
+    let field = |key: &str| value.get(key).unwrap_or_else(|| panic!("missing {key}"));
+    assert_eq!(field("benchmark").as_str(), Some("cat"));
+    assert_eq!(field("seed").as_u64(), Some(42));
+    assert_eq!(field("fault_rate_bp").as_u64(), Some(100));
+    assert_eq!(field("pes").as_u64(), Some(8));
+    assert!(field("planned_makespan").as_u64().is_some());
+    assert!(field("achieved_makespan").as_u64().is_some());
+    assert!(field("failed_pes").as_array().is_some());
+}
+
+#[test]
+fn chaos_kill_pe_reports_the_degraded_profile() {
+    let out = paraconv(&[
+        "chaos",
+        "cat",
+        "--seed",
+        "7",
+        "--kill-pe",
+        "1@0",
+        "--iters",
+        "5",
+        "--pes",
+        "8",
+        "--json",
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    let value: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    let field = |key: &str| value.get(key).unwrap_or_else(|| panic!("missing {key}"));
+    assert_eq!(field("replans").as_u64(), Some(1));
+    let failed = field("failed_pes").as_array().expect("array").clone();
+    assert_eq!(failed.len(), 1);
+    assert_eq!(failed[0].as_u64(), Some(1));
+    assert_eq!(field("active_pes").as_u64(), Some(7));
+}
