@@ -14,12 +14,22 @@
 //!
 //! Each entry takes `O(1)`, so filling the table is `O(n · S)` — the
 //! paper's `O(n · d_n)` with its capacity expressed in deadline slots.
+//!
+//! The fill keeps only a **rolling row pair** of values (`O(S)` live
+//! memory instead of the full `O(n · S)` matrix) plus one *decision
+//! bit* per cell: bit `(m, s)` records whether item `m` improved the
+//! optimum at capacity `s`, i.e. `B[s, m] > B[s, m-1]`. That bit is
+//! exactly the predicate backtracking tests, so reconstruction — and
+//! even recomputing any interior entry `B[s, m]` — works from the
+//! bitset alone at 1/64th the memory of the old value matrix.
 
-use crate::AllocItem;
+use crate::{AllocItem, IncrementalDp};
 
-/// The filled `B[S, m]` table with backtracking support.
+/// The filled `B[S, m]` recurrence with backtracking support.
 ///
-/// Rows are item counts `0..=n`, columns capacities `0..=S`.
+/// Only the final value row `B[·, n]` is materialized; interior rows
+/// are represented by the per-item decision bitset (see the module
+/// docs). Rows are item counts `0..=n`, columns capacities `0..=S`.
 ///
 /// # Examples
 ///
@@ -39,8 +49,13 @@ use crate::AllocItem;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DpTable {
-    /// Row-major `B[m][s]`, `m ∈ 0..=n`, `s ∈ 0..=capacity`.
-    values: Vec<u64>,
+    /// The final value row `B[s, n]`, `s ∈ 0..=capacity`.
+    final_row: Vec<u64>,
+    /// Decision bits, row-major: bit `s` of row `m` (at word
+    /// `m * words_per_row + s / 64`) is set iff `B[s, m+1] > B[s, m]`,
+    /// i.e. iff backtracking takes item `m` at residual capacity `s`.
+    decisions: Vec<u64>,
+    words_per_row: usize,
     capacity: u64,
     items: Vec<AllocItem>,
 }
@@ -57,30 +72,66 @@ impl DpTable {
         paraconv_obs::counter_add("dp.fills", 1);
         paraconv_obs::counter_add("dp.cells_filled", (n as u64) * cols as u64);
         paraconv_obs::observe("dp.items_per_fill", n as u64);
-        let mut values = vec![0u64; (n + 1) * cols];
+        let words_per_row = cols.div_ceil(64);
+        let mut decisions = vec![0u64; n * words_per_row];
+        // One arena, two logical rows, swapped each item: the previous
+        // row is read linearly while the current row is written
+        // linearly, so the fill stays cache-resident for any `n`.
+        let mut arena = vec![0u64; 2 * cols];
+        let (mut prev, mut curr) = arena.split_at_mut(cols);
         for (m, item) in items.iter().enumerate() {
-            let row = m + 1;
-            for s in 0..cols {
-                // lint: allow(unchecked-index) — indices are bounded by the table dimensions fixed in fill()
-                let without = values[m * cols + s];
-                let with = if item.space() <= s as u64 {
-                    // lint: allow(unchecked-index) — indices are bounded by the table dimensions fixed in fill()
-                    values[m * cols + (s - item.space() as usize)] + item.delta_r()
-                } else {
-                    0
-                };
-                // lint: allow(unchecked-index) — indices are bounded by the table dimensions fixed in fill()
-                values[row * cols + s] = without.max(with);
+            // lint: allow(unchecked-index) — row index bounded by n, the decisions length divisor
+            let row_bits = &mut decisions[m * words_per_row..(m + 1) * words_per_row];
+            if item.space() >= cols as u64 {
+                // The item never fits: the row is a verbatim copy and
+                // every decision bit stays clear.
+                curr.copy_from_slice(prev);
+            } else {
+                let sp = item.space() as usize;
+                let dr = item.delta_r();
+                // Below `sp` the item cannot be taken, so B is carried.
+                // lint: allow(unchecked-index) — sp < cols, the width of both rows
+                curr[..sp].copy_from_slice(&prev[..sp]);
+                for s in sp..cols {
+                    // lint: allow(unchecked-index) — s ranges over the row width both slices share
+                    let without = prev[s];
+                    // lint: allow(unchecked-index) — s ≥ sp here, so s - sp is in range
+                    let with = prev[s - sp] + dr;
+                    if with > without {
+                        // lint: allow(unchecked-index) — s and s/64 are bounded by the row widths
+                        curr[s] = with;
+                        // lint: allow(unchecked-index) — s/64 < words_per_row by construction
+                        row_bits[s >> 6] |= 1u64 << (s & 63);
+                    } else {
+                        // lint: allow(unchecked-index) — s ranges over the row width both slices share
+                        curr[s] = without;
+                    }
+                }
             }
+            core::mem::swap(&mut prev, &mut curr);
         }
         DpTable {
-            values,
+            final_row: prev.to_vec(),
+            decisions,
+            words_per_row,
             capacity,
             items: items.to_vec(),
         }
     }
 
+    /// Whether backtracking takes item `m` (0-based) at residual
+    /// capacity `s` — the decision bit `B[s, m+1] > B[s, m]`.
+    fn takes(&self, m: usize, s: usize) -> bool {
+        // lint: allow(unchecked-index) — callers bound m by n and s by the filled capacity
+        (self.decisions[m * self.words_per_row + (s >> 6)] >> (s & 63)) & 1 == 1
+    }
+
     /// The table entry `B[S, m]`.
+    ///
+    /// Interior rows are no longer materialized; the entry is rebuilt
+    /// in `O(m)` by backtracking the decision bitset from `(s, m)` and
+    /// summing the taken items' `ΔR` — by induction on the recurrence
+    /// this equals the discarded `B[s, m]` exactly.
     ///
     /// # Panics
     ///
@@ -89,15 +140,25 @@ impl DpTable {
     pub fn entry(&self, s: u64, m: usize) -> u64 {
         assert!(m <= self.items.len(), "m out of range");
         assert!(s <= self.capacity, "capacity out of range");
-        let cols = self.capacity as usize + 1;
-        // lint: allow(unchecked-index) — indices are bounded by the table dimensions fixed in fill()
-        self.values[m * cols + s as usize]
+        let mut residual = s as usize;
+        let mut profit = 0u64;
+        for row in (0..m).rev() {
+            if self.takes(row, residual) {
+                // lint: allow(unchecked-index) — row < m ≤ n is asserted above
+                let item = &self.items[row];
+                profit += item.delta_r();
+                // A set bit implies the item fit, so sp ≤ residual.
+                residual -= item.space() as usize;
+            }
+        }
+        profit
     }
 
     /// The optimal total profit `B[S, n]`.
     #[must_use]
     pub fn max_profit(&self) -> u64 {
-        self.entry(self.capacity, self.items.len())
+        // lint: allow(unchecked-index) — the final row has capacity + 1 entries
+        self.final_row[self.capacity as usize]
     }
 
     /// The capacity the table was filled for.
@@ -118,15 +179,20 @@ impl DpTable {
     /// Panics if `s` exceeds the filled capacity.
     #[must_use]
     pub fn max_profit_at(&self, s: u64) -> u64 {
-        self.entry(s, self.items.len())
+        assert!(s <= self.capacity, "capacity out of range");
+        // lint: allow(unchecked-index) — s ≤ capacity is asserted above
+        self.final_row[s as usize]
     }
 
-    /// Fills the table **once** at the largest requested capacity and
-    /// reads every sweep point from it, returning the optimal profit
-    /// for each capacity in `capacities` (input order preserved).
+    /// Fills **one** incremental session at the largest requested
+    /// capacity and reads every sweep point from it as a shared-suffix
+    /// re-solve, returning the optimal profit for each capacity in
+    /// `capacities` (input order preserved).
     ///
     /// This replaces the `O(n · S)`-per-point refill a naive capacity
-    /// sweep performs with one `O(n · max S)` fill plus `O(1)` reads.
+    /// sweep performs with one `O(n · max S)` fill plus `O(1)` reads —
+    /// every per-point [`IncrementalDp::resolve`] reuses all `n` rows
+    /// of the primed session (the column-prefix property).
     ///
     /// # Examples
     ///
@@ -145,9 +211,19 @@ impl DpTable {
     /// ```
     #[must_use]
     pub fn fill_sweep(items: &[AllocItem], capacities: &[u64]) -> Vec<u64> {
+        if capacities.is_empty() {
+            return Vec::new();
+        }
         let max_capacity = capacities.iter().copied().max().unwrap_or(0);
-        let table = DpTable::fill(items, max_capacity);
-        capacities.iter().map(|&s| table.max_profit_at(s)).collect()
+        let mut session = IncrementalDp::new();
+        session.resolve(items, max_capacity);
+        capacities
+            .iter()
+            .map(|&s| {
+                session.resolve(items, s);
+                session.max_profit()
+            })
+            .collect()
     }
 
     /// Backtracks an optimal subset: `result[m]` is `true` iff the
@@ -166,18 +242,18 @@ impl DpTable {
     #[must_use]
     pub fn reconstruct_at(&self, capacity: u64) -> Vec<bool> {
         paraconv_obs::counter_add("dp.reconstructs", 1);
+        assert!(capacity <= self.capacity, "capacity out of range");
         let n = self.items.len();
         let mut chosen = vec![false; n];
-        let mut s = capacity;
-        for m in (1..=n).rev() {
-            // lint: allow(unchecked-index) — indices are bounded by the table dimensions fixed in fill()
-            let item = &self.items[m - 1];
+        let mut s = capacity as usize;
+        for m in (0..n).rev() {
             // The item was taken iff skipping it loses profit at the
-            // current residual capacity.
-            if self.entry(s, m) != self.entry(s, m - 1) {
-                // lint: allow(unchecked-index) — indices are bounded by the table dimensions fixed in fill()
-                chosen[m - 1] = true;
-                s -= item.space();
+            // current residual capacity — the stored decision bit.
+            if self.takes(m, s) {
+                // lint: allow(unchecked-index) — m < n bounds both accesses
+                chosen[m] = true;
+                // lint: allow(unchecked-index) — m < n bounds both accesses
+                s -= self.items[m].space() as usize;
             }
         }
         chosen
@@ -268,6 +344,44 @@ mod tests {
         assert_eq!(table.entry(4, 1), 5);
         // m = 1, sp_1 > S → 0.
         assert_eq!(table.entry(2, 1), 0);
+    }
+
+    #[test]
+    fn entry_matches_a_full_reference_table() {
+        // The O(m) bitset backtrack must rebuild every interior entry
+        // the old dense matrix materialized.
+        let items = vec![
+            item(0, 3, 2),
+            item(1, 2, 2),
+            item(2, 4, 10),
+            item(3, 1, 1),
+            item(4, 5, 3),
+        ];
+        let capacity = 9u64;
+        let table = DpTable::fill(&items, capacity);
+        let n = items.len();
+        let cols = capacity as usize + 1;
+        let mut reference = vec![0u64; (n + 1) * cols];
+        for (m, it) in items.iter().enumerate() {
+            for s in 0..cols {
+                let without = reference[m * cols + s];
+                let with = if it.space() <= s as u64 {
+                    reference[m * cols + s - it.space() as usize] + it.delta_r()
+                } else {
+                    0
+                };
+                reference[(m + 1) * cols + s] = without.max(with);
+            }
+        }
+        for m in 0..=n {
+            for s in 0..cols {
+                assert_eq!(
+                    table.entry(s as u64, m),
+                    reference[m * cols + s],
+                    "B[{s}, {m}]"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! a concrete selection: given each cached IPR's transfer time and
 //! deadline, is the earliest-deadline-first order feasible on a single
 //! resource?
+//!
+//! The deadline order is also what makes the incremental re-solve
+//! ([`crate::IncrementalDp`]) sound: session rows are keyed by the
+//! deadline-sorted item prefix, so a perturbation that moves an item's
+//! deadline re-sorts the instance and invalidates exactly the rows
+//! from the first changed position onward.
 
 use crate::AllocItem;
 

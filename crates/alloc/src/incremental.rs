@@ -1,0 +1,375 @@
+//! Incremental re-solve sessions over the §3.3.2 dynamic program.
+//!
+//! Capacity sweeps and degraded-mode replans solve long runs of
+//! *nearly identical* knapsack instances: one item's `sp`/`ΔR`
+//! changes, an item appears or vanishes, or only the capacity bound
+//! moves. Refilling the whole `B[S, m]` recurrence for every such
+//! perturbation — what [`CacheAllocator::allocate`] does — wastes the
+//! work of every row the perturbation did not touch.
+//!
+//! [`IncrementalDp`] is a reusable session that keeps all value rows
+//! and decision bits of its last solve and exploits two structural
+//! facts of the recurrence:
+//!
+//! * **row suffixes** — row `m` depends only on rows `< m`, so when a
+//!   new item list shares a prefix with the previous one, the shared
+//!   rows are reused verbatim and only the suffix is refilled;
+//! * **column prefixes** — a table filled at capacity `S` contains the
+//!   table for every capacity `s ≤ S` as its first `s + 1` columns, so
+//!   a pure capacity move within the stored width costs *zero* cell
+//!   refills.
+//!
+//! Every [`resolve`](IncrementalDp::resolve) leaves the session in the
+//! state a from-scratch [`DpTable::fill`] at the same arguments would
+//! produce, so profits and reconstructions are byte-identical to the
+//! cold path — the property `tests/chaos.rs` and the allocation
+//! proptests pin down.
+//!
+//! [`CacheAllocator::allocate`]: crate::CacheAllocator::allocate
+//! [`DpTable::fill`]: crate::DpTable::fill
+
+use crate::AllocItem;
+
+/// A reusable dynamic-program session for incremental re-solves.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_alloc::{AllocItem, DpTable, IncrementalDp};
+/// use paraconv_graph::EdgeId;
+///
+/// let mut items = vec![
+///     AllocItem::new(EdgeId::new(0), 2, 3, 1),
+///     AllocItem::new(EdgeId::new(1), 2, 2, 2),
+///     AllocItem::new(EdgeId::new(2), 1, 2, 3),
+/// ];
+/// let mut session = IncrementalDp::new();
+/// session.resolve(&items, 3);
+/// assert_eq!(session.max_profit(), 5);
+///
+/// // Perturb the last item: only its row is refilled.
+/// items[2] = AllocItem::new(EdgeId::new(2), 1, 4, 3);
+/// session.resolve(&items, 3);
+/// assert_eq!(session.max_profit(), DpTable::fill(&items, 3).max_profit());
+/// assert_eq!(session.reconstruct(), DpTable::fill(&items, 3).reconstruct());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalDp {
+    /// The item list of the last resolve, in the caller's (deadline)
+    /// order — the row-reuse prefix is computed against it.
+    items: Vec<AllocItem>,
+    /// Stored row width: the largest `capacity + 1` seen so far, or 0
+    /// while the session is unprimed.
+    cols: usize,
+    /// Words per decision-bit row (`cols / 64`, rounded up).
+    words_per_row: usize,
+    /// All value rows `B[·, 0..=n]`, row-major at width `cols`.
+    rows: Vec<u64>,
+    /// Decision bits, one row of `words_per_row` words per item.
+    bits: Vec<u64>,
+    /// The capacity of the last resolve (may be below `cols - 1`).
+    query: u64,
+}
+
+impl IncrementalDp {
+    /// Creates an unprimed session; the first
+    /// [`resolve`](IncrementalDp::resolve) performs a full fill.
+    #[must_use]
+    pub fn new() -> Self {
+        IncrementalDp::default()
+    }
+
+    /// Solves the instance `(items, capacity)`, reusing as much of the
+    /// previous solve as the perturbation allows. Items must already
+    /// be in deadline order (use
+    /// [`sort_by_deadline`](crate::sort_by_deadline) first), like
+    /// [`DpTable::fill`](crate::DpTable::fill).
+    ///
+    /// Reuse, from cheapest to priciest:
+    ///
+    /// * same items, `capacity` within the stored width → zero refill;
+    /// * shared item prefix → only suffix rows refill;
+    /// * `capacity` above every capacity seen so far → full refill at
+    ///   the wider row (the stored rows are too narrow to extend).
+    ///
+    /// Observability: a full (re)fill counts as `dp.fills`; a reusing
+    /// resolve counts as `dp.incremental_hits` and adds the reused row
+    /// count to `dp.rows_reused`. Both paths add their actually
+    /// computed cells to `dp.cells_filled`.
+    pub fn resolve(&mut self, items: &[AllocItem], capacity: u64) {
+        let needed = capacity as usize + 1;
+        if self.cols == 0 || needed > self.cols {
+            self.prime(items, needed);
+        } else {
+            self.refill_suffix(items);
+        }
+        self.query = capacity;
+    }
+
+    /// Full fill at row width `cols`, discarding any previous state.
+    fn prime(&mut self, items: &[AllocItem], cols: usize) {
+        let _span = paraconv_obs::span("alloc.dp.fill", "alloc");
+        let n = items.len();
+        paraconv_obs::counter_add("dp.fills", 1);
+        paraconv_obs::counter_add("dp.cells_filled", n as u64 * cols as u64);
+        paraconv_obs::observe("dp.items_per_fill", n as u64);
+        self.cols = cols;
+        self.words_per_row = cols.div_ceil(64);
+        self.rows.clear();
+        self.rows.resize((n + 1) * cols, 0);
+        self.bits.clear();
+        self.bits.resize(n * self.words_per_row, 0);
+        self.items = items.to_vec();
+        for m in 0..n {
+            self.fill_row(m);
+        }
+    }
+
+    /// Refills only the rows past the longest common item prefix, at
+    /// the stored row width.
+    fn refill_suffix(&mut self, items: &[AllocItem]) {
+        let _span = paraconv_obs::span("alloc.dp.resolve", "alloc");
+        let n = items.len();
+        let prefix = self
+            .items
+            .iter()
+            .zip(items)
+            .take_while(|(stored, new)| stored == new)
+            .count();
+        if prefix > 0 {
+            paraconv_obs::counter_add("dp.incremental_hits", 1);
+            paraconv_obs::counter_add("dp.rows_reused", prefix as u64);
+        }
+        let refilled = (n - prefix) as u64 * self.cols as u64;
+        if refilled > 0 {
+            paraconv_obs::counter_add("dp.cells_filled", refilled);
+        }
+        self.items = items.to_vec();
+        self.rows.resize((n + 1) * self.cols, 0);
+        self.bits.resize(n * self.words_per_row, 0);
+        for m in prefix..n {
+            self.fill_row(m);
+        }
+    }
+
+    /// Computes value row `m + 1` and decision-bit row `m` from value
+    /// row `m` — one step of the recurrence at the stored width.
+    fn fill_row(&mut self, m: usize) {
+        let cols = self.cols;
+        let (prev_rows, curr_rows) = self.rows.split_at_mut((m + 1) * cols);
+        // lint: allow(unchecked-index) — prev_rows holds exactly rows 0..=m of width cols
+        let prev = &prev_rows[m * cols..];
+        // lint: allow(unchecked-index) — curr_rows starts at row m + 1, which resolve() sized
+        let curr = &mut curr_rows[..cols];
+        // lint: allow(unchecked-index) — bits holds one words_per_row row per item
+        let row_bits = &mut self.bits[m * self.words_per_row..(m + 1) * self.words_per_row];
+        row_bits.fill(0);
+        // lint: allow(unchecked-index) — m < items.len() for every fill_row call site
+        let item = &self.items[m];
+        if item.space() >= cols as u64 {
+            curr.copy_from_slice(prev);
+            return;
+        }
+        let sp = item.space() as usize;
+        let dr = item.delta_r();
+        // lint: allow(unchecked-index) — sp < cols, the width of both rows
+        curr[..sp].copy_from_slice(&prev[..sp]);
+        for s in sp..cols {
+            // lint: allow(unchecked-index) — s ranges over the shared row width
+            let without = prev[s];
+            // lint: allow(unchecked-index) — s ≥ sp here, so s - sp is in range
+            let with = prev[s - sp] + dr;
+            if with > without {
+                // lint: allow(unchecked-index) — s and s/64 are bounded by the row widths
+                curr[s] = with;
+                // lint: allow(unchecked-index) — s/64 < words_per_row by construction
+                row_bits[s >> 6] |= 1u64 << (s & 63);
+            } else {
+                // lint: allow(unchecked-index) — s ranges over the shared row width
+                curr[s] = without;
+            }
+        }
+    }
+
+    /// The optimal profit of the last [`resolve`](IncrementalDp::resolve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was never resolved.
+    #[must_use]
+    pub fn max_profit(&self) -> u64 {
+        self.max_profit_at(self.query)
+    }
+
+    /// The optimal profit at any capacity within the stored width —
+    /// `B[s, n]` of the last resolved item list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session was never resolved or `s` exceeds the
+    /// stored capacity.
+    #[must_use]
+    pub fn max_profit_at(&self, s: u64) -> u64 {
+        assert!(self.cols > 0, "resolve() the session before reading it");
+        assert!((s as usize) < self.cols, "capacity out of range");
+        let n = self.items.len();
+        // lint: allow(unchecked-index) — the final row spans cols entries and s < cols
+        self.rows[n * self.cols + s as usize]
+    }
+
+    /// Backtracks an optimal subset at the last resolved capacity;
+    /// `result[m]` is `true` iff the `m`-th item (deadline order) is
+    /// allocated to cache. Byte-identical to
+    /// [`DpTable::fill`](crate::DpTable::fill)` + reconstruct()` on the
+    /// same instance.
+    #[must_use]
+    pub fn reconstruct(&self) -> Vec<bool> {
+        paraconv_obs::counter_add("dp.reconstructs", 1);
+        let n = self.items.len();
+        let mut chosen = vec![false; n];
+        let mut s = self.query as usize;
+        for m in (0..n).rev() {
+            // lint: allow(unchecked-index) — m < n and s stays within the stored width
+            let word = self.bits[m * self.words_per_row + (s >> 6)];
+            if (word >> (s & 63)) & 1 == 1 {
+                // lint: allow(unchecked-index) — m < n bounds both accesses
+                chosen[m] = true;
+                // A set bit implies the item fit, so sp ≤ s.
+                // lint: allow(unchecked-index) — m < n bounds both accesses
+                s -= self.items[m].space() as usize;
+            }
+        }
+        chosen
+    }
+
+    /// The capacity of the last resolve.
+    #[must_use]
+    pub const fn query_capacity(&self) -> u64 {
+        self.query
+    }
+
+    /// The largest capacity the stored rows cover, or `None` while the
+    /// session is unprimed. Resolves at or below this bound reuse
+    /// every shared row.
+    #[must_use]
+    pub fn filled_capacity(&self) -> Option<u64> {
+        (self.cols > 0).then(|| self.cols as u64 - 1)
+    }
+
+    /// The item list of the last resolve (deadline order).
+    #[must_use]
+    pub fn items(&self) -> &[AllocItem] {
+        &self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DpTable;
+    use paraconv_graph::EdgeId;
+
+    fn item(id: u32, space: u64, profit: u64) -> AllocItem {
+        AllocItem::new(EdgeId::new(id), space, profit, id as u64)
+    }
+
+    fn assert_matches_cold(session: &IncrementalDp, items: &[AllocItem], capacity: u64) {
+        let cold = DpTable::fill(items, capacity);
+        assert_eq!(session.max_profit(), cold.max_profit(), "profit diverged");
+        assert_eq!(
+            session.reconstruct(),
+            cold.reconstruct(),
+            "reconstruction diverged"
+        );
+    }
+
+    #[test]
+    fn first_resolve_is_a_cold_fill() {
+        let items = vec![item(0, 1, 1), item(1, 3, 4), item(2, 4, 5), item(3, 5, 7)];
+        let mut session = IncrementalDp::new();
+        session.resolve(&items, 7);
+        assert_eq!(session.max_profit(), 9);
+        assert_eq!(session.filled_capacity(), Some(7));
+        assert_matches_cold(&session, &items, 7);
+    }
+
+    #[test]
+    fn item_perturbation_refills_only_the_suffix() {
+        let mut items = vec![
+            item(0, 3, 2),
+            item(1, 2, 2),
+            item(2, 4, 10),
+            item(3, 1, 1),
+            item(4, 5, 3),
+        ];
+        let mut session = IncrementalDp::new();
+        session.resolve(&items, 8);
+        for (perturb, space, profit) in [(4usize, 2, 9), (2, 1, 1), (0, 6, 20)] {
+            items[perturb] = item(perturb as u32, space, profit);
+            session.resolve(&items, 8);
+            assert_matches_cold(&session, &items, 8);
+        }
+    }
+
+    #[test]
+    fn capacity_moves_within_the_stored_width_are_free() {
+        let items = vec![item(0, 2, 5), item(1, 2, 4), item(2, 1, 3)];
+        let mut session = IncrementalDp::new();
+        session.resolve(&items, 5);
+        for capacity in [0u64, 3, 5, 1, 4, 2] {
+            session.resolve(&items, capacity);
+            assert_eq!(session.query_capacity(), capacity);
+            assert_eq!(session.filled_capacity(), Some(5), "no reprime expected");
+            assert_matches_cold(&session, &items, capacity);
+        }
+    }
+
+    #[test]
+    fn capacity_growth_reprimes_at_the_wider_row() {
+        let items = vec![item(0, 2, 5), item(1, 2, 4), item(2, 1, 3)];
+        let mut session = IncrementalDp::new();
+        session.resolve(&items, 2);
+        session.resolve(&items, 9);
+        assert_eq!(session.filled_capacity(), Some(9));
+        assert_matches_cold(&session, &items, 9);
+    }
+
+    #[test]
+    fn item_count_can_shrink_and_grow() {
+        let base = vec![item(0, 1, 2), item(1, 2, 3), item(2, 3, 4), item(3, 1, 5)];
+        let mut session = IncrementalDp::new();
+        session.resolve(&base, 6);
+        let shorter = &base[..2];
+        session.resolve(shorter, 6);
+        assert_matches_cold(&session, shorter, 6);
+        session.resolve(&base, 6);
+        assert_matches_cold(&session, &base, 6);
+        session.resolve(&[], 6);
+        assert_eq!(session.max_profit(), 0);
+        assert!(session.reconstruct().is_empty());
+    }
+
+    #[test]
+    fn disjoint_item_lists_still_solve_exactly() {
+        let first = vec![item(0, 2, 3), item(1, 3, 4)];
+        let second = vec![item(7, 1, 9), item(8, 4, 2), item(9, 2, 6)];
+        let mut session = IncrementalDp::new();
+        session.resolve(&first, 5);
+        session.resolve(&second, 5);
+        assert_matches_cold(&session, &second, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "resolve() the session before reading it")]
+    fn reading_an_unprimed_session_panics() {
+        let _ = IncrementalDp::new().max_profit();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity out of range")]
+    fn reading_past_the_stored_width_panics() {
+        let mut session = IncrementalDp::new();
+        session.resolve(&[item(0, 1, 1)], 3);
+        let _ = session.max_profit_at(4);
+    }
+}

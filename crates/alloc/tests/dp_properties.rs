@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use paraconv_alloc::{
     brute_force_max_profit, edf_feasibility, max_profit_compact, sort_by_deadline, AllocItem,
-    CacheAllocator, DpTable,
+    CacheAllocator, DpTable, IncrementalDp,
 };
 use paraconv_graph::EdgeId;
 
@@ -102,6 +102,38 @@ proptest! {
         let profit: u64 = sorted.iter().zip(&chosen).filter(|(_, &c)| c).map(|(i, _)| i.delta_r()).sum();
         prop_assert!(space <= capacity);
         prop_assert_eq!(profit, DpTable::fill(&sorted, capacity).max_profit());
+    }
+
+    #[test]
+    fn incremental_resolve_matches_cold_fill(
+        items in arb_items(12),
+        steps in proptest::collection::vec((0usize..12, 0u8..4, 0u64..50, 0u64..30), 1..12),
+    ) {
+        // One long-lived session re-solves after every perturbation
+        // (item field edits, deadline moves that re-sort, capacity
+        // changes) and must stay bit-for-bit equal to a from-scratch
+        // fill: same optimum, same reconstruction.
+        let mut current = sort_by_deadline(items);
+        let mut session = IncrementalDp::new();
+        for (idx, field, value, capacity) in steps {
+            if !current.is_empty() {
+                let i = idx % current.len();
+                let it = current[i];
+                current[i] = match field {
+                    0 => AllocItem::new(it.edge(), 1 + value % 8, it.delta_r(), it.deadline()),
+                    1 => AllocItem::new(it.edge(), it.space(), value % 4, it.deadline()),
+                    2 => AllocItem::new(it.edge(), it.space(), it.delta_r(), value),
+                    _ => it, // capacity-only step
+                };
+                if field == 2 {
+                    current = sort_by_deadline(current);
+                }
+            }
+            session.resolve(&current, capacity);
+            let cold = DpTable::fill(&current, capacity);
+            prop_assert_eq!(session.max_profit(), cold.max_profit());
+            prop_assert_eq!(session.reconstruct(), cold.reconstruct());
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! High-level entry points: schedule, simulate and compare in one call.
 
-use paraconv_alloc::CacheAllocation;
+use paraconv_alloc::IncrementalDp;
 use paraconv_fault::FaultSpec;
 use paraconv_graph::TaskGraph;
 use paraconv_pim::{
@@ -185,11 +185,14 @@ impl ParaConv {
     /// are absorbed inside the replay; a PE fail-stop aborts it, after
     /// which the runner degrades the architecture
     /// ([`PimConfig::degrade`]), remaps the dead PE's rotation slots
-    /// onto the survivors, re-runs the allocation DP under the reduced
-    /// cache budget (seeded from the prior allocation via
-    /// [`paraconv_sched::ParaConvScheduler::reschedule`]), and replays
-    /// again. The loop terminates because each replan retires one PE
-    /// for good: either a plan completes or no PEs survive.
+    /// onto the survivors, incrementally re-solves the allocation DP
+    /// under the reduced cache budget (through one persistent
+    /// [`paraconv_alloc::IncrementalDp`] session threaded into
+    /// [`paraconv_sched::ParaConvScheduler::reschedule`] — refilling
+    /// only the rows the degradation perturbed while staying
+    /// byte-identical to a cold solve), and replays again. The loop
+    /// terminates because each replan retires one PE for good: either
+    /// a plan completes or no PEs survive.
     ///
     /// When auditing/verification are enabled they run against the
     /// *clean* replay of the final degraded plan — the paper's
@@ -211,14 +214,16 @@ impl ParaConv {
     ) -> Result<ChaosResult, CoreError> {
         let _span = paraconv_obs::span("run.chaos", "run");
         let mut config = self.config.clone();
-        let mut prior: Option<CacheAllocation> = None;
+        // One DP session for the whole campaign: the first reschedule
+        // primes it (a cold fill), every replan after a fail-stop
+        // refills only the perturbed suffix rows. reallocate() is
+        // byte-identical to allocate(), so quiet campaigns still match
+        // plain runs exactly.
+        let mut session = IncrementalDp::new();
         let mut replans = 0u64;
         loop {
             let scheduler = ParaConvScheduler::new(config.clone()).with_policy(self.policy);
-            let outcome = match &prior {
-                Some(p) => scheduler.reschedule(graph, iterations, p)?,
-                None => scheduler.schedule(graph, iterations)?,
-            };
+            let outcome = scheduler.reschedule(graph, iterations, &mut session)?;
             match simulate_with_faults(graph, &outcome.plan, &config, spec) {
                 Ok((report, faults)) => {
                     if self.audit {
@@ -243,7 +248,6 @@ impl ParaConv {
                     paraconv_obs::counter_add(paraconv_fault::metrics::REPLANS, 1);
                     replans += 1;
                     config = config.degrade(&[pe.index() as u32])?;
-                    prior = Some(outcome.allocation.clone());
                 }
                 Err(e) => return Err(e.into()),
             }

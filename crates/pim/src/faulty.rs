@@ -1,7 +1,9 @@
 //! Fault-injected plan replay.
 //!
 //! [`simulate_with_faults`] first validates the plan through the
-//! ordinary fault-free [`crate::sim::replay`] pass, then re-times it
+//! ordinary fault-free [`crate::sim::replay`] pass (which takes its
+//! batched repeated-block fast path whenever the plan is periodic —
+//! fault injection changes nothing about validation), then re-times it
 //! under a seeded [`FaultSpec`] with a *self-timed* sweep: every task
 //! and transfer starts at the later of its planned start and the
 //! achieved finish of everything it depends on (producer, input
@@ -34,6 +36,10 @@
 //! Capacity sweeps (cache / iFIFO / vault port) stay on planned
 //! times: vault-side buffering absorbs the jitter, so a fault
 //! campaign degrades *when* data moves, not *whether* it fits.
+//!
+//! The self-timed fault sweep itself always walks per event — injected
+//! delays differ between iterations, so repeated blocks stop being
+//! copies of each other the moment a fault lands.
 
 use std::collections::HashMap;
 

@@ -14,6 +14,18 @@
 //! * cache-resident IPRs never exceed the aggregate on-chip capacity;
 //! * in-flight transfers to one PE never exceed its iFIFO depth.
 //!
+//! Replay is two-mode. Plans whose iteration blocks repeat with a
+//! uniform time shift — the shape every retimed schedule has, because
+//! iteration `ℓ` is iteration `ℓ-u` shifted by one unrolled period —
+//! are replayed block-at-a-time: each repeated block inherits the
+//! structural validation of the block one unroll period earlier and
+//! bulk-appends that block's sweep events with the shift applied.
+//! Everything else takes the exact per-event pass. Both paths feed the
+//! same sorted struct-of-arrays event lanes and produce identical
+//! reports; PE-interval exclusivity is established by one global sorted
+//! sweep over packed `(pe, start, index)` keys rather than per-event
+//! interval insertion.
+//!
 //! The simulator is the ground truth for the evaluation: both SPARTA
 //! and Para-CONV plans are replayed here, so reported improvements are
 //! measured under identical architectural rules.
@@ -23,9 +35,7 @@ use std::collections::HashMap;
 use paraconv_graph::{Placement, TaskGraph};
 
 use crate::pe::RecordError;
-use crate::{
-    CostModel, Crossbar, ExecutionPlan, Pe, PeId, PimConfig, SimError, SimReport, VaultArray,
-};
+use crate::{CostModel, ExecutionPlan, Pe, PeId, PimConfig, SimError, SimReport, VaultArray};
 
 /// Cap on the dense instance-index footprint. Real plans are far
 /// below this (the largest benchmark is ~546 nodes × 51 iteration
@@ -33,6 +43,13 @@ use crate::{
 /// iteration count falls back to hash-map indexing instead of
 /// allocating `keys × iterations` slots.
 const MAX_DENSE_INDEX: u128 = 1 << 26;
+
+/// Deepest repeat period probed when matching iteration blocks.
+/// Retimed plans repeat with the kernel unroll factor `u` (a handful at
+/// most), so probing small strides finds the period without an
+/// `O(blocks²)` search; plans with a longer period simply replay
+/// block-by-block through the exact checks.
+const MAX_BATCH_STRIDE: usize = 16;
 
 /// Positional index over `(dense key, iteration)` instance pairs.
 ///
@@ -110,6 +127,256 @@ impl InstanceIndex {
     }
 }
 
+/// A sorted struct-of-arrays event lane.
+///
+/// The sweeps previously sorted `Vec<(u64, i64)>` / `Vec<(u64, i32)>`
+/// tuples; packing `(time, delta)` into one `u128` key — time in the
+/// high 64 bits, the delta sign-flipped below it — keeps the exact
+/// same order (`sort_unstable` on the keys equals `sort_by_key` on
+/// `(t, delta)` because the sign flip is order-preserving for `i64`)
+/// while sorting a flat scalar array and letting repeated iteration
+/// blocks append a whole block of events with `extend_from_within`
+/// plus one add.
+struct EventLane {
+    keys: Vec<u128>,
+}
+
+impl EventLane {
+    /// XOR-ing an `i64` delta with this bit maps the signed order onto
+    /// the unsigned order of the low key half.
+    const SIGN_FLIP: u64 = 1 << 63;
+
+    fn new() -> Self {
+        EventLane { keys: Vec::new() }
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn push(&mut self, time: u64, delta: i64) {
+        self.keys
+            .push((u128::from(time) << 64) | u128::from((delta as u64) ^ Self::SIGN_FLIP));
+    }
+
+    /// Re-appends the events in `range`, each shifted `shift` time
+    /// units later, and returns the new segment's range. Shifted times
+    /// are real plan times of the repeated block, so the add cannot
+    /// overflow out of the high half.
+    fn extend_shifted(&mut self, range: (usize, usize), shift: u64) -> (usize, usize) {
+        let start = self.keys.len();
+        self.keys.extend_from_within(range.0..range.1);
+        let add = u128::from(shift) << 64;
+        // lint: allow(unchecked-index) — the slice starts at the old length, still in bounds
+        for key in &mut self.keys[start..] {
+            *key += add;
+        }
+        (start, self.keys.len())
+    }
+
+    fn keys(&self) -> &[u128] {
+        &self.keys
+    }
+
+    fn into_sorted(mut self) -> Vec<u128> {
+        self.keys.sort_unstable();
+        self.keys
+    }
+
+    fn decode(key: u128) -> (u64, i64) {
+        ((key >> 64) as u64, ((key as u64) ^ Self::SIGN_FLIP) as i64)
+    }
+}
+
+/// Reusable bucket buffers for [`bucketed_peak`], sized once per
+/// replay to the plan horizon and re-zeroed after every lane.
+struct SweepScratch {
+    /// Net delta per time bucket.
+    net: Vec<i64>,
+    /// Sum of the negative deltas per time bucket (tracked only for
+    /// lanes whose occupancy must never dip below zero).
+    neg: Vec<i64>,
+}
+
+impl SweepScratch {
+    fn new() -> Self {
+        SweepScratch {
+            net: Vec::new(),
+            neg: Vec::new(),
+        }
+    }
+}
+
+/// Peak running occupancy of one event lane via a time-bucketed scan:
+/// O(events + horizon), no sort.
+///
+/// Returns `None` when the exact sorted sweep must run instead —
+/// an event lies outside `horizon`, the horizon is too sparse for
+/// bucketing to pay off, the peak crosses `limit` (the sorted sweep
+/// owns the canonical first-violation diagnosis), or
+/// `negative_is_violation` and the running value can dip below zero.
+///
+/// Equal-time ordering (releases sort before acquisitions) only
+/// matters inside one bucket, where the running value moves down and
+/// then up: its intra-bucket maximum is `max(before, after)` and its
+/// minimum is `before + neg[t]`, so per-bucket boundary checks see
+/// every extreme the per-event sweep sees.
+fn bucketed_peak(
+    keys: &[u128],
+    horizon: usize,
+    limit: Option<i64>,
+    negative_is_violation: bool,
+    scratch: &mut SweepScratch,
+) -> Option<i64> {
+    if keys.is_empty() {
+        return Some(0);
+    }
+    if horizon == 0 || horizon > keys.len() * 4 + 1024 {
+        return None;
+    }
+    if keys.iter().any(|&key| (key >> 64) as usize >= horizon) {
+        return None;
+    }
+    if scratch.net.len() < horizon {
+        scratch.net.resize(horizon, 0);
+        scratch.neg.resize(horizon, 0);
+    }
+    for &key in keys {
+        let t = (key >> 64) as usize;
+        let (_, delta) = EventLane::decode(key);
+        // lint: allow(unchecked-index) — every time was bounds-checked against the horizon above
+        scratch.net[t] += delta;
+        if negative_is_violation && delta < 0 {
+            // lint: allow(unchecked-index) — every time was bounds-checked against the horizon above
+            scratch.neg[t] += delta;
+        }
+    }
+    let mut occupancy = 0i64;
+    let mut peak = 0i64;
+    let mut rerun = false;
+    for t in 0..horizon {
+        // lint: allow(unchecked-index) — the scan stays inside the resized scratch length
+        if negative_is_violation && occupancy + scratch.neg[t] < 0 {
+            rerun = true;
+            break;
+        }
+        // lint: allow(unchecked-index) — the scan stays inside the resized scratch length
+        occupancy += scratch.net[t];
+        peak = peak.max(occupancy);
+        if limit.is_some_and(|l| occupancy > l) {
+            rerun = true;
+            break;
+        }
+    }
+    for &key in keys {
+        let t = (key >> 64) as usize;
+        // lint: allow(unchecked-index) — every time was bounds-checked against the horizon above
+        scratch.net[t] = 0;
+        // lint: allow(unchecked-index) — every time was bounds-checked against the horizon above
+        scratch.neg[t] = 0;
+    }
+    (!rerun).then_some(peak)
+}
+
+/// Shape of a plan whose tasks and transfers are grouped into one
+/// block per iteration, with block `b` repeating block `b - stride`
+/// under a uniform time shift.
+struct BatchLayout {
+    /// Tasks per iteration block.
+    tpb: usize,
+    /// Transfers per iteration block.
+    xpb: usize,
+    /// Repeat period in blocks (the kernel unroll factor for
+    /// scheduler-emitted plans).
+    stride: usize,
+}
+
+/// Probes `plan` for the batched-replay shape: at least two iterations,
+/// task/transfer counts divisible into per-iteration blocks, block `b`
+/// holding exactly iteration `b + 1`, and some stride at which block
+/// `stride` repeats block 0 shifted. Returns `None` for anything else,
+/// which then replays through the exact per-event pass.
+fn detect_layout(plan: &ExecutionPlan) -> Option<BatchLayout> {
+    let iterations = plan.iterations();
+    if iterations < 2 {
+        return None;
+    }
+    let blocks = usize::try_from(iterations).ok()?;
+    let tasks = plan.tasks();
+    let transfers = plan.transfers();
+    if tasks.is_empty()
+        || !tasks.len().is_multiple_of(blocks)
+        || !transfers.len().is_multiple_of(blocks)
+    {
+        return None;
+    }
+    let tpb = tasks.len() / blocks;
+    let xpb = transfers.len() / blocks;
+    for (b, blk) in tasks.chunks_exact(tpb).enumerate() {
+        let iter = b as u64 + 1;
+        if blk.iter().any(|t| t.iteration != iter) {
+            return None;
+        }
+    }
+    if xpb > 0 {
+        for (b, blk) in transfers.chunks_exact(xpb).enumerate() {
+            let iter = b as u64 + 1;
+            if blk.iter().any(|x| x.iteration != iter) {
+                return None;
+            }
+        }
+    }
+    let max_stride = MAX_BATCH_STRIDE.min(blocks - 1);
+    (1..=max_stride)
+        .find(|&u| {
+            // lint: allow(unchecked-index) — u ≤ blocks - 1, so both chunks are in range
+            task_block_delta(&tasks[..tpb], &tasks[u * tpb..(u + 1) * tpb]).is_some()
+        })
+        .map(|stride| BatchLayout { tpb, xpb, stride })
+}
+
+/// The uniform shift `delta` such that `blk` is `base` with every
+/// start moved `delta` later and all other fields equal, if one
+/// exists. Iteration fields are already constrained by the layout
+/// prescan, so they are not compared here.
+fn task_block_delta(base: &[crate::PlannedTask], blk: &[crate::PlannedTask]) -> Option<u64> {
+    let delta = blk.first()?.start.checked_sub(base.first()?.start)?;
+    base.iter()
+        .zip(blk)
+        .all(|(p, t)| {
+            t.node == p.node
+                && t.pe == p.pe
+                && t.duration == p.duration
+                && p.start.checked_add(delta) == Some(t.start)
+        })
+        .then_some(delta)
+}
+
+/// Whether `blk` is `base` shifted by exactly `delta` — the same shift
+/// its task block matched with, so producer/consumer timing relations
+/// are preserved verbatim.
+fn transfer_block_matches(
+    base: &[crate::PlannedTransfer],
+    blk: &[crate::PlannedTransfer],
+    delta: u64,
+) -> bool {
+    base.iter().zip(blk).all(|(p, x)| {
+        x.edge == p.edge
+            && x.placement == p.placement
+            && x.dst_pe == p.dst_pe
+            && x.duration == p.duration
+            && p.start.checked_add(delta) == Some(x.start)
+    })
+}
+
+/// Packs a task interval into one sortable key: PE above start above
+/// the task's plan index (tie-break, and the handle back to the task).
+/// Plan vectors are far below 2³² entries, so the index fits the low
+/// 32 bits.
+fn pack_interval(pe: PeId, start: u64, idx: usize) -> u128 {
+    ((pe.index() as u128) << 96) | (u128::from(start) << 32) | idx as u128
+}
+
 /// Replays `plan` for `graph` on the architecture `config`.
 ///
 /// # Errors
@@ -155,6 +422,46 @@ pub fn simulate(
     Ok(report)
 }
 
+/// Everything the two replay passes accumulate before the shared
+/// sweeps and statistics.
+struct ReplayState {
+    /// Per-PE busy time.
+    busy: Vec<u64>,
+    vaults: VaultArray,
+    transfer_energy: u64,
+    offchip_fetches: u64,
+    onchip_hits: u64,
+    offchip_units: u64,
+    onchip_units: u64,
+    /// Cache-occupancy sweep events: +size at producer finish, -size
+    /// at transfer completion.
+    cache_lane: EventLane,
+    /// Per-PE in-flight transfer events for the iFIFO check.
+    fifo_lanes: Vec<EventLane>,
+    /// Per-vault in-flight transfer events for the contention stat.
+    vault_lanes: Vec<EventLane>,
+    /// Iteration blocks replayed fully batched (tasks and transfers).
+    batched_steps: u64,
+}
+
+impl ReplayState {
+    fn new(config: &PimConfig) -> Self {
+        ReplayState {
+            busy: vec![0; config.num_pes()],
+            vaults: VaultArray::new(config.vaults()),
+            transfer_energy: 0,
+            offchip_fetches: 0,
+            onchip_hits: 0,
+            offchip_units: 0,
+            onchip_units: 0,
+            cache_lane: EventLane::new(),
+            fifo_lanes: (0..config.num_pes()).map(|_| EventLane::new()).collect(),
+            vault_lanes: (0..config.vaults()).map(|_| EventLane::new()).collect(),
+            batched_steps: 0,
+        }
+    }
+}
+
 /// The fault-free validation and replay pass behind [`simulate`]; the
 /// fault layer (`crate::faulty`) reuses it so every fault campaign
 /// starts from a fully validated plan.
@@ -165,11 +472,27 @@ pub(crate) fn replay(
 ) -> Result<SimReport, SimError> {
     let _span = paraconv_obs::span("pim.simulate", "pim");
     let cost = CostModel::new(config, graph.edge_count());
+    let mut state = ReplayState::new(config);
+    match detect_layout(plan) {
+        Some(layout) => replay_batched(graph, plan, config, &cost, &layout, &mut state)?,
+        None => replay_exact(graph, plan, config, &cost, &mut state)?,
+    }
+    finish(plan, config, state)
+}
+
+/// The exact per-event pass: every task and transfer walks the full
+/// check sequence individually. Used whenever the plan does not have
+/// the repeating-block shape.
+fn replay_exact(
+    graph: &TaskGraph,
+    plan: &ExecutionPlan,
+    config: &PimConfig,
+    cost: &CostModel,
+    state: &mut ReplayState,
+) -> Result<(), SimError> {
     let mut pes: Vec<Pe> = (0..config.num_pes())
         .map(|i| Pe::new(PeId::new(i as u32)))
         .collect();
-    let mut vaults = VaultArray::new(config.vaults());
-    let mut crossbar = Crossbar::new(config.num_pes());
 
     // ---- index and validate tasks -------------------------------------
     let mut task_index = InstanceIndex::new(graph.node_count(), plan.iterations());
@@ -221,19 +544,6 @@ pub(crate) fn replay(
 
     // ---- index and validate transfers ----------------------------------
     let mut transfer_index = InstanceIndex::new(graph.edge_count(), plan.iterations());
-    let mut transfer_energy = 0u64;
-    let mut offchip_fetches = 0u64;
-    let mut onchip_hits = 0u64;
-    let mut offchip_units = 0u64;
-    let mut onchip_units = 0u64;
-    // Cache-occupancy sweep events: (time, +size at producer finish /
-    // -size at transfer completion).
-    let mut cache_events: Vec<(u64, i64)> = Vec::new();
-    // Per-PE in-flight transfer events for the iFIFO check.
-    let mut fifo_events: Vec<Vec<(u64, i32)>> = vec![Vec::new(); config.num_pes()];
-    // Per-vault in-flight transfer events for the contention stat.
-    let mut vault_events: Vec<Vec<(u64, i32)>> = vec![Vec::new(); config.vaults()];
-
     for (idx, x) in plan.transfers().iter().enumerate() {
         let ipr = graph
             .edge(x.edge)
@@ -265,32 +575,31 @@ pub(crate) fn replay(
             return Err(SimError::TransferBeforeProduction(x.edge, x.iteration));
         }
 
-        transfer_energy += cost.transfer_energy(ipr.size(), x.placement);
+        state.transfer_energy += cost.transfer_energy(ipr.size(), x.placement);
         paraconv_obs::observe("sim.transfer.latency", x.duration);
-        crossbar.record_transfer(x.dst_pe, ipr.size());
         match x.placement {
             Placement::Cache => {
-                onchip_hits += 1;
-                onchip_units += ipr.size();
+                state.onchip_hits += 1;
+                state.onchip_units += ipr.size();
                 // Cache residency: production until the transfer drains.
-                cache_events.push((producer.finish(), ipr.size() as i64));
-                cache_events.push((x.finish(), -(ipr.size() as i64)));
+                state.cache_lane.push(producer.finish(), ipr.size() as i64);
+                state.cache_lane.push(x.finish(), -(ipr.size() as i64));
             }
             Placement::Edram => {
-                offchip_fetches += 1;
-                offchip_units += ipr.size();
-                vaults.record_fetch(x.edge, ipr.size(), x.duration);
-                let v = vaults.vault_of(x.edge);
+                state.offchip_fetches += 1;
+                state.offchip_units += ipr.size();
+                state.vaults.record_fetch(x.edge, ipr.size(), x.duration);
+                let v = state.vaults.vault_of(x.edge);
                 // lint: allow(unchecked-index) — ids are validated against the plan before the event loop starts
-                vault_events[v].push((x.start, 1));
+                state.vault_lanes[v].push(x.start, 1);
                 // lint: allow(unchecked-index) — ids are validated against the plan before the event loop starts
-                vault_events[v].push((x.finish(), -1));
+                state.vault_lanes[v].push(x.finish(), -1);
             }
         }
         // lint: allow(unchecked-index) — ids are validated against the plan before the event loop starts
-        fifo_events[x.dst_pe.index()].push((x.start, 1));
+        state.fifo_lanes[x.dst_pe.index()].push(x.start, 1);
         // lint: allow(unchecked-index) — ids are validated against the plan before the event loop starts
-        fifo_events[x.dst_pe.index()].push((x.finish(), -1));
+        state.fifo_lanes[x.dst_pe.index()].push(x.finish(), -1);
     }
 
     // ---- dependency coverage -------------------------------------------
@@ -329,50 +638,521 @@ pub(crate) fn replay(
         }
     }
 
+    for (i, pe) in pes.iter().enumerate() {
+        // lint: allow(unchecked-index) — busy was sized to num_pes alongside pes
+        state.busy[i] = pe.busy_time();
+    }
+    Ok(())
+}
+
+/// Per-block transfer accounting: the scalar sums and event-lane
+/// segments one iteration block contributed, kept in a ring of
+/// `stride` slots so a repeated block can re-apply its base block's
+/// contribution in O(events-per-block) without re-deriving costs.
+struct XferAcct {
+    energy: u64,
+    onchip_hits: u64,
+    onchip_units: u64,
+    offchip_fetches: u64,
+    offchip_units: u64,
+    /// Per touched vault: (vault, fetches, units, busy time).
+    vault_deltas: Vec<(usize, u64, u64, u64)>,
+    cache_range: (usize, usize),
+    fifo_ranges: Vec<(usize, usize)>,
+    vault_ranges: Vec<(usize, usize)>,
+}
+
+impl XferAcct {
+    fn new(num_pes: usize, vaults: usize) -> Self {
+        XferAcct {
+            energy: 0,
+            onchip_hits: 0,
+            onchip_units: 0,
+            offchip_fetches: 0,
+            offchip_units: 0,
+            vault_deltas: Vec::new(),
+            cache_range: (0, 0),
+            fifo_ranges: vec![(0, 0); num_pes],
+            vault_ranges: vec![(0, 0); vaults],
+        }
+    }
+}
+
+/// The batched pass for plans with the repeating-block shape (see
+/// [`detect_layout`]). Blocks that repeat an earlier block under a
+/// uniform shift inherit its validation; the rest run the same checks
+/// as the exact pass, block by block.
+fn replay_batched(
+    graph: &TaskGraph,
+    plan: &ExecutionPlan,
+    config: &PimConfig,
+    cost: &CostModel,
+    layout: &BatchLayout,
+    state: &mut ReplayState,
+) -> Result<(), SimError> {
+    let &BatchLayout { tpb, xpb, stride } = layout;
+    let tasks = plan.tasks();
+    let transfers = plan.transfers();
+    let blocks = tasks.len() / tpb;
+    let num_pes = config.num_pes();
+
+    // ---- task pass -----------------------------------------------------
+    let mut task_index = InstanceIndex::new(graph.node_count(), plan.iterations());
+    let mut intervals: Vec<u128> = Vec::with_capacity(tasks.len());
+    let mut task_delta: Vec<Option<u64>> = vec![None; blocks];
+    // Ring of per-PE busy-time contributions, one slot per stride
+    // position, refreshed whenever a block walks the slow path.
+    let mut busy_ring: Vec<Vec<u64>> = vec![Vec::new(); stride];
+    for b in 0..blocks {
+        // lint: allow(unchecked-index) — blocks × tpb == tasks.len() by construction
+        let blk = &tasks[b * tpb..(b + 1) * tpb];
+        let delta = b.checked_sub(stride).and_then(|base| {
+            // lint: allow(unchecked-index) — base < b < blocks keeps the chunk in range
+            task_block_delta(&tasks[base * tpb..(base + 1) * tpb], blk)
+        });
+        if let Some(delta) = delta {
+            // Fast block: node/PE/duration equal an already validated
+            // block, so the per-task structural checks would repeat its
+            // verdicts; only instance uniqueness, busy accounting and
+            // the global interval sweep below still apply.
+            for (i, t) in blk.iter().enumerate() {
+                if task_index
+                    .insert(t.node.index(), t.iteration, b * tpb + i)
+                    .is_some()
+                {
+                    return Err(SimError::DuplicateTask(t.node, t.iteration));
+                }
+                intervals.push(pack_interval(t.pe, t.start, b * tpb + i));
+            }
+            // lint: allow(unchecked-index) — ring is stride slots, index is mod stride
+            for (pe, add) in busy_ring[b % stride].iter().enumerate() {
+                // lint: allow(unchecked-index) — ring rows are sized to num_pes
+                state.busy[pe] += *add;
+            }
+            // lint: allow(unchecked-index) — b < blocks, the length task_delta was sized to
+            task_delta[b] = Some(delta);
+        } else {
+            let mut block_busy = vec![0u64; num_pes];
+            for (i, t) in blk.iter().enumerate() {
+                let node = graph
+                    .node(t.node)
+                    .map_err(|_| SimError::UnknownNode(t.node))?;
+                if t.pe.index() >= num_pes {
+                    return Err(SimError::UnknownPe(t.pe));
+                }
+                if config.is_pe_failed(t.pe.index() as u32) {
+                    return Err(SimError::TaskOnFailedPe {
+                        pe: t.pe,
+                        node: t.node,
+                        iteration: t.iteration,
+                    });
+                }
+                if t.duration != node.exec_time() {
+                    return Err(SimError::WrongTaskDuration {
+                        node: t.node,
+                        planned: t.duration,
+                        expected: node.exec_time(),
+                    });
+                }
+                if task_index
+                    .insert(t.node.index(), t.iteration, b * tpb + i)
+                    .is_some()
+                {
+                    return Err(SimError::DuplicateTask(t.node, t.iteration));
+                }
+                // lint: allow(unchecked-index) — t.pe was bounds-checked just above
+                block_busy[t.pe.index()] += t.duration;
+                // lint: allow(unchecked-index) — t.pe was bounds-checked just above
+                state.busy[t.pe.index()] += t.duration;
+                intervals.push(pack_interval(t.pe, t.start, b * tpb + i));
+            }
+            // lint: allow(unchecked-index) — ring is stride slots, index is mod stride
+            busy_ring[b % stride] = block_busy;
+        }
+    }
+
+    // ---- deferred PE-interval sweep --------------------------------------
+    // The exact pass records each task on its PE as it walks the plan,
+    // failing at the first empty or overlapping interval. Here every
+    // block contributed packed (pe, start, idx) keys instead; one sort
+    // and a per-PE running-max scan decides whether ANY violation
+    // exists, and only then is the plan replayed task-by-task to
+    // recover the canonical first error. On a plan combining an
+    // interval violation with a later structural error the two passes
+    // can surface different (each correct) first diagnoses; scheduler
+    // output is never doubly invalid like that.
+    intervals.sort_unstable();
+    let mut prev_pe = u128::MAX;
+    let mut max_finish = 0u64;
+    let mut violated = false;
+    for &key in &intervals {
+        let pe = key >> 96;
+        let idx = (key & 0xFFFF_FFFF) as usize;
+        // lint: allow(unchecked-index) — idx was packed from this very task list
+        let t = &tasks[idx];
+        let finish = t.finish();
+        if finish <= t.start || (pe == prev_pe && t.start < max_finish) {
+            violated = true;
+            break;
+        }
+        if pe == prev_pe {
+            max_finish = max_finish.max(finish);
+        } else {
+            prev_pe = pe;
+            max_finish = finish;
+        }
+    }
+    if violated {
+        return Err(first_interval_error(plan, config));
+    }
+    paraconv_obs::counter_add("pe.tasks_recorded", tasks.len() as u64);
+
+    // ---- transfer pass ---------------------------------------------------
+    let mut transfer_index = InstanceIndex::new(graph.edge_count(), plan.iterations());
+    let mut xfer_matched = vec![false; blocks];
+    if xpb == 0 {
+        for (b, matched) in xfer_matched.iter_mut().enumerate() {
+            // lint: allow(unchecked-index) — task_delta is one slot per block
+            *matched = task_delta[b].is_some();
+        }
+    } else {
+        let mut xfer_ring: Vec<XferAcct> = (0..stride)
+            .map(|_| XferAcct::new(num_pes, config.vaults()))
+            .collect();
+        for b in 0..blocks {
+            // lint: allow(unchecked-index) — blocks × xpb == transfers.len() by construction
+            let blk = &transfers[b * xpb..(b + 1) * xpb];
+            // lint: allow(unchecked-index) — task_delta is one slot per block
+            let fast = task_delta[b].and_then(|d| {
+                b.checked_sub(stride).and_then(|base| {
+                    // lint: allow(unchecked-index) — base < b < blocks keeps the chunk in range
+                    transfer_block_matches(&transfers[base * xpb..(base + 1) * xpb], blk, d)
+                        .then_some(d)
+                })
+            });
+            if let Some(delta) = fast {
+                // Fast block: costs, placements and relative timings
+                // equal the base block's, so its accounting re-applies
+                // with every event shifted by `delta`.
+                for (i, x) in blk.iter().enumerate() {
+                    if transfer_index
+                        .insert(x.edge.index(), x.iteration, b * xpb + i)
+                        .is_some()
+                    {
+                        return Err(SimError::DuplicateTransfer(x.edge, x.iteration));
+                    }
+                }
+                if paraconv_obs::enabled() {
+                    for x in blk {
+                        paraconv_obs::observe("sim.transfer.latency", x.duration);
+                    }
+                }
+                // lint: allow(unchecked-index) — ring is stride slots, index is mod stride
+                let acct = &mut xfer_ring[b % stride];
+                state.transfer_energy += acct.energy;
+                state.onchip_hits += acct.onchip_hits;
+                state.onchip_units += acct.onchip_units;
+                state.offchip_fetches += acct.offchip_fetches;
+                state.offchip_units += acct.offchip_units;
+                for &(vault, fetches, units, busy) in &acct.vault_deltas {
+                    state
+                        .vaults
+                        .record_fetches_bulk(vault, fetches, units, busy);
+                }
+                acct.cache_range = state.cache_lane.extend_shifted(acct.cache_range, delta);
+                for (pe, range) in acct.fifo_ranges.iter_mut().enumerate() {
+                    if range.0 != range.1 {
+                        // lint: allow(unchecked-index) — one lane per PE by construction
+                        *range = state.fifo_lanes[pe].extend_shifted(*range, delta);
+                    }
+                }
+                for (v, range) in acct.vault_ranges.iter_mut().enumerate() {
+                    if range.0 != range.1 {
+                        // lint: allow(unchecked-index) — one lane per vault by construction
+                        *range = state.vault_lanes[v].extend_shifted(*range, delta);
+                    }
+                }
+                // lint: allow(unchecked-index) — xfer_matched is one slot per block
+                xfer_matched[b] = true;
+            } else {
+                let mut acct = XferAcct::new(num_pes, config.vaults());
+                acct.cache_range.0 = state.cache_lane.len();
+                for (pe, range) in acct.fifo_ranges.iter_mut().enumerate() {
+                    // lint: allow(unchecked-index) — one lane per PE by construction
+                    range.0 = state.fifo_lanes[pe].len();
+                }
+                for (v, range) in acct.vault_ranges.iter_mut().enumerate() {
+                    // lint: allow(unchecked-index) — one lane per vault by construction
+                    range.0 = state.vault_lanes[v].len();
+                }
+                let mut vault_sums: Vec<(u64, u64, u64)> = vec![(0, 0, 0); config.vaults()];
+                for (i, x) in blk.iter().enumerate() {
+                    let ipr = graph
+                        .edge(x.edge)
+                        .map_err(|_| SimError::UnknownEdge(x.edge))?;
+                    if x.dst_pe.index() >= num_pes {
+                        return Err(SimError::UnknownPe(x.dst_pe));
+                    }
+                    if transfer_index
+                        .insert(x.edge.index(), x.iteration, b * xpb + i)
+                        .is_some()
+                    {
+                        return Err(SimError::DuplicateTransfer(x.edge, x.iteration));
+                    }
+                    let required = cost.transfer_time(ipr.size(), x.placement);
+                    if x.duration < required {
+                        return Err(SimError::TransferTooShort {
+                            edge: x.edge,
+                            planned: x.duration,
+                            required,
+                        });
+                    }
+                    let producer = task_index
+                        .get(ipr.src().index(), x.iteration)
+                        // lint: allow(unchecked-index) — indices come from the task pass above
+                        .map(|i| &tasks[i])
+                        .ok_or(SimError::MissingProducer(ipr.src(), x.iteration))?;
+                    if x.start < producer.finish() {
+                        return Err(SimError::TransferBeforeProduction(x.edge, x.iteration));
+                    }
+                    let energy = cost.transfer_energy(ipr.size(), x.placement);
+                    state.transfer_energy += energy;
+                    acct.energy += energy;
+                    paraconv_obs::observe("sim.transfer.latency", x.duration);
+                    match x.placement {
+                        Placement::Cache => {
+                            state.onchip_hits += 1;
+                            state.onchip_units += ipr.size();
+                            acct.onchip_hits += 1;
+                            acct.onchip_units += ipr.size();
+                            state.cache_lane.push(producer.finish(), ipr.size() as i64);
+                            state.cache_lane.push(x.finish(), -(ipr.size() as i64));
+                        }
+                        Placement::Edram => {
+                            state.offchip_fetches += 1;
+                            state.offchip_units += ipr.size();
+                            acct.offchip_fetches += 1;
+                            acct.offchip_units += ipr.size();
+                            state.vaults.record_fetch(x.edge, ipr.size(), x.duration);
+                            let v = state.vaults.vault_of(x.edge);
+                            // lint: allow(unchecked-index) — vault_of is modulo the vault count
+                            vault_sums[v].0 += 1;
+                            // lint: allow(unchecked-index) — vault_of is modulo the vault count
+                            vault_sums[v].1 += ipr.size();
+                            // lint: allow(unchecked-index) — vault_of is modulo the vault count
+                            vault_sums[v].2 += x.duration;
+                            // lint: allow(unchecked-index) — vault_of is modulo the vault count
+                            state.vault_lanes[v].push(x.start, 1);
+                            // lint: allow(unchecked-index) — vault_of is modulo the vault count
+                            state.vault_lanes[v].push(x.finish(), -1);
+                        }
+                    }
+                    // lint: allow(unchecked-index) — x.dst_pe was bounds-checked just above
+                    state.fifo_lanes[x.dst_pe.index()].push(x.start, 1);
+                    // lint: allow(unchecked-index) — x.dst_pe was bounds-checked just above
+                    state.fifo_lanes[x.dst_pe.index()].push(x.finish(), -1);
+                }
+                acct.cache_range.1 = state.cache_lane.len();
+                for (pe, range) in acct.fifo_ranges.iter_mut().enumerate() {
+                    // lint: allow(unchecked-index) — one lane per PE by construction
+                    range.1 = state.fifo_lanes[pe].len();
+                }
+                for (v, range) in acct.vault_ranges.iter_mut().enumerate() {
+                    // lint: allow(unchecked-index) — one lane per vault by construction
+                    range.1 = state.vault_lanes[v].len();
+                }
+                acct.vault_deltas = vault_sums
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.0 > 0)
+                    .map(|(v, s)| (v, s.0, s.1, s.2))
+                    .collect();
+                // lint: allow(unchecked-index) — ring is stride slots, index is mod stride
+                xfer_ring[b % stride] = acct;
+            }
+        }
+    }
+
+    // ---- dependency coverage ---------------------------------------------
+    for b in 0..blocks {
+        // lint: allow(unchecked-index) — both vectors are one slot per block
+        if task_delta[b].is_some() && xfer_matched[b] {
+            // Fully batched block: every check below is a function of
+            // quantities that equal the base block's shifted uniformly,
+            // and the base (earlier in this loop, ultimately a slow
+            // block) already passed them.
+            continue;
+        }
+        // lint: allow(unchecked-index) — blocks × tpb == tasks.len() by construction
+        for t in &tasks[b * tpb..(b + 1) * tpb] {
+            for &e in graph
+                .in_edges(t.node)
+                .map_err(|_| SimError::UnknownNode(t.node))?
+            {
+                let x = transfer_index
+                    .get(e.index(), t.iteration)
+                    // lint: allow(unchecked-index) — indices come from the transfer pass above
+                    .map(|i| &transfers[i])
+                    .ok_or(SimError::MissingTransfer(e, t.iteration))?;
+                if x.finish() > t.start {
+                    return Err(SimError::ConsumerBeforeTransfer(e, t.iteration));
+                }
+                if x.dst_pe != t.pe {
+                    return Err(SimError::WrongDestination {
+                        edge: e,
+                        iteration: t.iteration,
+                        routed: x.dst_pe,
+                        consumer: t.pe,
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- completeness ------------------------------------------------------
+    for iter in 1..=plan.iterations() {
+        for id in graph.node_ids() {
+            if !task_index.contains(id.index(), iter) {
+                return Err(SimError::MissingTask(id, iter));
+            }
+        }
+    }
+
+    state.batched_steps = (0..blocks)
+        // lint: allow(unchecked-index) — both vectors are one slot per block
+        .filter(|&b| task_delta[b].is_some() && xfer_matched[b])
+        .count() as u64;
+    Ok(())
+}
+
+/// Replays every task through per-PE interval recording in plan order,
+/// returning the first `EmptyTaskInterval` / `PeConflict` — the exact
+/// error the per-event pass reports. Only called after the global
+/// sweep proved a violation exists.
+fn first_interval_error(plan: &ExecutionPlan, config: &PimConfig) -> SimError {
+    let mut pes: Vec<Pe> = (0..config.num_pes())
+        .map(|i| Pe::new(PeId::new(i as u32)))
+        .collect();
+    for t in plan.tasks() {
+        // lint: allow(unchecked-index) — PE ids were bounds-checked by the structural pass
+        match pes[t.pe.index()].record_task(t.start, t.finish()) {
+            Ok(()) => {}
+            Err(RecordError::EmptyInterval) => {
+                return SimError::EmptyTaskInterval {
+                    node: t.node,
+                    iteration: t.iteration,
+                };
+            }
+            Err(RecordError::Overlap) => {
+                return SimError::PeConflict {
+                    pe: t.pe,
+                    node: t.node,
+                    iteration: t.iteration,
+                };
+            }
+        }
+    }
+    unreachable!("interval sweep flagged a violation the exact replay cannot find")
+}
+
+/// The shared tail of both replay passes: event-lane sweeps (cache
+/// capacity, per-PE iFIFO, per-vault contention), statistics and the
+/// report.
+fn finish(
+    plan: &ExecutionPlan,
+    config: &PimConfig,
+    state: ReplayState,
+) -> Result<SimReport, SimError> {
+    let ReplayState {
+        busy,
+        vaults,
+        transfer_energy,
+        offchip_fetches,
+        onchip_hits,
+        offchip_units,
+        onchip_units,
+        cache_lane,
+        fifo_lanes,
+        vault_lanes,
+        batched_steps,
+    } = state;
+
     // Event-lane depths: how much sweep state this plan generated.
     if paraconv_obs::enabled() {
-        let fifo_lane: usize = fifo_events.iter().map(Vec::len).sum();
-        let vault_lane: usize = vault_events.iter().map(Vec::len).sum();
-        let total = cache_events.len() + fifo_lane + vault_lane;
-        paraconv_obs::gauge_max("sim.lane.cache_events", cache_events.len() as u64);
+        let fifo_lane: usize = fifo_lanes.iter().map(EventLane::len).sum();
+        let vault_lane: usize = vault_lanes.iter().map(EventLane::len).sum();
+        let total = cache_lane.len() + fifo_lane + vault_lane;
+        paraconv_obs::gauge_max("sim.lane.cache_events", cache_lane.len() as u64);
         paraconv_obs::gauge_max("sim.lane.fifo_events", fifo_lane as u64);
         paraconv_obs::gauge_max("sim.lane.vault_events", vault_lane as u64);
         paraconv_obs::counter_add("sim.events", total as u64);
     }
 
+    // Every lane is swept via the bucketed scan first; the per-event
+    // sorted sweep runs only when the scan asks for it, and owns the
+    // canonical error construction (first violating event in
+    // `(time, delta)` order).
+    let horizon = usize::try_from(plan.makespan())
+        .ok()
+        .and_then(|m| m.checked_add(1))
+        .unwrap_or(0);
+    let mut scratch = SweepScratch::new();
+
     // ---- cache capacity sweep --------------------------------------------
     // Releases (-) sort before acquisitions (+) at equal times: a slot
     // freed at t is available to data produced at t.
-    cache_events.sort_by_key(|&(t, delta)| (t, delta));
     let capacity = config.total_cache_units();
-    let mut occupancy = 0i64;
-    let mut peak_cache = 0i64;
-    for (time, delta) in cache_events {
-        occupancy += delta;
-        peak_cache = peak_cache.max(occupancy);
-        if occupancy > capacity as i64 {
-            return Err(SimError::CacheOverflow {
-                time,
-                occupancy: occupancy as u64,
-                capacity,
-            });
+    let peak_cache = match bucketed_peak(
+        cache_lane.keys(),
+        horizon,
+        Some(capacity as i64),
+        false,
+        &mut scratch,
+    ) {
+        Some(peak) => peak,
+        None => {
+            let mut occupancy = 0i64;
+            let mut peak = 0i64;
+            for key in cache_lane.into_sorted() {
+                let (time, delta) = EventLane::decode(key);
+                occupancy += delta;
+                peak = peak.max(occupancy);
+                if occupancy > capacity as i64 {
+                    return Err(SimError::CacheOverflow {
+                        time,
+                        occupancy: occupancy as u64,
+                        capacity,
+                    });
+                }
+            }
+            peak
         }
-    }
+    };
 
     // ---- iFIFO sweep -------------------------------------------------------
+    // The `in_flight as usize` comparison deliberately maps a dip
+    // below zero to a huge in-flight count (an overflow report), so
+    // the bucketed scan treats any possible negative prefix as a
+    // violation and defers to the per-event sweep.
     let mut peak_fifo = 0usize;
-    for (pe_index, mut events) in fifo_events.into_iter().enumerate() {
-        events.sort_by_key(|&(t, delta)| (t, delta));
-        let mut in_flight = 0i32;
-        for (_, delta) in events {
-            in_flight += delta;
-            peak_fifo = peak_fifo.max(in_flight as usize);
-            if in_flight as usize > config.pfifo_depth() {
-                return Err(SimError::FifoOverflow {
-                    pe: PeId::new(pe_index as u32),
-                    in_flight: in_flight as usize,
-                    depth: config.pfifo_depth(),
-                });
+    for (pe_index, lane) in fifo_lanes.into_iter().enumerate() {
+        let depth = config.pfifo_depth();
+        match bucketed_peak(lane.keys(), horizon, Some(depth as i64), true, &mut scratch) {
+            Some(peak) => peak_fifo = peak_fifo.max(peak.max(0) as usize),
+            None => {
+                let mut in_flight = 0i64;
+                for key in lane.into_sorted() {
+                    let (_, delta) = EventLane::decode(key);
+                    in_flight += delta;
+                    peak_fifo = peak_fifo.max(in_flight as usize);
+                    if in_flight as usize > depth {
+                        return Err(SimError::FifoOverflow {
+                            pe: PeId::new(pe_index as u32),
+                            in_flight: in_flight as usize,
+                            depth,
+                        });
+                    }
+                }
             }
         }
     }
@@ -380,19 +1160,31 @@ pub(crate) fn replay(
     // ---- vault contention sweep (statistic; enforced when the
     // configuration sets a port limit) ----------------------------------------
     let mut peak_vault_concurrency = 0usize;
-    for (vault, mut events) in vault_events.into_iter().enumerate() {
-        events.sort_by_key(|&(t, delta)| (t, delta));
-        let mut in_flight = 0i32;
-        for (_, delta) in events {
-            in_flight += delta;
-            peak_vault_concurrency = peak_vault_concurrency.max(in_flight as usize);
-            if let Some(limit) = config.max_vault_concurrency() {
-                if in_flight as usize > limit {
-                    return Err(SimError::VaultOverload {
-                        vault,
-                        in_flight: in_flight as usize,
-                        limit,
-                    });
+    for (vault, lane) in vault_lanes.into_iter().enumerate() {
+        let limit = config.max_vault_concurrency();
+        match bucketed_peak(
+            lane.keys(),
+            horizon,
+            limit.map(|l| l as i64),
+            true,
+            &mut scratch,
+        ) {
+            Some(peak) => peak_vault_concurrency = peak_vault_concurrency.max(peak.max(0) as usize),
+            None => {
+                let mut in_flight = 0i64;
+                for key in lane.into_sorted() {
+                    let (_, delta) = EventLane::decode(key);
+                    in_flight += delta;
+                    peak_vault_concurrency = peak_vault_concurrency.max(in_flight as usize);
+                    if let Some(limit) = limit {
+                        if in_flight as usize > limit {
+                            return Err(SimError::VaultOverload {
+                                vault,
+                                in_flight: in_flight as usize,
+                                limit,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -400,11 +1192,20 @@ pub(crate) fn replay(
 
     // ---- statistics -----------------------------------------------------
     let total_time = plan.makespan();
-    let compute_energy: u64 = pes.iter().map(Pe::busy_time).sum();
+    let compute_energy: u64 = busy.iter().sum();
     let avg_pe_utilization = if config.num_pes() == 0 {
         0.0
     } else {
-        pes.iter().map(|pe| pe.utilization(total_time)).sum::<f64>() / config.num_pes() as f64
+        busy.iter()
+            .map(|&b| {
+                if total_time == 0 {
+                    0.0
+                } else {
+                    b as f64 / total_time as f64
+                }
+            })
+            .sum::<f64>()
+            / config.num_pes() as f64
     };
     let time_per_iteration = if plan.iterations() == 0 {
         0.0
@@ -417,6 +1218,9 @@ pub(crate) fn replay(
     paraconv_obs::counter_add("sim.transfers", plan.transfers().len() as u64);
     paraconv_obs::counter_add("sim.onchip_hits", onchip_hits);
     paraconv_obs::counter_add("sim.offchip_fetches", offchip_fetches);
+    if batched_steps > 0 {
+        paraconv_obs::counter_add("sim.batched_steps", batched_steps);
+    }
     paraconv_obs::gauge_max("sim.cache.peak_occupancy", peak_cache.max(0) as u64);
     paraconv_obs::gauge_max("sim.fifo.peak_occupancy", peak_fifo as u64);
     paraconv_obs::gauge_max("sim.vault.peak_concurrency", peak_vault_concurrency as u64);
@@ -494,6 +1298,19 @@ mod tests {
         plan.push_task(task(0, 1, 0, 0, 2));
         plan.push_transfer(xfer(0, 1, Placement::Cache, 2, 1, 1));
         plan.push_task(task(1, 1, 1, 3, 1));
+        plan
+    }
+
+    /// `iters` repetitions of `valid_plan`'s block, each shifted
+    /// `period` later: the shape the batched path replays.
+    fn periodic_plan(iters: u64, period: u64) -> ExecutionPlan {
+        let mut plan = ExecutionPlan::new(iters);
+        for i in 0..iters {
+            let s = i * period;
+            plan.push_task(task(0, i + 1, 0, s, 2));
+            plan.push_transfer(xfer(0, i + 1, Placement::Cache, s + 2, 1, 1));
+            plan.push_task(task(1, i + 1, 1, s + 3, 1));
+        }
         plan
     }
 
@@ -745,5 +1562,146 @@ mod tests {
         // 3 busy units over 4 PEs × 4 time units.
         assert!((report.avg_pe_utilization - 3.0 / 16.0).abs() < 1e-9);
         assert!((report.throughput() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_replay_matches_per_event_replay() {
+        let g = two_node_graph();
+        let cfg = config();
+        let periodic = periodic_plan(4, 10);
+        assert!(detect_layout(&periodic).is_some());
+        // The same instances pushed in reverse iteration order: layout
+        // detection rejects the plan and the exact per-event path
+        // replays it instead. Valid plans are order-insensitive, so the
+        // two reports must agree field for field.
+        let mut scrambled = ExecutionPlan::new(4);
+        for i in (0..4u64).rev() {
+            let s = i * 10;
+            scrambled.push_task(task(0, i + 1, 0, s, 2));
+            scrambled.push_transfer(xfer(0, i + 1, Placement::Cache, s + 2, 1, 1));
+            scrambled.push_task(task(1, i + 1, 1, s + 3, 1));
+        }
+        assert!(detect_layout(&scrambled).is_none());
+        let batched = simulate(&g, &periodic, &cfg).unwrap();
+        let exact = simulate(&g, &scrambled, &cfg).unwrap();
+        assert_eq!(batched, exact);
+        assert_eq!(batched.onchip_hits, 4);
+        assert_eq!(batched.compute_energy, 12);
+    }
+
+    #[test]
+    fn batched_edram_plan_matches_per_event_replay() {
+        let g = two_node_graph();
+        let cfg = config();
+        let edram_time = CostModel::new(&cfg, g.edge_count()).edram_transfer_time(1);
+        let period = edram_time + 4;
+        let build = |rev: bool| {
+            let mut plan = ExecutionPlan::new(3);
+            let order: Vec<u64> = if rev {
+                (0..3).rev().collect()
+            } else {
+                (0..3).collect()
+            };
+            for i in order {
+                let s = i * period;
+                plan.push_task(task(0, i + 1, 0, s, 2));
+                plan.push_transfer(xfer(0, i + 1, Placement::Edram, s + 2, edram_time, 1));
+                plan.push_task(task(1, i + 1, 1, s + 2 + edram_time, 1));
+            }
+            plan
+        };
+        let batched = simulate(&g, &build(false), &cfg).unwrap();
+        let exact = simulate(&g, &build(true), &cfg).unwrap();
+        assert_eq!(batched, exact);
+        assert_eq!(batched.offchip_fetches, 3);
+        assert_eq!(batched.peak_vault_fetches, 3);
+    }
+
+    #[test]
+    fn batched_path_detects_overlap_in_repeated_blocks() {
+        // Period 1 < the producer's duration 2: blocks repeat exactly,
+        // so the batched path is taken, yet consecutive producer
+        // instances overlap on PE0. The canonical first error (plan
+        // order) must come back.
+        let err = simulate(&two_node_graph(), &periodic_plan(4, 1), &config()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::PeConflict {
+                pe: PeId::new(0),
+                node: NodeId::new(0),
+                iteration: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn mutated_block_in_a_periodic_plan_is_revalidated() {
+        // Break one instance deep into the plan: wrong duration at
+        // iteration 3. The mutated block fails block matching and must
+        // walk the full structural checks.
+        let g = two_node_graph();
+        let mut plan = ExecutionPlan::new(4);
+        for i in 0..4u64 {
+            let s = i * 10;
+            let dur = if i == 2 { 5 } else { 2 };
+            plan.push_task(task(0, i + 1, 0, s, dur));
+            plan.push_transfer(xfer(0, i + 1, Placement::Cache, s + 2, 1, 1));
+            plan.push_task(task(1, i + 1, 1, s + 3, 1));
+        }
+        assert_eq!(
+            simulate(&g, &plan, &config()).unwrap_err(),
+            SimError::WrongTaskDuration {
+                node: NodeId::new(0),
+                planned: 5,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn mutated_transfer_block_is_revalidated() {
+        // Tasks stay periodic but iteration 3's transfer routes to the
+        // wrong PE: the transfer block falls off the fast path and the
+        // dependency pass must still flag it.
+        let g = two_node_graph();
+        let mut plan = ExecutionPlan::new(4);
+        for i in 0..4u64 {
+            let s = i * 10;
+            let dst = if i == 2 { 2 } else { 1 };
+            plan.push_task(task(0, i + 1, 0, s, 2));
+            plan.push_transfer(xfer(0, i + 1, Placement::Cache, s + 2, 1, dst));
+            plan.push_task(task(1, i + 1, 1, s + 3, 1));
+        }
+        assert_eq!(
+            simulate(&g, &plan, &config()).unwrap_err(),
+            SimError::WrongDestination {
+                edge: EdgeId::new(0),
+                iteration: 3,
+                routed: PeId::new(2),
+                consumer: PeId::new(1),
+            }
+        );
+    }
+
+    #[test]
+    fn batched_blocks_accumulate_cache_occupancy() {
+        // Long cache residency windows from repeated blocks stack up:
+        // with period 2 and residency length 10, five windows overlap,
+        // exceeding a capacity-4 cache. The overflow events come from
+        // fast blocks, so this exercises cross-block lane accounting.
+        let g = two_node_graph();
+        let cfg = PimConfig::builder(4).per_pe_cache_units(1).build().unwrap();
+        let mut plan = ExecutionPlan::new(6);
+        for i in 0..6u64 {
+            let s = i * 2;
+            plan.push_task(task(0, i + 1, 0, s, 2));
+            plan.push_transfer(xfer(0, i + 1, Placement::Cache, s + 2, 10, 1));
+            plan.push_task(task(1, i + 1, 1, s + 13, 1));
+        }
+        assert!(detect_layout(&plan).is_some());
+        assert!(matches!(
+            simulate(&g, &plan, &cfg).unwrap_err(),
+            SimError::CacheOverflow { .. }
+        ));
     }
 }

@@ -18,7 +18,7 @@
 //!    `(ℓ − 1 + R_max − R(i))·p + offset(i)` on its kernel PE, every
 //!    transfer departs when its producer finishes.
 
-use paraconv_alloc::{AllocItem, CacheAllocation, CacheAllocator};
+use paraconv_alloc::{AllocItem, CacheAllocation, CacheAllocator, IncrementalDp};
 use paraconv_graph::{Placement, TaskGraph};
 use paraconv_pim::{CostModel, ExecutionPlan, PeId, PimConfig, PlannedTask, PlannedTransfer};
 use paraconv_retime::{minimal_relative_retiming, MovementAnalysis, Retiming};
@@ -186,13 +186,18 @@ impl ParaConvScheduler {
 
     /// Re-schedules `graph` after a degradation event (a PE fail-stop
     /// shrinking [`PimConfig::failed_pes`] survivors, or a capacity
-    /// change), seeding the cache allocation from `prior`.
+    /// change), re-solving the cache allocation through a persistent
+    /// [`IncrementalDp`] `session`.
     ///
     /// The kernel is re-compacted onto the surviving PEs and the
-    /// allocation DP re-runs under the reduced aggregate cache budget;
-    /// where the prior allocation still fits it is reused verbatim
-    /// (see [`CacheAllocator::reallocate`]), keeping replans cheap in
-    /// the common single-failure case.
+    /// allocation DP re-runs under the reduced aggregate cache budget.
+    /// The session refills only the dynamic-program rows the
+    /// degradation actually perturbed (see
+    /// [`CacheAllocator::reallocate`]), so replans stay cheap in the
+    /// common single-failure case while the resulting allocation — and
+    /// therefore the plan — is byte-identical to a cold
+    /// [`schedule`](ParaConvScheduler::schedule) on the degraded
+    /// configuration.
     ///
     /// # Errors
     ///
@@ -201,16 +206,16 @@ impl ParaConvScheduler {
         &self,
         graph: &TaskGraph,
         iterations: u64,
-        prior: &CacheAllocation,
+        session: &mut IncrementalDp,
     ) -> Result<ParaConvOutcome, SchedError> {
-        self.schedule_impl(graph, iterations, Some(prior))
+        self.schedule_impl(graph, iterations, Some(session))
     }
 
     fn schedule_impl(
         &self,
         graph: &TaskGraph,
         iterations: u64,
-        prior: Option<&CacheAllocation>,
+        session: Option<&mut IncrementalDp>,
     ) -> Result<ParaConvOutcome, SchedError> {
         if iterations == 0 {
             return Err(SchedError::ZeroIterations);
@@ -299,8 +304,8 @@ impl ParaConvScheduler {
             _ => items,
         };
         let allocator = CacheAllocator::new(capacity);
-        let allocation = match prior {
-            Some(prior) => allocator.reallocate(prior, items),
+        let allocation = match session {
+            Some(session) => allocator.reallocate(session, items),
             None => allocator.allocate(items),
         };
         let placements = allocation.to_placement_vec(graph.edge_count());
@@ -642,23 +647,32 @@ mod tests {
     }
 
     #[test]
-    fn reschedule_reuses_the_prior_allocation_when_it_fits() {
+    fn reschedule_through_a_session_matches_cold_schedules() {
         let g = examples::fork_join(24);
         let cfg = PimConfig::builder(8).per_pe_cache_units(4).build().unwrap();
         let healthy = ParaConvScheduler::new(cfg.clone()).schedule(&g, 4).unwrap();
-        // Same capacity: the prior allocation fits and is reused, so
-        // the cached set is identical.
+        // Same capacity: the session re-solve reuses every DP row and
+        // the outcome is byte-identical to the cold schedule.
+        let mut session = paraconv_alloc::IncrementalDp::new();
         let again = ParaConvScheduler::new(cfg.clone())
-            .reschedule(&g, 4, &healthy.allocation)
+            .reschedule(&g, 4, &mut session)
             .unwrap();
-        assert_eq!(healthy.allocation.cached(), again.allocation.cached());
+        assert_eq!(healthy.allocation, again.allocation);
+        assert_eq!(healthy.plan, again.plan);
 
-        // Degraded capacity: the replan still validates and audits.
+        // Degraded capacity: the incremental replan must reproduce the
+        // cold solve on the surviving configuration exactly, and the
+        // plan still validates and audits.
         let degraded_cfg = cfg.degrade(&[3]).unwrap();
         assert!(degraded_cfg.total_cache_units() < cfg.total_cache_units());
         let degraded = ParaConvScheduler::new(degraded_cfg.clone())
-            .reschedule(&g, 4, &healthy.allocation)
+            .reschedule(&g, 4, &mut session)
             .unwrap();
+        let cold = ParaConvScheduler::new(degraded_cfg.clone())
+            .schedule(&g, 4)
+            .unwrap();
+        assert_eq!(degraded.allocation, cold.allocation);
+        assert_eq!(degraded.plan, cold.plan);
         for t in degraded.plan.tasks() {
             assert_ne!(t.pe, PeId::new(3), "task placed on failed PE");
         }

@@ -147,6 +147,14 @@ pub enum VerifyError {
         /// The failed PE the kernel still uses.
         pe: u32,
     },
+    /// The incremental DP session disagrees with the from-scratch
+    /// table on the same instance — the suffix-row reuse is unsound.
+    IncrementalDpDivergence {
+        /// The incremental session's optimum.
+        incremental: u64,
+        /// The from-scratch table's optimum.
+        table: u64,
+    },
     /// A static bound fell below an observed runtime high-water mark —
     /// the abstraction is unsound (this is the differential check
     /// against the simulator/auditor).
@@ -235,6 +243,10 @@ impl fmt::Display for VerifyError {
             VerifyError::AllocationExceedsOptimal { profit, optimal } => write!(
                 f,
                 "allocation claims profit {profit} above the DP optimum {optimal}"
+            ),
+            VerifyError::IncrementalDpDivergence { incremental, table } => write!(
+                f,
+                "incremental DP session optimum {incremental} diverges from the from-scratch table {table}"
             ),
             VerifyError::FailedPeUsed { pe } => write!(
                 f,

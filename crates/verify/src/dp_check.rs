@@ -10,13 +10,17 @@
 //!   greedy-by-density profit on the same instance;
 //! * **reconstruction consistency** — the backtracked item set fits
 //!   the capacity and re-sums to the table's optimum;
+//! * **incremental agreement** — an [`IncrementalDp`] session primed
+//!   at a wider capacity and re-solved at the real one lands on the
+//!   same optimum and the same reconstructed set as the table (the
+//!   suffix-row reuse the replan path depends on is sound);
 //! * **allocation soundness** — the emitted allocation fits its own
 //!   capacity and claims no more profit than the optimum (degraded
 //!   policies may claim less);
 //! * on small instances, an exhaustive subset enumeration confirms the
 //!   optimum exactly.
 
-use paraconv_alloc::{brute_force_max_profit, sort_by_deadline, AllocItem, DpTable};
+use paraconv_alloc::{brute_force_max_profit, sort_by_deadline, AllocItem, DpTable, IncrementalDp};
 use paraconv_graph::TaskGraph;
 use paraconv_pim::{CostModel, PimConfig};
 use paraconv_retime::minimal_relative_retiming;
@@ -96,6 +100,20 @@ pub fn check_dp_invariants(
             rebuilt_profit: rebuilt,
             used,
             capacity,
+        });
+    }
+
+    // The incremental session must agree with the table it shares a
+    // recurrence with. Priming at a wider capacity first forces the
+    // re-solve through the suffix-row-reuse path the degraded replan
+    // relies on, not a cold fill in disguise.
+    let mut session = IncrementalDp::new();
+    session.resolve(&competing, capacity.saturating_add(1));
+    session.resolve(&competing, capacity);
+    if session.max_profit() != dp_max || session.reconstruct() != chosen {
+        return Err(VerifyError::IncrementalDpDivergence {
+            incremental: session.max_profit(),
+            table: dp_max,
         });
     }
 

@@ -129,6 +129,20 @@ fn assert_fail_stop_recovers(name: &str, graph: &TaskGraph, pes: usize, iters: u
     // future behavior change in the runner cannot silently drop it.
     verify_outcome(graph, &chaos.outcome, &chaos.config)
         .unwrap_or_else(|e| panic!("{name}: degraded plan fails static verification: {e}"));
+    // The replan came from the persistent incremental-DP session; a
+    // cold scheduler on the degraded config must reproduce the same
+    // allocation and plan bit for bit.
+    let cold = paraconv::sched::ParaConvScheduler::new(chaos.config.clone())
+        .schedule(graph, iters)
+        .unwrap_or_else(|e| panic!("{name}: cold degraded solve failed: {e}"));
+    assert_eq!(
+        cold.allocation, chaos.outcome.allocation,
+        "{name}: incremental replan allocation diverged from a cold solve"
+    );
+    assert_eq!(
+        cold.plan, chaos.outcome.plan,
+        "{name}: incremental replan plan diverged from a cold solve"
+    );
 }
 
 #[test]

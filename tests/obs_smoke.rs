@@ -7,6 +7,8 @@
 
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 
+use paraconv::alloc::{sort_by_deadline, AllocItem, IncrementalDp};
+use paraconv::graph::EdgeId;
 use paraconv::obs;
 use paraconv::pim::{plan_chrome_trace, PimConfig};
 use paraconv::sweep::{self, SweepPoint};
@@ -31,11 +33,43 @@ fn points() -> Vec<SweepPoint> {
         .collect()
 }
 
+/// A deterministic incremental-DP workload: prime a session, then
+/// re-solve two one-item perturbations. Runs single-threaded after
+/// the sweep so the session counters (`dp.incremental_hits`,
+/// `dp.rows_reused`) land identically in every snapshot.
+fn drive_incremental_dp() {
+    let items = sort_by_deadline(
+        (0..32u32)
+            .map(|i| {
+                AllocItem::new(
+                    EdgeId::new(i),
+                    1 + u64::from(i) % 5,
+                    u64::from(i) % 7,
+                    u64::from(i * 3) % 40,
+                )
+            })
+            .collect(),
+    );
+    let last = *items.last().unwrap();
+    let mut perturbed = items.clone();
+    *perturbed.last_mut().unwrap() = AllocItem::new(
+        last.edge(),
+        last.space(),
+        last.delta_r() + 1,
+        last.deadline(),
+    );
+    let mut session = IncrementalDp::new();
+    session.resolve(&items, 64);
+    session.resolve(&perturbed, 64);
+    session.resolve(&items, 64);
+}
+
 /// Runs the sweep at one worker count and returns the exported JSONL.
 fn sweep_jsonl(jobs: usize) -> String {
     obs::reset();
     obs::enable();
     sweep::compare_all_with(&points(), jobs).unwrap();
+    drive_incremental_dp();
     obs::disable();
     let snapshot = obs::snapshot();
     obs::reset();
@@ -48,6 +82,14 @@ fn metrics_identical_across_worker_counts() {
     let sequential = sweep_jsonl(1);
     let parallel = sweep_jsonl(4);
     assert!(!sequential.is_empty());
+    // The incremental-DP session and batched-replay counters must be
+    // part of the identity comparison, not just the legacy set.
+    for name in ["dp.incremental_hits", "dp.rows_reused", "sim.batched_steps"] {
+        assert!(
+            sequential.contains(name),
+            "snapshot covers the `{name}` counter"
+        );
+    }
     assert_eq!(
         sequential, parallel,
         "merged metrics must not depend on how work was split"

@@ -2,12 +2,15 @@
 //!
 //! The build environment has no registry access, so this vendored
 //! crate provides the subset the workspace actually uses: a strict
-//! recursive-descent JSON parser into a [`Value`] tree plus the
-//! accessor surface (`as_str`, `as_u64`, `get`, indexing) the
-//! observability smoke tests and the perf-baseline comparison rely on.
-//! Serialization, `#[derive(Serialize)]` integration and the
-//! `json!` macro are intentionally out of scope — the workspace writes
-//! JSON by hand and only needs to *read* it back.
+//! recursive-descent JSON parser into a [`Value`] tree, the accessor
+//! surface (`as_str`, `as_u64`, `get`, indexing) the observability
+//! smoke tests and the perf-baseline comparison rely on, and a
+//! [`Value`] serializer ([`to_string`] / [`to_string_pretty`]) used by
+//! the perf-baseline binary to emit its benchmark reports. Objects are
+//! `BTreeMap`s, so serialized member order is alphabetical and
+//! deterministic. `#[derive(Serialize)]` integration and the `json!`
+//! macro remain out of scope — the workspace builds [`Value`] trees
+//! explicitly.
 
 #![forbid(unsafe_code)]
 
@@ -70,6 +73,52 @@ impl Number {
     #[must_use]
     pub fn as_f64(&self) -> f64 {
         self.float
+    }
+
+    /// An exact unsigned integer number.
+    #[must_use]
+    pub fn from_u64(v: u64) -> Number {
+        Number {
+            int: i64::try_from(v).ok(),
+            uint: Some(v),
+            float: v as f64,
+        }
+    }
+
+    /// An exact signed integer number.
+    #[must_use]
+    pub fn from_i64(v: i64) -> Number {
+        Number {
+            int: Some(v),
+            uint: u64::try_from(v).ok(),
+            float: v as f64,
+        }
+    }
+
+    /// A float number; `None` for NaN or infinities, which JSON cannot
+    /// represent (mirrors the real crate's `Number::from_f64`).
+    #[must_use]
+    pub fn from_f64(v: f64) -> Option<Number> {
+        v.is_finite().then_some(Number {
+            int: None,
+            uint: None,
+            float: v,
+        })
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Integer views serialize exactly; pure floats use Rust's
+        // shortest round-tripping repr, which is valid JSON for every
+        // finite value.
+        if let Some(u) = self.uint {
+            write!(f, "{u}")
+        } else if let Some(i) = self.int {
+            write!(f, "{i}")
+        } else {
+            write!(f, "{}", self.float)
+        }
     }
 }
 
@@ -159,6 +208,154 @@ impl Value {
             Value::Array(a) => a.get(index),
             _ => None,
         }
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => {
+                use fmt::Write as _;
+                let _ = write!(out, "{n}");
+            }
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent.map(|d| d + 1));
+                    item.write(out, indent.map(|d| d + 1));
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent.map(|d| d + 1));
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent.map(|d| d + 1));
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>) {
+    if let Some(depth) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Compact serialization (no whitespace), like the real crate's
+/// `serde_json::to_string` on a `Value`.
+#[must_use]
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    value.write(&mut out, None);
+    out
+}
+
+/// Pretty serialization with two-space indentation, like the real
+/// crate's `serde_json::to_string_pretty` on a `Value`.
+#[must_use]
+pub fn to_string_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    value.write(&mut out, Some(0));
+    out
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_string(self))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Number(Number::from_u64(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::Number(Number::from_u64(v as u64))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Number(Number::from_i64(v))
+    }
+}
+
+/// Converts through [`Number::from_f64`]; non-finite floats become
+/// `null`, the same coercion the real crate's `json!` macro applies.
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Number::from_f64(v).map_or(Value::Null, Value::Number)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
     }
 }
 
@@ -503,5 +700,62 @@ mod tests {
         let err = from_str("[1, x]").unwrap_err();
         assert_eq!(err.offset(), 4);
         assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn serializes_compact() {
+        let mut map = Map::new();
+        map.insert("b".into(), Value::from(2.5));
+        map.insert("a".into(), Value::from(1u64));
+        map.insert(
+            "c".into(),
+            Value::Array(vec![Value::Null, Value::from(true), Value::from("x")]),
+        );
+        let v = Value::Object(map);
+        // BTreeMap keys come out alphabetically regardless of insertion
+        // order, so output is deterministic.
+        assert_eq!(to_string(&v), r#"{"a":1,"b":2.5,"c":[null,true,"x"]}"#);
+        assert_eq!(v.to_string(), to_string(&v));
+    }
+
+    #[test]
+    fn serializes_pretty() {
+        let mut inner = Map::new();
+        inner.insert("k".into(), Value::from(7i64));
+        let mut map = Map::new();
+        map.insert("obj".into(), Value::Object(inner));
+        map.insert("arr".into(), Value::Array(vec![Value::from(1u64)]));
+        map.insert("empty".into(), Value::Object(Map::new()));
+        let pretty = to_string_pretty(&Value::Object(map));
+        assert_eq!(
+            pretty,
+            "{\n  \"arr\": [\n    1\n  ],\n  \"empty\": {},\n  \"obj\": {\n    \"k\": 7\n  }\n}"
+        );
+    }
+
+    #[test]
+    fn serialization_roundtrips_through_the_parser() {
+        let doc = r#"{"a":[1,2,{"b":"c\nd"}],"big":18446744073709551615,"f":0.014046,"n":-7,"z":null}"#;
+        let v = from_str(doc).unwrap();
+        assert_eq!(to_string(&v), doc);
+        assert_eq!(from_str(&to_string_pretty(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::from("quote\" slash\\ tab\t ctrl\u{1} nl\n");
+        let s = to_string(&v);
+        assert_eq!(s, "\"quote\\\" slash\\\\ tab\\t ctrl\\u0001 nl\\n\"");
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn number_forms_serialize_exactly() {
+        assert_eq!(to_string(&Value::from(u64::MAX)), "18446744073709551615");
+        assert_eq!(to_string(&Value::from(i64::MIN)), "-9223372036854775808");
+        assert_eq!(to_string(&Value::from(0.25)), "0.25");
+        // Non-finite floats cannot appear in JSON; they coerce to null.
+        assert_eq!(to_string(&Value::from(f64::NAN)), "null");
+        assert_eq!(to_string(&Value::from(f64::INFINITY)), "null");
     }
 }
