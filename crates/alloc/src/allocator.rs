@@ -98,6 +98,35 @@ impl CacheAllocation {
         }
         v
     }
+
+    /// Iterates over every decided `(edge, placement)` pair, in the
+    /// map's internal (unspecified) order — serializers should sort.
+    pub fn placements(&self) -> impl Iterator<Item = (EdgeId, Placement)> + '_ {
+        self.placements.iter().map(|(&e, &p)| (e, p))
+    }
+
+    /// Rebuilds an allocation from its recorded parts, as stored in a
+    /// plan artifact.
+    ///
+    /// No optimality or capacity feasibility is implied: importers
+    /// must re-check through the verifier gate (the DP-invariant and
+    /// occupancy rules do) before trusting the result.
+    #[must_use]
+    pub fn from_parts(
+        placements: Vec<(EdgeId, Placement)>,
+        cached: Vec<EdgeId>,
+        total_profit: u64,
+        used_capacity: u64,
+        capacity: u64,
+    ) -> Self {
+        CacheAllocation {
+            placements: placements.into_iter().collect(),
+            cached,
+            total_profit,
+            used_capacity,
+            capacity,
+        }
+    }
 }
 
 /// The §3.3 allocator.

@@ -11,9 +11,10 @@
 //! and decision bits of its last solve and exploits two structural
 //! facts of the recurrence:
 //!
-//! * **row suffixes** — row `m` depends only on rows `< m`, so when a
-//!   new item list shares a prefix with the previous one, the shared
-//!   rows are reused verbatim and only the suffix is refilled;
+//! * **row suffixes** — row `m` depends only on value row `m` and item
+//!   `m`, so shared-prefix rows are reused verbatim, and once a
+//!   recomputed row converges back onto its stored value, every later
+//!   row whose item is unchanged is reused too;
 //! * **column prefixes** — a table filled at capacity `S` contains the
 //!   table for every capacity `s ≤ S` as its first `s + 1` columns, so
 //!   a pure capacity move within the stored width costs *zero* cell
@@ -88,14 +89,19 @@ impl IncrementalDp {
     /// Reuse, from cheapest to priciest:
     ///
     /// * same items, `capacity` within the stored width → zero refill;
-    /// * shared item prefix → only suffix rows refill;
+    /// * shared item prefix → suffix rows refill, and refilling stops
+    ///   early again wherever a recomputed value row converges back
+    ///   onto its stored bytes and the following items are unchanged
+    ///   (multi-item perturbations no longer force refilling every row
+    ///   past the first moved item);
     /// * `capacity` above every capacity seen so far → full refill at
     ///   the wider row (the stored rows are too narrow to extend).
     ///
     /// Observability: a full (re)fill counts as `dp.fills`; a reusing
-    /// resolve counts as `dp.incremental_hits` and adds the reused row
-    /// count to `dp.rows_reused`. Both paths add their actually
-    /// computed cells to `dp.cells_filled`.
+    /// resolve counts as `dp.incremental_hits` and adds *every* reused
+    /// row — shared prefix and converged tail alike — to
+    /// `dp.rows_reused`. Both paths add their actually computed cells
+    /// to `dp.cells_filled`.
     pub fn resolve(&mut self, items: &[AllocItem], capacity: u64) {
         let needed = capacity as usize + 1;
         if self.cols == 0 || needed > self.cols {
@@ -125,30 +131,52 @@ impl IncrementalDp {
         }
     }
 
-    /// Refills only the rows past the longest common item prefix, at
-    /// the stored row width.
+    /// Refills only the rows the perturbation actually dirtied, at the
+    /// stored row width.
+    ///
+    /// Row `m + 1` of the recurrence is a pure function of value row
+    /// `m` and item `m`, so a stored row stays valid as long as its
+    /// inputs do: the shared item prefix is reused verbatim, and when
+    /// a recomputed row lands byte-identical on the stored one the
+    /// refill goes *clean* again and skips forward to the next changed
+    /// item. Multi-item structural perturbations therefore no longer
+    /// pay for every row past the first moved item.
     fn refill_suffix(&mut self, items: &[AllocItem]) {
         let _span = paraconv_obs::span("alloc.dp.resolve", "alloc");
         let n = items.len();
-        let prefix = self
-            .items
-            .iter()
-            .zip(items)
-            .take_while(|(stored, new)| stored == new)
-            .count();
-        if prefix > 0 {
-            paraconv_obs::counter_add("dp.incremental_hits", 1);
-            paraconv_obs::counter_add("dp.rows_reused", prefix as u64);
-        }
-        let refilled = (n - prefix) as u64 * self.cols as u64;
-        if refilled > 0 {
-            paraconv_obs::counter_add("dp.cells_filled", refilled);
-        }
-        self.items = items.to_vec();
-        self.rows.resize((n + 1) * self.cols, 0);
+        let cols = self.cols;
+        let old_items = std::mem::replace(&mut self.items, items.to_vec());
+        self.rows.resize((n + 1) * cols, 0);
         self.bits.resize(n * self.words_per_row, 0);
-        for m in prefix..n {
+        let mut stale = vec![0u64; cols];
+        let mut dirty = false;
+        let mut reused = 0u64;
+        let mut recomputed = 0u64;
+        for (m, new_item) in items.iter().enumerate() {
+            if !dirty && old_items.get(m) == Some(new_item) {
+                // Value row m and item m both match the stored solve,
+                // so value row m + 1 and bit row m are already right.
+                reused += 1;
+                continue;
+            }
+            // Rows are visited in order, so row m + 1 still holds the
+            // previous solve's bytes (when it had that many rows).
+            let had_next = m < old_items.len();
+            if had_next {
+                // lint: allow(unchecked-index) — resolve() sized rows for n + 1 rows and m < n
+                stale.copy_from_slice(&self.rows[(m + 1) * cols..(m + 2) * cols]);
+            }
             self.fill_row(m);
+            recomputed += 1;
+            // lint: allow(unchecked-index) — same row bounds as the stash above
+            dirty = !had_next || self.rows[(m + 1) * cols..(m + 2) * cols] != stale[..];
+        }
+        if reused > 0 {
+            paraconv_obs::counter_add("dp.incremental_hits", 1);
+            paraconv_obs::counter_add("dp.rows_reused", reused);
+        }
+        if recomputed > 0 {
+            paraconv_obs::counter_add("dp.cells_filled", recomputed * cols as u64);
         }
     }
 
@@ -309,6 +337,35 @@ mod tests {
             session.resolve(&items, 8);
             assert_matches_cold(&session, &items, 8);
         }
+    }
+
+    #[test]
+    fn multi_item_perturbations_stay_exact() {
+        let mut items = vec![
+            item(0, 2, 3),
+            item(1, 3, 5),
+            item(2, 1, 2),
+            item(3, 4, 7),
+            item(4, 2, 4),
+            item(5, 3, 6),
+        ];
+        let mut session = IncrementalDp::new();
+        session.resolve(&items, 9);
+        // Move several items at once, with untouched rows between and
+        // after them — the batch shape a degraded-mode replan emits.
+        items[1] = item(1, 2, 9);
+        items[4] = item(4, 1, 1);
+        session.resolve(&items, 9);
+        assert_matches_cold(&session, &items, 9);
+        // A batch whose edits all converge immediately (oversized items
+        // copy their row through in both the old and new solve).
+        items[0] = item(0, 50, 8);
+        items[3] = item(3, 60, 2);
+        session.resolve(&items, 9);
+        items[0] = item(0, 70, 1);
+        items[3] = item(3, 80, 5);
+        session.resolve(&items, 9);
+        assert_matches_cold(&session, &items, 9);
     }
 
     #[test]

@@ -107,27 +107,39 @@ proptest! {
     #[test]
     fn incremental_resolve_matches_cold_fill(
         items in arb_items(12),
-        steps in proptest::collection::vec((0usize..12, 0u8..4, 0u64..50, 0u64..30), 1..12),
+        steps in proptest::collection::vec(
+            (proptest::collection::vec((0usize..12, 0u8..4, 0u64..50), 1..5), 0u64..30),
+            1..10,
+        ),
     ) {
         // One long-lived session re-solves after every perturbation
-        // (item field edits, deadline moves that re-sort, capacity
-        // changes) and must stay bit-for-bit equal to a from-scratch
-        // fill: same optimum, same reconstruction.
+        // batch — several item field edits and deadline moves applied
+        // *together*, the way a degraded-mode replan moves many items
+        // at once, plus capacity changes — and must stay bit-for-bit
+        // equal to a from-scratch fill: same optimum, same
+        // reconstruction. Multi-edit batches exercise the
+        // convergence-aware refill (skipped rows between and after
+        // moved items), not just the shared-prefix path.
         let mut current = sort_by_deadline(items);
         let mut session = IncrementalDp::new();
-        for (idx, field, value, capacity) in steps {
-            if !current.is_empty() {
+        for (edits, capacity) in steps {
+            let mut resort = false;
+            for (idx, field, value) in edits {
+                if current.is_empty() {
+                    break;
+                }
                 let i = idx % current.len();
                 let it = current[i];
                 current[i] = match field {
                     0 => AllocItem::new(it.edge(), 1 + value % 8, it.delta_r(), it.deadline()),
                     1 => AllocItem::new(it.edge(), it.space(), value % 4, it.deadline()),
                     2 => AllocItem::new(it.edge(), it.space(), it.delta_r(), value),
-                    _ => it, // capacity-only step
+                    _ => it, // identity edit: capacity-only pressure
                 };
-                if field == 2 {
-                    current = sort_by_deadline(current);
-                }
+                resort |= field == 2;
+            }
+            if resort {
+                current = sort_by_deadline(current);
             }
             session.resolve(&current, capacity);
             let cold = DpTable::fill(&current, capacity);

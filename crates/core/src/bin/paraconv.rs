@@ -13,17 +13,24 @@
 //! $ paraconv table1 --quick --trace t.json --metrics m.jsonl
 //! $ paraconv stats cat --pes 16
 //! $ paraconv chaos cat --seed 42 --fault-rate 100 --kill-pe 1@40 --json
+//! $ paraconv plan export cat --out cat.plan
+//! $ paraconv plan export --all --zoo --dir plans --registry .registry
+//! $ paraconv plan import cat.plan --run
+//! $ paraconv plan diff cat.plan other.plan
 //! ```
 //!
-//! Exit codes: `0` success, `1` runtime failure (a run that errored),
-//! `2` usage error (unknown subcommand, malformed or unknown flags —
-//! usage is printed to stderr).
+//! Exit codes: `0` success, `1` runtime failure (a run that errored,
+//! a rejected artifact, plans that differ), `2` usage error (unknown
+//! subcommand, malformed or unknown flags — usage is printed to
+//! stderr).
 
 use std::process::ExitCode;
 
 use paraconv::fault::FaultSpec;
 use paraconv::graph::TaskGraph;
 use paraconv::pim::PimConfig;
+use paraconv::registry::{self as plan_registry, PlanBundle, PlanPolicy, Registry};
+use paraconv::sched::{AllocationPolicy, ParaConvScheduler};
 use paraconv::synth::benchmarks;
 use paraconv::{experiments, obs, ParaConv};
 
@@ -71,6 +78,10 @@ const USAGE: &str = "usage:
   paraconv table1 [opts]                Table 1 (SPARTA vs Para-CONV sweep)
   paraconv stats <benchmark> [opts]     run compare and print its metrics
   paraconv chaos <benchmark> [opts]     deterministic fault campaign + recovery
+  paraconv plan export <benchmark>|--all [--zoo] [opts]
+                                        export verified plan artifact(s)
+  paraconv plan import <file> [opts]    decode + verify-gate an artifact
+  paraconv plan diff <a> <b>            compare two plan artifacts
 
 options:
   --pes <n>       processing engines (default 16; table1 sweeps 16/32/64)
@@ -86,7 +97,15 @@ chaos options:
   --seed <n>          campaign seed (default 0; same seed => same report)
   --fault-rate <bp>   vault/congestion/corruption rate in basis points (0-10000)
   --kill-pe <id>@<c>  fail-stop PE <id> at cycle <c> (repeatable)
-  --json              machine-readable result on stdout";
+  --json              machine-readable result on stdout
+
+plan options:
+  --out <path>      export: artifact path (default <benchmark>.plan);
+                    import: re-emit the canonical artifact bytes here
+  --dir <path>      export --all: output directory (default plans/)
+  --registry <dir>  content-addressed store to consult and populate
+  --key <hex>       import: fetch by registry key instead of a file
+  --run             import: simulate the plan after the verifier gate";
 
 /// Parsed command options shared by the scheduling subcommands.
 struct Opts {
@@ -406,8 +425,327 @@ fn run(args: &[String]) -> Result<(), CliError> {
             }
             Ok(())
         }
+        "plan" => plan_command(args),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
+}
+
+/// Dispatches `paraconv plan <export|import|diff>`.
+fn plan_command(args: &[String]) -> Result<(), CliError> {
+    let sub = args.get(1).ok_or_else(|| {
+        CliError::Usage("plan needs a subcommand: export, import, or diff".into())
+    })?;
+    match sub.as_str() {
+        "export" => plan_export(args),
+        "import" => plan_import(args),
+        "diff" => plan_diff(args),
+        other => Err(CliError::Usage(format!(
+            "unknown plan subcommand `{other}`"
+        ))),
+    }
+}
+
+/// Parsed `plan export` / `plan import` options.
+struct PlanOpts {
+    /// Positional arguments (benchmark name, or import/diff paths).
+    positional: Vec<String>,
+    all: bool,
+    zoo: bool,
+    run: bool,
+    pes: usize,
+    iters: u64,
+    out: Option<String>,
+    dir: Option<String>,
+    registry: Option<String>,
+    key: Option<String>,
+}
+
+/// Parses `plan` flags; `args[0]` is `plan` and `args[1]` the
+/// subcommand.
+fn plan_options(args: &[String]) -> Result<PlanOpts, CliError> {
+    let mut opts = PlanOpts {
+        positional: Vec::new(),
+        all: false,
+        zoo: false,
+        run: false,
+        pes: 16,
+        iters: 50,
+        out: None,
+        dir: None,
+        registry: None,
+        key: None,
+    };
+    let mut i = 2;
+    while i < args.len() {
+        let flag = &args[i];
+        match flag.as_str() {
+            "--all" => {
+                opts.all = true;
+                i += 1;
+                continue;
+            }
+            "--zoo" => {
+                opts.zoo = true;
+                i += 1;
+                continue;
+            }
+            "--run" => {
+                opts.run = true;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if !flag.starts_with("--") {
+            opts.positional.push(flag.clone());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+        match flag.as_str() {
+            "--pes" => {
+                opts.pes = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --pes `{value}`")))?;
+            }
+            "--iters" => {
+                opts.iters = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --iters `{value}`")))?;
+            }
+            "--out" => opts.out = Some(value.clone()),
+            "--dir" => opts.dir = Some(value.clone()),
+            "--registry" => opts.registry = Some(value.clone()),
+            "--key" => opts.key = Some(value.clone()),
+            other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
+        }
+        i += 2;
+    }
+    Ok(opts)
+}
+
+/// Lowercases a target name into a filesystem-safe slug: alphanumeric
+/// runs joined by single dashes.
+fn slugify(name: &str) -> String {
+    let mut out = String::new();
+    let mut pending_dash = false;
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            if pending_dash && !out.is_empty() {
+                out.push('-');
+            }
+            pending_dash = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            pending_dash = true;
+        }
+    }
+    out
+}
+
+/// Opens the registry named by `--registry`, if any.
+fn open_registry(opts: &PlanOpts) -> Result<Option<Registry>, CliError> {
+    opts.registry
+        .as_ref()
+        .map(|dir| {
+            Registry::open(dir)
+                .map_err(|e| CliError::Runtime(format!("cannot open registry `{dir}`: {e}")))
+        })
+        .transpose()
+}
+
+fn plan_export(args: &[String]) -> Result<(), CliError> {
+    let opts = plan_options(args)?;
+    if opts.positional.len() > 1 {
+        return Err(CliError::Usage(
+            "plan export takes at most one benchmark name".into(),
+        ));
+    }
+    let named = opts.positional.first();
+    if named.is_none() && !opts.all {
+        return Err(CliError::Usage(
+            "plan export needs a benchmark name or --all".into(),
+        ));
+    }
+    if named.is_some() && (opts.all || opts.zoo) {
+        return Err(CliError::Usage(
+            "--all/--zoo cannot be combined with a benchmark name".into(),
+        ));
+    }
+
+    let mut targets: Vec<(String, TaskGraph)> = Vec::new();
+    if let Some(name) = named {
+        targets.push((name.clone(), load(Some(name))?));
+    } else {
+        for b in benchmarks::all() {
+            targets.push((b.name().to_owned(), b.graph().map_err(|e| e.to_string())?));
+        }
+        if opts.zoo {
+            let zoo = paraconv::cnn::zoo::all().map_err(|e| e.to_string())?;
+            for (class, network) in &zoo {
+                let graph =
+                    paraconv::cnn::partition(network, paraconv::cnn::PartitionConfig::default())
+                        .map_err(|e| e.to_string())?;
+                targets.push((format!("{class}/{}", network.name()), graph));
+            }
+        }
+    }
+
+    let cfg = config(opts.pes)?;
+    let policy = PlanPolicy {
+        allocation: AllocationPolicy::DynamicProgram,
+        iterations: opts.iters,
+    };
+    let registry = open_registry(&opts)?;
+    if targets.len() > 1 || opts.all {
+        let dir = opts.dir.clone().unwrap_or_else(|| "plans".to_owned());
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create output directory `{dir}`: {e}"))?;
+    }
+    let count = targets.len();
+    for (name, graph) in targets {
+        let key = plan_registry::request_key(&graph, &cfg, &policy);
+        let cached = match &registry {
+            Some(reg) => reg
+                .get(&key)
+                .map_err(|e| format!("registry read failed for `{name}`: {e}"))?,
+            None => None,
+        };
+        let (bytes, source) = match cached {
+            Some(bytes) => (bytes, "registry hit"),
+            None => {
+                let outcome = ParaConvScheduler::new(cfg.clone())
+                    .with_policy(policy.allocation)
+                    .schedule(&graph, opts.iters)
+                    .map_err(|e| format!("{name}: {e}"))?;
+                paraconv::verify::verify_outcome(&graph, &outcome, &cfg)
+                    .map_err(|e| format!("{name}: refusing to export an unprovable plan: {e}"))?;
+                let bundle = PlanBundle {
+                    graph,
+                    config: cfg.clone(),
+                    policy,
+                    outcome,
+                };
+                let bytes = bundle.encode();
+                if let Some(reg) = &registry {
+                    reg.put(&key, &bytes)
+                        .map_err(|e| format!("registry write failed for `{name}`: {e}"))?;
+                }
+                (bytes, "scheduled")
+            }
+        };
+        let path = if opts.all {
+            let dir = opts.dir.as_deref().unwrap_or("plans");
+            format!("{dir}/{}.plan", slugify(&name))
+        } else {
+            opts.out
+                .clone()
+                .unwrap_or_else(|| format!("{}.plan", slugify(&name)))
+        };
+        std::fs::write(&path, &bytes)
+            .map_err(|e| format!("cannot write artifact to `{path}`: {e}"))?;
+        println!("{name}: {source}, key {key} -> {path}");
+    }
+    println!("{count} plan artifact(s) exported");
+    Ok(())
+}
+
+fn plan_import(args: &[String]) -> Result<(), CliError> {
+    let opts = plan_options(args)?;
+    if opts.positional.len() > 1 {
+        return Err(CliError::Usage("plan import takes exactly one file".into()));
+    }
+    let bytes = match (opts.positional.first(), &opts.key) {
+        (Some(path), None) => std::fs::read(path)
+            .map_err(|e| CliError::Runtime(format!("cannot read `{path}`: {e}")))?,
+        (None, Some(key)) => {
+            let registry = open_registry(&opts)?.ok_or_else(|| {
+                CliError::Usage("--key needs --registry <dir> to fetch from".into())
+            })?;
+            registry
+                .get(key)
+                .map_err(|e| CliError::Runtime(e.to_string()))?
+                .ok_or_else(|| CliError::Runtime(format!("key {key} not in registry")))?
+        }
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "plan import takes a file or --key, not both".into(),
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::Usage(
+                "plan import needs an artifact file or --registry/--key".into(),
+            ))
+        }
+    };
+
+    // Untrusted-producer pipeline: typed decode, then the mandatory
+    // verifier gate. Nothing downstream (simulation, re-export) runs
+    // unless both pass.
+    let artifact = plan_registry::decode(&bytes).map_err(|e| {
+        obs::counter_add("registry.import_rejects", 1);
+        CliError::Runtime(format!("import rejected: {e}"))
+    })?;
+    let bundle = &artifact.bundle;
+    let report = paraconv::verify::verify_outcome(&bundle.graph, &bundle.outcome, &bundle.config)
+        .map_err(|e| {
+        obs::counter_add("registry.verify_rejects", 1);
+        CliError::Runtime(format!("imported plan failed the verifier gate: {e}"))
+    })?;
+
+    println!(
+        "imported `{}`: {} nodes, {} IPRs, {} PEs, {} iterations",
+        bundle.graph.name(),
+        bundle.graph.node_count(),
+        bundle.graph.edge_count(),
+        bundle.config.num_pes(),
+        bundle.policy.iterations
+    );
+    println!(
+        "producer {} (format v{}), key {}",
+        artifact.header.producer, artifact.header.format, artifact.header.key
+    );
+    println!("verifier gate: PROVED");
+    println!("{report}");
+
+    if let Some(path) = &opts.out {
+        std::fs::write(path, bundle.encode())
+            .map_err(|e| format!("cannot write canonical artifact to `{path}`: {e}"))?;
+    }
+    if opts.run {
+        let report = paraconv::pim::simulate(&bundle.graph, &bundle.outcome.plan, &bundle.config)
+            .map_err(|e| format!("simulation of the imported plan failed: {e}"))?;
+        println!("{report}");
+    }
+    Ok(())
+}
+
+fn plan_diff(args: &[String]) -> Result<(), CliError> {
+    let opts = plan_options(args)?;
+    let [a_path, b_path] = opts.positional.as_slice() else {
+        return Err(CliError::Usage(
+            "plan diff takes exactly two artifact files".into(),
+        ));
+    };
+    let decode_file = |path: &String| -> Result<plan_registry::PlanArtifact, CliError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| CliError::Runtime(format!("cannot read `{path}`: {e}")))?;
+        plan_registry::decode(&bytes)
+            .map_err(|e| CliError::Runtime(format!("`{path}` rejected: {e}")))
+    };
+    let a = decode_file(a_path)?;
+    let b = decode_file(b_path)?;
+    if a.bundle.encode() == b.bundle.encode() {
+        println!("plans are identical (key {})", a.header.key);
+        return Ok(());
+    }
+    let sections = a.bundle.diff_sections(&b.bundle);
+    Err(CliError::Runtime(format!(
+        "plans differ in: {}",
+        sections.join(", ")
+    )))
 }
 
 /// Parsed `chaos` subcommand options.

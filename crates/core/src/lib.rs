@@ -115,3 +115,7 @@ pub use paraconv_fault as fault;
 /// Static plan verification and the project lint engine (re-export of
 /// `paraconv-verify`).
 pub use paraconv_verify as verify;
+
+/// Versioned plan artifacts and the content-addressed registry
+/// (re-export of `paraconv-registry`).
+pub use paraconv_registry as registry;

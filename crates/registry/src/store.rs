@@ -1,0 +1,270 @@
+//! The on-disk content-addressed registry.
+//!
+//! Artifacts are filed under `objects/<first 2 hex>/<remaining 62
+//! hex>` of their registry key (SHA-256 of the canonical request —
+//! graph, config, policy), the same sharding scheme git uses so no
+//! single directory grows unboundedly. Writes are atomic: bytes land
+//! in a temporary file in the same directory and are `rename`d into
+//! place, so a concurrent reader sees either the complete artifact or
+//! nothing — never a torn write. Puts are idempotent by construction:
+//! the key is a content hash, so re-putting the same request simply
+//! re-lands identical bytes.
+//!
+//! Observability: `registry.hits`, `registry.misses`, and
+//! `registry.puts` counters are recorded through `paraconv-obs` (a
+//! single relaxed atomic load when the recorder is disabled).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::error::ArtifactError;
+
+/// A content-addressed artifact store rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    root: PathBuf,
+}
+
+/// Returns `true` for a well-formed registry key: exactly 64 lowercase
+/// hex characters.
+#[must_use]
+pub fn is_valid_key(key: &str) -> bool {
+    key.len() == 64
+        && key
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+impl Registry {
+    /// Opens (creating if necessary) a registry rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] if the directory cannot be
+    /// created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Registry, ArtifactError> {
+        let root = root.into();
+        fs::create_dir_all(root.join("objects"))?;
+        Ok(Registry { root })
+    }
+
+    /// The registry's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The sharded object path for `key` (assumes a valid key).
+    fn object_path(&self, key: &str) -> PathBuf {
+        self.root.join("objects").join(&key[..2]).join(&key[2..])
+    }
+
+    fn check_key(key: &str) -> Result<(), ArtifactError> {
+        if is_valid_key(key) {
+            Ok(())
+        } else {
+            Err(ArtifactError::schema(
+                "key",
+                format!("expected 64 lowercase hex characters, got `{key}`"),
+            ))
+        }
+    }
+
+    /// Returns the stored artifact bytes for `key`, or `None` on a
+    /// miss. Records `registry.hits` / `registry.misses`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::SchemaMismatch`] for a malformed key
+    /// and [`ArtifactError::Io`] for any filesystem failure other than
+    /// not-found.
+    pub fn get(&self, key: &str) -> Result<Option<Vec<u8>>, ArtifactError> {
+        Self::check_key(key)?;
+        match fs::read(self.object_path(key)) {
+            Ok(bytes) => {
+                paraconv_obs::counter_add("registry.hits", 1);
+                Ok(Some(bytes))
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                paraconv_obs::counter_add("registry.misses", 1);
+                Ok(None)
+            }
+            Err(e) => Err(ArtifactError::Io(e)),
+        }
+    }
+
+    /// Returns `true` if `key` is present, without touching the
+    /// hit/miss counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::SchemaMismatch`] for a malformed key.
+    pub fn contains(&self, key: &str) -> Result<bool, ArtifactError> {
+        Self::check_key(key)?;
+        Ok(self.object_path(key).is_file())
+    }
+
+    /// Stores `bytes` under `key` atomically (write to a temporary
+    /// sibling, then rename). Idempotent: re-putting a key replaces
+    /// the object with identical bytes. Records `registry.puts`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::SchemaMismatch`] for a malformed key
+    /// and [`ArtifactError::Io`] for filesystem failures.
+    pub fn put(&self, key: &str, bytes: &[u8]) -> Result<(), ArtifactError> {
+        Self::check_key(key)?;
+        let path = self.object_path(key);
+        // lint: allow(no-unwrap) — object_path always has a parent shard dir.
+        let shard = path.parent().unwrap();
+        fs::create_dir_all(shard)?;
+        // The temp name embeds the pid so concurrent writers of the
+        // same key cannot collide mid-write; the final rename is
+        // atomic either way and both land identical bytes.
+        let tmp = shard.join(format!(".tmp-{}-{}", std::process::id(), &key[2..10]));
+        let result = (|| {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(bytes)?;
+            file.sync_all()?;
+            fs::rename(&tmp, &path)
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result?;
+        paraconv_obs::counter_add("registry.puts", 1);
+        Ok(())
+    }
+
+    /// All keys currently stored, sorted (deterministic listing for
+    /// tooling and tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] if the objects tree cannot be
+    /// read.
+    pub fn keys(&self) -> Result<Vec<String>, ArtifactError> {
+        let mut out = Vec::new();
+        let objects = self.root.join("objects");
+        for shard in fs::read_dir(&objects)? {
+            let shard = shard?;
+            if !shard.file_type()?.is_dir() {
+                continue;
+            }
+            let prefix = shard.file_name();
+            let Some(prefix) = prefix.to_str() else {
+                continue;
+            };
+            for object in fs::read_dir(shard.path())? {
+                let object = object?;
+                let name = object.file_name();
+                let Some(name) = name.to_str() else {
+                    continue;
+                };
+                let key = format!("{prefix}{name}");
+                if is_valid_key(&key) {
+                    out.push(key);
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::sha256_hex;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!(
+            "paraconv-registry-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        root
+    }
+
+    #[test]
+    fn put_get_round_trip_and_sharding() {
+        let root = temp_root("roundtrip");
+        let registry = Registry::open(&root).unwrap();
+        let key = sha256_hex(b"some request");
+        assert_eq!(registry.get(&key).unwrap(), None);
+        registry.put(&key, b"artifact bytes").unwrap();
+        assert_eq!(
+            registry.get(&key).unwrap().as_deref(),
+            Some(b"artifact bytes".as_slice())
+        );
+        assert!(registry.contains(&key).unwrap());
+        // Sharded layout: objects/<2 hex>/<62 hex>.
+        assert!(root
+            .join("objects")
+            .join(&key[..2])
+            .join(&key[2..])
+            .is_file());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn put_is_idempotent() {
+        let root = temp_root("idempotent");
+        let registry = Registry::open(&root).unwrap();
+        let key = sha256_hex(b"idempotent");
+        registry.put(&key, b"same bytes").unwrap();
+        registry.put(&key, b"same bytes").unwrap();
+        assert_eq!(
+            registry.get(&key).unwrap().as_deref(),
+            Some(b"same bytes".as_slice())
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn malformed_keys_are_rejected() {
+        let root = temp_root("badkey");
+        let registry = Registry::open(&root).unwrap();
+        for bad in [
+            "",
+            "short",
+            "ABCDEF0123456789ABCDEF0123456789ABCDEF0123456789ABCDEF0123456789", // uppercase
+            "zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz", // non-hex
+            "../../../../etc/passwd",
+        ] {
+            assert!(registry.get(bad).is_err(), "key `{bad}` accepted");
+            assert!(registry.put(bad, b"x").is_err(), "key `{bad}` accepted");
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn keys_lists_sorted() {
+        let root = temp_root("listing");
+        let registry = Registry::open(&root).unwrap();
+        let mut expected: Vec<String> = (0u8..5).map(|i| sha256_hex(&[i])).collect();
+        for key in &expected {
+            registry.put(key, key.as_bytes()).unwrap();
+        }
+        expected.sort();
+        assert_eq!(registry.keys().unwrap(), expected);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn no_tmp_files_survive_a_put() {
+        let root = temp_root("tmpclean");
+        let registry = Registry::open(&root).unwrap();
+        let key = sha256_hex(b"clean");
+        registry.put(&key, b"bytes").unwrap();
+        let shard = root.join("objects").join(&key[..2]);
+        let leftovers: Vec<_> = fs::read_dir(&shard)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

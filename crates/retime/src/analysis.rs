@@ -121,6 +121,21 @@ impl MovementAnalysis {
         Ok(MovementAnalysis { cases, period })
     }
 
+    /// Rebuilds an analysis from already-classified cases, as recorded
+    /// by a plan artifact (cases are indexed by edge id).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::ZeroPeriod`] for `period == 0`; the
+    /// per-edge latency premises are embedded in the cases themselves
+    /// (see [`RetimingCase::classify`]).
+    pub fn from_cases(cases: Vec<RetimingCase>, period: u64) -> Result<Self, AnalysisError> {
+        if period == 0 {
+            return Err(AnalysisError::ZeroPeriod);
+        }
+        Ok(MovementAnalysis { cases, period })
+    }
+
     /// The kernel period the analysis was performed for.
     #[must_use]
     pub const fn period(&self) -> u64 {

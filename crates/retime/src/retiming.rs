@@ -272,6 +272,27 @@ impl Retiming {
             .enumerate()
             .map(|(i, &v)| (NodeId::new(i as u32), v))
     }
+
+    /// The raw per-edge retiming values, indexed by edge id — the
+    /// serialization counterpart of [`node_values`](Self::node_values).
+    #[must_use]
+    pub fn edge_values_raw(&self) -> &[u64] {
+        &self.edge_values
+    }
+
+    /// Rebuilds a retiming from raw per-node and per-edge values, as
+    /// recorded by a plan artifact.
+    ///
+    /// No legality is implied: importers must re-run
+    /// [`check_legal`](Self::check_legal) (the verifier gate does)
+    /// before trusting the result.
+    #[must_use]
+    pub fn from_values(node_values: Vec<u64>, edge_values: Vec<u64>) -> Self {
+        Retiming {
+            node_values,
+            edge_values,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -217,6 +217,74 @@ impl KernelSchedule {
         copy as usize * self.node_count + node.index()
     }
 
+    /// The raw per-slot PE assignments, indexed
+    /// `copy * node_count + node` — the serialization counterpart of
+    /// [`pe_at`](Self::pe_at).
+    #[must_use]
+    pub fn pe_slots(&self) -> &[PeId] {
+        &self.pe_of
+    }
+
+    /// The raw per-slot start offsets (same indexing as
+    /// [`pe_slots`](Self::pe_slots)).
+    #[must_use]
+    pub fn start_slots(&self) -> &[u64] {
+        &self.start_of
+    }
+
+    /// The raw per-slot finish offsets (same indexing as
+    /// [`pe_slots`](Self::pe_slots)).
+    #[must_use]
+    pub fn finish_slots(&self) -> &[u64] {
+        &self.finish_of
+    }
+
+    /// Rebuilds a kernel from its recorded parts, as stored in a plan
+    /// artifact.
+    ///
+    /// Only shape is validated here (each slot vector must hold
+    /// `copies × node_count` entries and the period must be positive);
+    /// schedule legality is re-proved by the verifier gate on import.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the shape violation.
+    pub fn from_parts(
+        period: u64,
+        copies: u64,
+        node_count: usize,
+        pe_of: Vec<PeId>,
+        start_of: Vec<u64>,
+        finish_of: Vec<u64>,
+    ) -> Result<Self, String> {
+        if period == 0 {
+            return Err("kernel period must be positive".to_owned());
+        }
+        let slots = usize::try_from(copies)
+            .ok()
+            .and_then(|c| c.checked_mul(node_count))
+            .ok_or_else(|| "copies × node_count overflows".to_owned())?;
+        for (name, len) in [
+            ("pe", pe_of.len()),
+            ("start", start_of.len()),
+            ("finish", finish_of.len()),
+        ] {
+            if len != slots {
+                return Err(format!(
+                    "kernel `{name}` slots: expected copies × node_count = {slots}, got {len}"
+                ));
+            }
+        }
+        Ok(KernelSchedule {
+            period,
+            copies,
+            node_count,
+            pe_of,
+            start_of,
+            finish_of,
+        })
+    }
+
     /// The signed intra-kernel slack of an edge for one copy: the
     /// consumer's start offset minus the producer's finish offset.
     ///

@@ -127,3 +127,142 @@ fn chaos_kill_pe_reports_the_degraded_profile() {
     assert_eq!(failed[0].as_u64(), Some(1));
     assert_eq!(field("active_pes").as_u64(), Some(7));
 }
+
+// ---- plan subcommand exit-code contract -------------------------------
+
+fn plan_tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("paraconv-cli-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn plan_without_a_verb_is_a_usage_error() {
+    assert_usage_error(&["plan"]);
+}
+
+#[test]
+fn plan_with_an_unknown_verb_is_a_usage_error() {
+    assert_usage_error(&["plan", "bogus"]);
+}
+
+#[test]
+fn plan_export_without_a_target_is_a_usage_error() {
+    assert_usage_error(&["plan", "export"]);
+}
+
+#[test]
+fn plan_export_name_and_all_conflict_as_a_usage_error() {
+    assert_usage_error(&["plan", "export", "cat", "--all"]);
+}
+
+#[test]
+fn plan_flag_without_a_value_is_a_usage_error() {
+    assert_usage_error(&["plan", "export", "cat", "--out"]);
+    assert_usage_error(&["plan", "import", "--key"]);
+    assert_usage_error(&["plan", "export", "cat", "--pes", "abc"]);
+}
+
+#[test]
+fn plan_diff_needs_exactly_two_files() {
+    assert_usage_error(&["plan", "diff", "only-one.plan"]);
+    assert_usage_error(&["plan", "diff", "a.plan", "b.plan", "c.plan"]);
+}
+
+#[test]
+fn plan_import_of_a_missing_file_is_a_runtime_error() {
+    let out = paraconv(&["plan", "import", "/nonexistent/never.plan"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("usage:"), "runtime errors skip usage text");
+}
+
+#[test]
+fn plan_import_of_a_corrupt_file_is_a_runtime_error() {
+    let path = plan_tmp("corrupt.plan");
+    std::fs::write(&path, b"this is not a plan artifact\n").expect("write fixture");
+    let out = paraconv(&["plan", "import", path.to_str().expect("utf-8 path")]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+    assert!(
+        stderr.contains("import rejected"),
+        "typed rejection expected, got: {stderr}"
+    );
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+#[test]
+fn plan_export_import_diff_round_trip_succeeds() {
+    let exported = plan_tmp("cat.plan");
+    let reexported = plan_tmp("cat2.plan");
+    let out = paraconv(&[
+        "plan",
+        "export",
+        "cat",
+        "--iters",
+        "8",
+        "--out",
+        exported.to_str().expect("utf-8 path"),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "export failed: {stderr}");
+
+    let out = paraconv(&[
+        "plan",
+        "import",
+        exported.to_str().expect("utf-8 path"),
+        "--out",
+        reexported.to_str().expect("utf-8 path"),
+    ]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "import failed: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("verifier gate: PROVED"),
+        "gate must report: {stdout}"
+    );
+    assert_eq!(
+        std::fs::read(&exported).expect("exported bytes"),
+        std::fs::read(&reexported).expect("re-exported bytes"),
+        "round trip must be byte-identical"
+    );
+
+    let out = paraconv(&[
+        "plan",
+        "diff",
+        exported.to_str().expect("utf-8 path"),
+        reexported.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("identical"), "diff says: {stdout}");
+    std::fs::remove_file(&exported).expect("cleanup");
+    std::fs::remove_file(&reexported).expect("cleanup");
+}
+
+#[test]
+fn plan_diff_of_differing_plans_is_a_runtime_error() {
+    let a = plan_tmp("diff-a.plan");
+    let b = plan_tmp("diff-b.plan");
+    for (path, bench) in [(&a, "cat"), (&b, "car")] {
+        let out = paraconv(&[
+            "plan",
+            "export",
+            bench,
+            "--iters",
+            "8",
+            "--out",
+            path.to_str().expect("utf-8 path"),
+        ]);
+        assert_eq!(out.status.code(), Some(0));
+    }
+    let out = paraconv(&[
+        "plan",
+        "diff",
+        a.to_str().expect("utf-8 path"),
+        b.to_str().expect("utf-8 path"),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "differing plans exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("differ"), "diff names sections: {stderr}");
+    std::fs::remove_file(&a).expect("cleanup");
+    std::fs::remove_file(&b).expect("cleanup");
+}

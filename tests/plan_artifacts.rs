@@ -1,0 +1,310 @@
+//! End-to-end contract of the versioned plan IR and registry.
+//!
+//! Three layers:
+//!
+//! 1. **Round trip** — every benchmark and model-zoo plan survives
+//!    encode → decode → verify → re-encode *byte-identically*, with a
+//!    request key that depends only on (graph, config, policy);
+//! 2. **Hostile imports** — truncated files, flipped header bytes,
+//!    stale versions and hash-mismatched bodies all map to typed
+//!    [`ArtifactError`]s, never a panic, and a tampered-but-hash-valid
+//!    bundle is still rejected by the verifier gate;
+//! 3. **Registry** — the sharded store returns exactly the bytes it
+//!    was given and rejects path-shaped keys.
+
+use proptest::prelude::*;
+
+use paraconv::graph::TaskGraph;
+use paraconv::pim::PimConfig;
+use paraconv::registry::{
+    decode, request_key, sha256_hex, ArtifactError, PlanBundle, PlanPolicy, Registry,
+    FORMAT_VERSION, PRODUCER,
+};
+use paraconv::retime::Retiming;
+use paraconv::sched::{AllocationPolicy, ParaConvScheduler};
+use paraconv::synth::benchmarks;
+use paraconv::verify::verify_outcome;
+
+const PES: usize = 16;
+const ITERS: u64 = 8;
+
+fn config() -> PimConfig {
+    PimConfig::neurocube(PES).expect("valid config")
+}
+
+fn policy() -> PlanPolicy {
+    PlanPolicy {
+        allocation: AllocationPolicy::DynamicProgram,
+        iterations: ITERS,
+    }
+}
+
+fn cat_graph() -> TaskGraph {
+    benchmarks::by_name("cat")
+        .expect("cat exists")
+        .graph()
+        .expect("cat builds")
+}
+
+/// Schedules, verifies and bundles one plan.
+fn bundle_for(graph: TaskGraph) -> PlanBundle {
+    let cfg = config();
+    let outcome = ParaConvScheduler::new(cfg.clone())
+        .with_policy(AllocationPolicy::DynamicProgram)
+        .schedule(&graph, ITERS)
+        .expect("schedulable");
+    verify_outcome(&graph, &outcome, &cfg).expect("exported plans prove");
+    PlanBundle {
+        graph,
+        config: cfg,
+        policy: policy(),
+        outcome,
+    }
+}
+
+/// The full export → import → verify → re-export loop for one plan.
+fn assert_round_trips(name: &str, graph: TaskGraph) {
+    let bundle = bundle_for(graph);
+    let key = bundle.key();
+    assert_eq!(
+        key,
+        request_key(&bundle.graph, &bundle.config, &bundle.policy),
+        "{name}: the key must be computable from the request alone"
+    );
+    let bytes = bundle.encode();
+    let artifact = decode(&bytes).unwrap_or_else(|e| panic!("{name}: decode failed: {e}"));
+    assert_eq!(artifact.header.format, FORMAT_VERSION);
+    assert_eq!(artifact.header.producer, PRODUCER);
+    assert_eq!(artifact.header.key, key, "{name}: key drifted");
+    verify_outcome(
+        &artifact.bundle.graph,
+        &artifact.bundle.outcome,
+        &artifact.bundle.config,
+    )
+    .unwrap_or_else(|e| panic!("{name}: imported plan failed the gate: {e}"));
+    assert_eq!(
+        artifact.bundle.encode(),
+        bytes,
+        "{name}: re-encode is not byte-identical"
+    );
+    // Deterministic: a second export of the same request matches too.
+    assert_eq!(bundle.encode(), bytes, "{name}: encode is not a function");
+}
+
+#[test]
+fn every_benchmark_round_trips_byte_identically() {
+    for b in benchmarks::all() {
+        assert_round_trips(b.name(), b.graph().expect("benchmark builds"));
+    }
+}
+
+#[test]
+fn every_zoo_network_round_trips_byte_identically() {
+    let zoo = paraconv::cnn::zoo::all().expect("zoo builds");
+    for (class, network) in &zoo {
+        let graph = paraconv::cnn::partition(network, paraconv::cnn::PartitionConfig::default())
+            .expect("network partitions");
+        assert_round_trips(&format!("{class}/{}", network.name()), graph);
+    }
+}
+
+#[test]
+fn request_keys_ignore_the_outcome_and_separate_requests() {
+    let cat = bundle_for(cat_graph());
+    let car = bundle_for(
+        benchmarks::by_name("car")
+            .expect("car exists")
+            .graph()
+            .expect("car builds"),
+    );
+    assert_ne!(cat.key(), car.key(), "different graphs, different keys");
+    let mut other_policy = cat.policy;
+    other_policy.iterations += 1;
+    assert_ne!(
+        cat.key(),
+        request_key(&cat.graph, &cat.config, &other_policy),
+        "the policy is part of the request"
+    );
+}
+
+/// One valid artifact, scheduled once and shared by the hostile tests.
+fn sample_bytes() -> Vec<u8> {
+    static BYTES: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    BYTES
+        .get_or_init(|| bundle_for(cat_graph()).encode())
+        .clone()
+}
+
+fn decode_err(bytes: &[u8]) -> ArtifactError {
+    match decode(bytes) {
+        Err(e) => e,
+        Ok(_) => panic!("hostile input decoded cleanly"),
+    }
+}
+
+#[test]
+fn truncated_artifacts_are_rejected_with_typed_errors() {
+    let bytes = sample_bytes();
+    // Empty file, header cut mid-JSON, missing body line, body cut
+    // mid-JSON: all Truncated or SchemaMismatch, never a panic.
+    for cut in [0, 1, 10, bytes.len() / 2, bytes.len() - 1] {
+        let truncated = &bytes[..cut];
+        let err = decode_err(truncated);
+        assert!(
+            matches!(
+                err,
+                ArtifactError::Truncated { .. } | ArtifactError::SchemaMismatch { .. }
+            ),
+            "cut at {cut} gave unexpected error: {err}"
+        );
+    }
+}
+
+#[test]
+fn flipped_magic_is_a_schema_mismatch() {
+    let mut bytes = sample_bytes();
+    let pos = bytes
+        .windows(b"paraconv-plan".len())
+        .position(|w| w == b"paraconv-plan")
+        .expect("magic present");
+    bytes[pos] = b'q';
+    assert!(matches!(
+        decode_err(&bytes),
+        ArtifactError::SchemaMismatch { .. }
+    ));
+}
+
+#[test]
+fn stale_format_versions_are_a_version_skew() {
+    let text = String::from_utf8(sample_bytes()).expect("artifact is UTF-8");
+    let stale = text.replacen("\"format\":1", "\"format\":99", 1);
+    assert_ne!(stale, text, "format field present exactly once");
+    match decode_err(stale.as_bytes()) {
+        ArtifactError::VersionSkew { found, supported } => {
+            assert_eq!(found, 99);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected VersionSkew, got {other}"),
+    }
+}
+
+#[test]
+fn corrupted_bodies_are_a_hash_mismatch() {
+    let bytes = sample_bytes();
+    let header_end = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .expect("two-line artifact");
+    let mut corrupt = bytes.clone();
+    // Flip one digit deep inside the body line.
+    let target = header_end + (corrupt.len() - header_end) / 2;
+    let pos = (target..corrupt.len())
+        .find(|&i| corrupt[i].is_ascii_digit())
+        .expect("body has digits");
+    corrupt[pos] = if corrupt[pos] == b'7' { b'8' } else { b'7' };
+    match decode_err(&corrupt) {
+        ArtifactError::HashMismatch { field, .. } => assert_eq!(field, "content_hash"),
+        other => panic!("expected HashMismatch, got {other}"),
+    }
+}
+
+#[test]
+fn hash_fixed_schema_corruption_is_a_schema_mismatch() {
+    // Corrupt the body *and* recompute the content hash: the hash gate
+    // passes, so the codec's strict key checking must catch it.
+    let text = String::from_utf8(sample_bytes()).expect("artifact is UTF-8");
+    let (header, rest) = text.split_once('\n').expect("two-line artifact");
+    let body = rest.strip_suffix('\n').expect("newline-terminated body");
+    let evil_body = body.replacen("\"plan\":", "\"plam\":", 1);
+    assert_ne!(evil_body, body, "plan section present");
+    let old_hash_field = format!("\"content_hash\":\"{}\"", sha256_hex(body.as_bytes()));
+    let new_hash_field = format!("\"content_hash\":\"{}\"", sha256_hex(evil_body.as_bytes()));
+    let evil_header = header.replacen(&old_hash_field, &new_hash_field, 1);
+    assert_ne!(evil_header, header, "content_hash field patched");
+    let evil = format!("{evil_header}\n{evil_body}\n");
+    match decode_err(evil.as_bytes()) {
+        ArtifactError::SchemaMismatch { path, .. } => {
+            assert!(path.starts_with("body"), "schema path localizes: {path}")
+        }
+        other => panic!("expected SchemaMismatch, got {other}"),
+    }
+}
+
+#[test]
+fn hash_valid_tampered_outcomes_die_at_the_verifier_gate() {
+    // An attacker who re-encodes honestly (valid hashes, valid schema)
+    // after corrupting the outcome still cannot get a plan executed:
+    // the import gate re-proves the plan from the artifact alone.
+    let mut bundle = bundle_for(cat_graph());
+    let dst = bundle
+        .graph
+        .edges()
+        .next()
+        .expect("benchmark graphs have edges")
+        .dst()
+        .index();
+    let mut node_values: Vec<u64> = bundle
+        .outcome
+        .retiming
+        .node_values()
+        .map(|(_, v)| v)
+        .collect();
+    let edge_values = bundle.outcome.retiming.edge_values_raw().to_vec();
+    node_values[dst] = u64::MAX; // R(edge) < R(dst): structurally illegal
+    bundle.outcome.retiming = Retiming::from_values(node_values, edge_values);
+    let bytes = bundle.encode();
+    let artifact = decode(&bytes).expect("hashes and schema are honest");
+    let gate = verify_outcome(
+        &artifact.bundle.graph,
+        &artifact.bundle.outcome,
+        &artifact.bundle.config,
+    );
+    assert!(gate.is_err(), "tampered retiming slipped the verifier gate");
+}
+
+#[test]
+fn registry_stores_and_returns_exact_bytes() {
+    let dir = std::env::temp_dir().join(format!("paraconv-plan-artifacts-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Registry::open(&dir).expect("registry opens");
+    let bytes = sample_bytes();
+    let artifact = decode(&bytes).expect("sample decodes");
+    let key = artifact.header.key.clone();
+    assert!(registry.get(&key).expect("get works").is_none());
+    registry.put(&key, &bytes).expect("put works");
+    assert!(registry.contains(&key).expect("contains works"));
+    assert_eq!(
+        registry.get(&key).expect("get works").as_deref(),
+        Some(&bytes[..])
+    );
+    assert_eq!(registry.keys().expect("keys list"), vec![key]);
+    assert!(registry.put("../../etc/passwd", &bytes).is_err());
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn single_byte_mutations_never_panic_or_change_plans(
+        offset in 0usize..1_000_000,
+        value in 0u8..=255,
+    ) {
+        // Any one-byte corruption of a valid artifact either fails
+        // with a typed error or — when it hits a provenance-only field
+        // like the producer tag — decodes to the *same* plan, which
+        // re-encodes to the canonical original bytes.
+        let original = sample_bytes();
+        let mut mutated = original.clone();
+        let i = offset % mutated.len();
+        mutated[i] = value;
+        match decode(&mutated) {
+            Err(_) => {} // typed rejection is the expected outcome
+            Ok(artifact) => prop_assert_eq!(
+                artifact.bundle.encode(),
+                original,
+                "a surviving mutation must be semantically invisible"
+            ),
+        }
+    }
+}

@@ -50,6 +50,16 @@ pub struct Number {
 impl Number {
     fn from_parts(text: &str) -> Option<Number> {
         let float: f64 = text.parse().ok()?;
+        // Negative zero has no integer form: "-0.0" (or "-0") must
+        // stay float-only, otherwise the integer view serializes it as
+        // "0" and the sign is lost on the next round trip.
+        if float == 0.0 && text.starts_with('-') {
+            return Some(Number {
+                int: None,
+                uint: None,
+                float,
+            });
+        }
         Some(Number {
             int: text.parse().ok(),
             uint: text.parse().ok(),
@@ -117,7 +127,16 @@ impl fmt::Display for Number {
         } else if let Some(i) = self.int {
             write!(f, "{i}")
         } else {
-            write!(f, "{}", self.float)
+            // A float must serialize in a float form: Rust renders
+            // integral floats without a fraction ("2", "-0"), which
+            // would re-parse as the integer form and change bytes on
+            // the next serialization — fatal for content hashing.
+            let repr = self.float.to_string();
+            if repr.contains(['.', 'e', 'E']) {
+                f.write_str(&repr)
+            } else {
+                write!(f, "{repr}.0")
+            }
         }
     }
 }

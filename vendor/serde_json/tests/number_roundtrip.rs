@@ -1,0 +1,130 @@
+//! Round-trip properties for the number codec.
+//!
+//! The plan-artifact registry hashes canonical JSON bytes, so a number
+//! that changes its spelling between serializations silently breaks
+//! content addressing. These properties pin the contract:
+//!
+//! * integer texts (all of `u64`, all of `i64`) round-trip exactly;
+//! * one parse→serialize pass is a *canonicalization*: applying it
+//!   again never changes the bytes (fixpoint), for every finite float
+//!   bit pattern and every grammar-valid number text;
+//! * `-0.0` keeps its sign, and integral floats keep a float form.
+
+use proptest::prelude::*;
+use serde_json::{from_str, to_string, Value};
+
+/// One parse→serialize pass.
+fn canonical(text: &str) -> String {
+    let value = from_str(text).unwrap_or_else(|e| panic!("`{text}` must parse: {e}"));
+    to_string(&value)
+}
+
+proptest! {
+    #[test]
+    fn u64_texts_round_trip_exactly(v in 0u64..=u64::MAX) {
+        let text = v.to_string();
+        prop_assert_eq!(canonical(&text), text);
+    }
+
+    #[test]
+    fn i64_texts_round_trip_exactly(v in i64::MIN..=i64::MAX) {
+        let text = v.to_string();
+        prop_assert_eq!(canonical(&text), text);
+    }
+
+    #[test]
+    fn float_bit_patterns_reach_a_fixpoint(bits in 0u64..=u64::MAX) {
+        let f = f64::from_bits(bits);
+        if !f.is_finite() {
+            // JSON cannot represent NaN/inf; from_f64 rejects them.
+            prop_assert!(serde_json::Number::from_f64(f).is_none());
+            return Ok(());
+        }
+        let first = to_string(&Value::from(f));
+        let second = canonical(&first);
+        prop_assert_eq!(&second, &first, "serialize is not canonical for {}", f);
+        // And the canonical text still denotes the same f64.
+        let reparsed = from_str(&first).unwrap().as_f64().unwrap();
+        prop_assert!(
+            reparsed == f || (reparsed == 0.0 && f == 0.0),
+            "value drift: {} reparsed as {}",
+            f,
+            reparsed
+        );
+    }
+
+    #[test]
+    fn number_texts_canonicalize_to_a_fixpoint(
+        int_part in 0u64..=u64::MAX,
+        frac_part in 0u64..10_000,
+        negative in 0u8..2,
+        with_frac in 0u8..2,
+    ) {
+        // Grammar-valid decimal texts, including beyond-u64 integer
+        // literals and trailing-zero fractions: one pass may rewrite
+        // them, the second pass must not.
+        let mut text = String::new();
+        if negative == 1 {
+            text.push('-');
+        }
+        text.push_str(&int_part.to_string());
+        if with_frac == 1 {
+            text.push('.');
+            text.push_str(&frac_part.to_string());
+        }
+        let once = canonical(&text);
+        let twice = canonical(&once);
+        prop_assert_eq!(&twice, &once, "not a fixpoint for input `{}`", text);
+    }
+}
+
+#[test]
+fn boundary_integers_survive_exactly() {
+    for text in [
+        "18446744073709551615", // u64::MAX
+        "9223372036854775807",  // i64::MAX
+        "-9223372036854775808", // i64::MIN
+        "0",
+        "-1",
+    ] {
+        assert_eq!(canonical(text), text);
+        assert_eq!(canonical(&canonical(text)), text);
+    }
+}
+
+#[test]
+fn negative_zero_keeps_its_sign() {
+    let v = from_str("-0.0").unwrap();
+    assert!(v.as_f64().unwrap().is_sign_negative());
+    let text = to_string(&v);
+    assert_eq!(text, "-0.0");
+    // Stable forever after.
+    assert_eq!(canonical(&text), text);
+    // The float constructor agrees with the parser.
+    assert_eq!(to_string(&Value::from(-0.0)), "-0.0");
+    // Bare "-0" canonicalizes into the float form, then stays put.
+    assert_eq!(canonical("-0"), "-0.0");
+    assert_eq!(canonical("-0.000"), "-0.0");
+    // Positive zero is still the integer it always was.
+    assert_eq!(canonical("0"), "0");
+}
+
+#[test]
+fn integral_floats_keep_a_float_form() {
+    assert_eq!(to_string(&Value::from(2.0)), "2.0");
+    assert_eq!(to_string(&Value::from(-5.0)), "-5.0");
+    assert_eq!(canonical("2.0"), "2.0");
+    assert_eq!(canonical("1e3"), "1000.0");
+    assert_eq!(canonical("1000.0"), "1000.0");
+    // Integer texts are untouched — only float-typed values gain ".0".
+    assert_eq!(canonical("2"), "2");
+}
+
+#[test]
+fn beyond_u64_literals_converge_after_one_pass() {
+    // 2^64 does not fit any integer view; it becomes a float and must
+    // then hold still.
+    let once = canonical("18446744073709551616");
+    assert_eq!(canonical(&once), once);
+    assert!(once.contains('.') || once.contains('e'), "float form: {once}");
+}
