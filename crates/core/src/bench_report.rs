@@ -1,0 +1,468 @@
+//! Bench-trajectory analysis over the committed `BENCH_*.json` series.
+//!
+//! Every growth PR leaves a perf baseline behind (`BENCH_1.json`,
+//! `BENCH_2.json`, …, written by `perf_baseline`). This module reads
+//! that series back, lines up the tracked throughput metrics into a
+//! trajectory, and flags a **regression** when the newest entry lands
+//! below its predecessor by more than a stated tolerance. It replaces
+//! the ad-hoc shell arithmetic the CI perf-regression job used to
+//! inline, and backs `paraconv bench report` / `paraconv bench diff`.
+//!
+//! Comparison rules (the same ones the CI job encoded by hand):
+//!
+//! * `simulate.planned_tasks_per_sec` is always like-for-like.
+//! * `dp.fills_per_sec` is a headline whose *workload* changed once
+//!   (BENCH_4 switched it from cold fills to incremental re-solves),
+//!   so two entries are compared directly only when their
+//!   `dp.workload` strings agree.
+//! * `dp.cold_fills_per_sec` is the from-scratch continuation of the
+//!   early `dp.fills_per_sec` series: when an entry predates the
+//!   split and has no `cold` field, its `dp.fills_per_sec` stands in.
+//! * `sweep.speedup` is reported in the trajectory but never gated —
+//!   it measures host-pool scaling, which shared CI runners make too
+//!   noisy to fail a build over.
+//!
+//! Only the **final** consecutive pair is gated. Historical steps are
+//! printed for trend context but never fail: the committed series
+//! already contains known, explained dips (BENCH_2's `fills_per_sec`
+//! traded DP throughput for exactness) and re-litigating them on every
+//! push would be noise.
+
+use std::path::Path;
+
+use serde_json::Value;
+
+/// Default regression tolerance in basis points: a fresh run may land
+/// up to 20% below the prior baseline before it counts as a
+/// regression. Wide enough to absorb shared-runner noise, tight
+/// enough to catch a real loss on either hot path.
+pub const DEFAULT_TOLERANCE_BP: u64 = 2000;
+
+/// One parsed `BENCH_<n>.json` report.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// The `bench_id` field (also the `<n>` in the filename).
+    pub bench_id: u64,
+    /// Where the entry was read from, for messages.
+    pub path: String,
+    root: Value,
+}
+
+impl BenchEntry {
+    /// Parses one report from its JSON text. `path` is used only for
+    /// error messages and display.
+    pub fn parse(path: &str, text: &str) -> Result<BenchEntry, String> {
+        let root = serde_json::from_str(text).map_err(|e| format!("{path}: {e}"))?;
+        let bench_id = root
+            .get("bench_id")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{path}: missing numeric `bench_id`"))?;
+        Ok(BenchEntry {
+            bench_id,
+            path: path.to_owned(),
+            root,
+        })
+    }
+
+    /// Looks up a dotted path (`"simulate.planned_tasks_per_sec"`) as
+    /// a float.
+    pub fn metric(&self, dotted: &str) -> Option<f64> {
+        let mut v = &self.root;
+        for part in dotted.split('.') {
+            v = v.get(part)?;
+        }
+        v.as_f64()
+    }
+
+    /// The string at a dotted path, if present.
+    fn text(&self, dotted: &str) -> Option<&str> {
+        let mut v = &self.root;
+        for part in dotted.split('.') {
+            v = v.get(part)?;
+        }
+        v.as_str()
+    }
+}
+
+/// Loads and orders the `BENCH_*.json` series found in `dir`.
+/// Filenames must be exactly `BENCH_<n>.json`; anything else in the
+/// directory is ignored. Errors if a file fails to parse, a
+/// `bench_id` contradicts its filename, or no reports are found.
+pub fn load_series(dir: &Path) -> Result<Vec<BenchEntry>, String> {
+    let read = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read bench directory `{}`: {e}", dir.display()))?;
+    let mut entries = Vec::new();
+    for item in read {
+        let item = item.map_err(|e| format!("cannot list `{}`: {e}", dir.display()))?;
+        let name = item.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(id_from_name) = name
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let path = item.path();
+        let shown = path.display().to_string();
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{shown}: {e}"))?;
+        let entry = BenchEntry::parse(&shown, &text)?;
+        if entry.bench_id != id_from_name {
+            return Err(format!(
+                "{shown}: bench_id {} contradicts the filename",
+                entry.bench_id
+            ));
+        }
+        entries.push(entry);
+    }
+    if entries.is_empty() {
+        return Err(format!(
+            "no BENCH_<n>.json reports found in `{}`",
+            dir.display()
+        ));
+    }
+    entries.sort_by_key(|e| e.bench_id);
+    Ok(entries)
+}
+
+/// How a tracked metric is read out of an entry.
+#[derive(Debug, Clone, Copy)]
+enum Readout {
+    /// Plain dotted-path lookup; entries are always comparable.
+    Direct(&'static str),
+    /// Dotted-path lookup, but two entries compare only when the
+    /// guard path's strings agree (both absent also agrees).
+    GuardedBy(&'static str, &'static str),
+    /// First path if present, else the fallback path — the
+    /// continuation rule for a metric that was renamed mid-series.
+    WithFallback(&'static str, &'static str),
+}
+
+/// A tracked metric: name, how to read it, and whether the final step
+/// is gated (can fail a build).
+#[derive(Debug, Clone, Copy)]
+struct Tracked {
+    name: &'static str,
+    readout: Readout,
+    gated: bool,
+}
+
+const TRACKED: &[Tracked] = &[
+    Tracked {
+        name: "simulate.planned_tasks_per_sec",
+        readout: Readout::Direct("simulate.planned_tasks_per_sec"),
+        gated: true,
+    },
+    Tracked {
+        name: "dp.fills_per_sec",
+        readout: Readout::GuardedBy("dp.fills_per_sec", "dp.workload"),
+        gated: true,
+    },
+    Tracked {
+        name: "dp.cold_fills_per_sec",
+        readout: Readout::WithFallback("dp.cold_fills_per_sec", "dp.fills_per_sec"),
+        gated: true,
+    },
+    Tracked {
+        name: "sweep.speedup",
+        readout: Readout::Direct("sweep.speedup"),
+        gated: false,
+    },
+];
+
+/// One metric's value series across the bench reports.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// The tracked metric's display name.
+    pub name: String,
+    /// Whether the final step of this metric can fail the report.
+    pub gated: bool,
+    /// `(bench_id, value)` per report; `None` where the report lacks
+    /// the metric.
+    pub points: Vec<(u64, Option<f64>)>,
+    /// Step ratios between consecutive comparable points, aligned
+    /// with `points[1..]`: `Some(new / old)` when both sides exist
+    /// and the comparison guard allows it.
+    pub steps: Vec<Option<f64>>,
+}
+
+/// A gated metric whose final step fell below the tolerance floor.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// The tracked metric's display name.
+    pub metric: String,
+    /// `bench_id` of the prior (baseline) report.
+    pub prior_id: u64,
+    /// `bench_id` of the fresh report.
+    pub fresh_id: u64,
+    /// Baseline value.
+    pub prior: f64,
+    /// Fresh value.
+    pub fresh: f64,
+    /// The floor the fresh value had to clear.
+    pub floor: f64,
+}
+
+/// The full analysis: every tracked trajectory plus the final-step
+/// regressions.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// One trajectory per tracked metric.
+    pub trajectories: Vec<Trajectory>,
+    /// Gated metrics whose final step regressed past tolerance.
+    pub regressions: Vec<Regression>,
+    /// The tolerance used, in basis points.
+    pub tolerance_bp: u64,
+}
+
+impl BenchReport {
+    /// True when no gated metric regressed.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Whether `a` and `b` are comparable under `readout`, and their
+/// values where present.
+fn read_pair(a: &BenchEntry, b: &BenchEntry, readout: Readout) -> (Option<f64>, Option<f64>, bool) {
+    match readout {
+        Readout::Direct(path) => (a.metric(path), b.metric(path), true),
+        Readout::GuardedBy(path, guard) => {
+            let comparable = a.text(guard) == b.text(guard);
+            (a.metric(path), b.metric(path), comparable)
+        }
+        Readout::WithFallback(path, fallback) => (
+            a.metric(path).or_else(|| a.metric(fallback)),
+            b.metric(path).or_else(|| b.metric(fallback)),
+            true,
+        ),
+    }
+}
+
+/// The value a single entry shows for `readout` in the trajectory.
+fn read_one(e: &BenchEntry, readout: Readout) -> Option<f64> {
+    match readout {
+        Readout::Direct(path) | Readout::GuardedBy(path, _) => e.metric(path),
+        Readout::WithFallback(path, fallback) => e.metric(path).or_else(|| e.metric(fallback)),
+    }
+}
+
+/// Analyzes an ordered bench series: builds every tracked trajectory
+/// and gates the final consecutive pair at `tolerance_bp`.
+pub fn analyze(entries: &[BenchEntry], tolerance_bp: u64) -> BenchReport {
+    let mut trajectories = Vec::new();
+    let mut regressions = Vec::new();
+    for t in TRACKED {
+        let points: Vec<(u64, Option<f64>)> = entries
+            .iter()
+            .map(|e| (e.bench_id, read_one(e, t.readout)))
+            .collect();
+        let mut steps = Vec::new();
+        for pair in entries.windows(2) {
+            let (prior, fresh, comparable) = read_pair(&pair[0], &pair[1], t.readout);
+            steps.push(match (prior, fresh, comparable) {
+                (Some(p), Some(f), true) if p > 0.0 => Some(f / p),
+                _ => None,
+            });
+        }
+        if t.gated && entries.len() >= 2 {
+            let last = entries.len() - 1;
+            let (prior, fresh, comparable) =
+                read_pair(&entries[last - 1], &entries[last], t.readout);
+            if let (Some(p), Some(f), true) = (prior, fresh, comparable) {
+                let floor = p * (10_000u64.saturating_sub(tolerance_bp)) as f64 / 10_000.0;
+                if f < floor {
+                    regressions.push(Regression {
+                        metric: t.name.to_owned(),
+                        prior_id: entries[last - 1].bench_id,
+                        fresh_id: entries[last].bench_id,
+                        prior: p,
+                        fresh: f,
+                        floor,
+                    });
+                }
+            }
+        }
+        trajectories.push(Trajectory {
+            name: t.name.to_owned(),
+            gated: t.gated,
+            points,
+            steps,
+        });
+    }
+    BenchReport {
+        trajectories,
+        regressions,
+        tolerance_bp,
+    }
+}
+
+/// Compares exactly two reports metric-by-metric at `tolerance_bp`,
+/// for `paraconv bench diff`. The pair need not be consecutive.
+pub fn diff(prior: &BenchEntry, fresh: &BenchEntry, tolerance_bp: u64) -> BenchReport {
+    let series = [prior.clone(), fresh.clone()];
+    analyze(&series, tolerance_bp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: u64, json: &str) -> BenchEntry {
+        BenchEntry::parse(&format!("BENCH_{id}.json"), json)
+            .unwrap_or_else(|e| panic!("test entry parses: {e}"))
+    }
+
+    fn bench(id: u64, tasks: f64, fills: f64, cold: Option<f64>, workload: &str) -> BenchEntry {
+        let cold_field = cold.map_or(String::new(), |c| format!("\"cold_fills_per_sec\": {c},"));
+        entry(
+            id,
+            &format!(
+                "{{\"bench_id\": {id},
+                   \"simulate\": {{\"planned_tasks_per_sec\": {tasks}}},
+                   \"dp\": {{{cold_field} \"fills_per_sec\": {fills},
+                           \"workload\": \"{workload}\"}},
+                   \"sweep\": {{\"speedup\": 1.5}}}}"
+            ),
+        )
+    }
+
+    #[test]
+    fn a_steady_series_is_clean() {
+        let series = [
+            bench(1, 1000.0, 500.0, None, "cold"),
+            bench(2, 1100.0, 510.0, None, "cold"),
+        ];
+        let report = analyze(&series, DEFAULT_TOLERANCE_BP);
+        assert!(
+            report.ok(),
+            "unexpected regressions: {:?}",
+            report.regressions
+        );
+        let tasks = &report.trajectories[0];
+        assert_eq!(tasks.points, vec![(1, Some(1000.0)), (2, Some(1100.0))]);
+        assert_eq!(tasks.steps.len(), 1);
+        assert!(tasks.steps[0].is_some_and(|r| (r - 1.1).abs() < 1e-9));
+    }
+
+    #[test]
+    fn a_final_step_drop_past_tolerance_regresses() {
+        let series = [
+            bench(1, 1000.0, 500.0, None, "cold"),
+            bench(2, 799.0, 500.0, None, "cold"),
+        ];
+        let report = analyze(&series, DEFAULT_TOLERANCE_BP);
+        assert_eq!(report.regressions.len(), 1);
+        let r = &report.regressions[0];
+        assert_eq!(r.metric, "simulate.planned_tasks_per_sec");
+        assert!((r.floor - 800.0).abs() < 1e-9);
+        assert!((r.fresh - 799.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn historical_dips_do_not_gate() {
+        // The drop sits between entries 1 and 2; the final pair is
+        // clean, so the report is clean.
+        let series = [
+            bench(1, 1000.0, 500.0, None, "cold"),
+            bench(2, 400.0, 500.0, None, "cold"),
+            bench(3, 410.0, 500.0, None, "cold"),
+        ];
+        assert!(analyze(&series, DEFAULT_TOLERANCE_BP).ok());
+    }
+
+    #[test]
+    fn a_workload_change_ungates_the_headline_and_falls_back_to_cold() {
+        // Entry 2 switches dp.fills_per_sec to a different workload:
+        // the headline pair is incomparable (no regression even
+        // though the raw number collapsed), while the cold
+        // continuation compares new cold against old fills.
+        let series = [
+            bench(1, 1000.0, 500.0, None, "cold"),
+            bench(2, 1000.0, 90_000.0, Some(495.0), "incremental"),
+        ];
+        let report = analyze(&series, DEFAULT_TOLERANCE_BP);
+        assert!(
+            report.ok(),
+            "unexpected regressions: {:?}",
+            report.regressions
+        );
+        let headline = report
+            .trajectories
+            .iter()
+            .find(|t| t.name == "dp.fills_per_sec")
+            .map(|t| t.steps.clone());
+        assert_eq!(headline, Some(vec![None]));
+        let cold = report
+            .trajectories
+            .iter()
+            .find(|t| t.name == "dp.cold_fills_per_sec")
+            .map(|t| t.steps.clone());
+        let ratio = cold.and_then(|s| s.first().copied().flatten());
+        assert!(ratio.is_some_and(|r| (r - 0.99).abs() < 1e-9));
+    }
+
+    #[test]
+    fn a_cold_collapse_still_gates_through_the_fallback() {
+        let series = [
+            bench(1, 1000.0, 500.0, None, "cold"),
+            bench(2, 1000.0, 90_000.0, Some(100.0), "incremental"),
+        ];
+        let report = analyze(&series, DEFAULT_TOLERANCE_BP);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].metric, "dp.cold_fills_per_sec");
+    }
+
+    #[test]
+    fn sweep_speedup_never_gates() {
+        let series = [
+            bench(1, 1000.0, 500.0, None, "cold"),
+            bench(2, 1000.0, 500.0, None, "cold"),
+        ];
+        // Identical sweeps here; patch the second entry's speedup down
+        // via a fresh parse to prove the column stays informational.
+        let slow = entry(
+            2,
+            "{\"bench_id\": 2,
+              \"simulate\": {\"planned_tasks_per_sec\": 1000},
+              \"dp\": {\"fills_per_sec\": 500, \"workload\": \"cold\"},
+              \"sweep\": {\"speedup\": 0.1}}",
+        );
+        let report = analyze(&[series[0].clone(), slow], DEFAULT_TOLERANCE_BP);
+        assert!(report.ok());
+    }
+
+    #[test]
+    fn the_committed_series_shape_parses_and_is_clean() {
+        // A miniature of the real BENCH_3 -> BENCH_4 transition.
+        let b3 = entry(
+            3,
+            "{\"bench_id\": 3,
+              \"simulate\": {\"planned_tasks_per_sec\": 1926662},
+              \"dp\": {\"fills_per_sec\": 12342.6},
+              \"sweep\": {\"speedup\": 1.746}}",
+        );
+        let b4 = entry(
+            4,
+            "{\"bench_id\": 4,
+              \"simulate\": {\"planned_tasks_per_sec\": 8288805},
+              \"dp\": {\"fills_per_sec\": 1871485.1,
+                       \"cold_fills_per_sec\": 14149.7,
+                       \"workload\": \"incremental\"},
+              \"sweep\": {\"speedup\": 1.504}}",
+        );
+        let report = diff(&b3, &b4, DEFAULT_TOLERANCE_BP);
+        assert!(
+            report.ok(),
+            "unexpected regressions: {:?}",
+            report.regressions
+        );
+    }
+
+    #[test]
+    fn bad_inputs_are_typed_errors() {
+        assert!(BenchEntry::parse("x.json", "not json").is_err());
+        assert!(BenchEntry::parse("x.json", "{\"no_id\": 1}").is_err());
+        assert!(load_series(Path::new("/nonexistent/definitely-missing")).is_err());
+    }
+}

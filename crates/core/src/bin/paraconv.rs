@@ -12,7 +12,14 @@
 //! $ paraconv verify --all --zoo
 //! $ paraconv table1 --quick --trace t.json --metrics m.jsonl
 //! $ paraconv stats cat --pes 16
+//! $ paraconv stats cat --prom
+//! $ paraconv stats cat --watch 5
 //! $ paraconv chaos cat --seed 42 --fault-rate 100 --kill-pe 1@40 --json
+//! $ paraconv postmortem cat.postmortem
+//! $ paraconv bench report
+//! $ paraconv bench diff BENCH_3.json BENCH_4.json
+//! $ paraconv check trace t.json
+//! $ paraconv check prom metrics.prom
 //! $ paraconv plan export cat --out cat.plan
 //! $ paraconv plan export --all --zoo --dir plans --registry .registry
 //! $ paraconv plan import cat.plan --run
@@ -20,7 +27,8 @@
 //! ```
 //!
 //! Exit codes: `0` success, `1` runtime failure (a run that errored,
-//! a rejected artifact, plans that differ), `2` usage error (unknown
+//! a rejected artifact, plans that differ, a perf regression, a
+//! malformed artifact under `check`), `2` usage error (unknown
 //! subcommand, malformed or unknown flags — usage is printed to
 //! stderr).
 
@@ -78,6 +86,11 @@ const USAGE: &str = "usage:
   paraconv table1 [opts]                Table 1 (SPARTA vs Para-CONV sweep)
   paraconv stats <benchmark> [opts]     run compare and print its metrics
   paraconv chaos <benchmark> [opts]     deterministic fault campaign + recovery
+  paraconv postmortem <dump>            render a flight-recorder dump
+  paraconv bench report [opts]          BENCH_*.json trajectory + regression gate
+  paraconv bench diff <a> <b>           compare two bench reports
+  paraconv check trace|metrics|prom <file>
+                                        validate an exported artifact's format
   paraconv plan export <benchmark>|--all [--zoo] [opts]
                                         export verified plan artifact(s)
   paraconv plan import <file> [opts]    decode + verify-gate an artifact
@@ -93,11 +106,21 @@ options:
   --trace <path>  write a Chrome trace-event JSON (Perfetto-loadable)
   --metrics <path> write the metrics snapshot as JSONL
 
+stats options:
+  --prom          print the Prometheus text exposition instead
+  --watch <n>     re-run and re-print the metrics n times (live refresh)
+
 chaos options:
   --seed <n>          campaign seed (default 0; same seed => same report)
   --fault-rate <bp>   vault/congestion/corruption rate in basis points (0-10000)
   --kill-pe <id>@<c>  fail-stop PE <id> at cycle <c> (repeatable)
   --json              machine-readable result on stdout
+  --postmortem <path> where a failed campaign dumps the flight recorder
+                      (default <benchmark>.postmortem)
+
+bench options:
+  --dir <path>        directory holding BENCH_<n>.json (default .)
+  --tolerance-bp <n>  regression tolerance in basis points (default 2000)
 
 plan options:
   --out <path>      export: artifact path (default <benchmark>.plan);
@@ -336,23 +359,70 @@ fn run(args: &[String]) -> Result<(), CliError> {
         }
         "stats" => {
             let graph = load(args.get(1))?;
-            let opts = options(args)?;
+            // `--prom` / `--watch <n>` are stats-only flags; peel them
+            // off before the shared parser sees them.
+            let mut shared: Vec<String> = Vec::new();
+            let mut prom = false;
+            let mut watch: u64 = 1;
+            let mut i = 0;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--prom" => {
+                        prom = true;
+                        i += 1;
+                    }
+                    "--watch" => {
+                        let value = args
+                            .get(i + 1)
+                            .ok_or_else(|| CliError::Usage("--watch needs a value".into()))?;
+                        watch = value
+                            .parse()
+                            .map_err(|_| CliError::Usage(format!("bad --watch `{value}`")))?;
+                        if watch == 0 {
+                            return Err(CliError::Usage(
+                                "--watch needs at least one refresh".into(),
+                            ));
+                        }
+                        i += 2;
+                    }
+                    other => {
+                        shared.push(other.to_owned());
+                        i += 1;
+                    }
+                }
+            }
+            let opts = options(&shared)?;
             // `stats` exists to show metrics, so recording is always on.
             obs::reset();
             obs::enable();
             let runner = ParaConv::new(config(opts.pes())?);
-            let cmp = runner
-                .compare(&graph, opts.iters)
-                .map_err(|e| e.to_string())?;
+            for round in 0..watch {
+                let cmp = runner
+                    .compare(&graph, opts.iters)
+                    .map_err(|e| e.to_string())?;
+                if round > 0 {
+                    // Clear + home, like `watch(1)`; metrics keep
+                    // accumulating across refreshes so rates settle.
+                    print!("\x1b[2J\x1b[H");
+                }
+                println!(
+                    "Para-CONV: {}   SPARTA: {}   speedup: {:.2}x",
+                    cmp.paraconv.report.total_time,
+                    cmp.sparta.report.total_time,
+                    cmp.speedup()
+                );
+                println!();
+                let snapshot = obs::snapshot();
+                if prom {
+                    print!("{}", snapshot.to_prometheus());
+                } else {
+                    print!("{snapshot}");
+                }
+                if round + 1 < watch {
+                    std::thread::sleep(std::time::Duration::from_millis(250));
+                }
+            }
             obs::disable();
-            println!(
-                "Para-CONV: {}   SPARTA: {}   speedup: {:.2}x",
-                cmp.paraconv.report.total_time,
-                cmp.sparta.report.total_time,
-                cmp.speedup()
-            );
-            println!();
-            print!("{}", obs::snapshot());
             export(&opts, None)
         }
         "chaos" => {
@@ -363,11 +433,27 @@ fn run(args: &[String]) -> Result<(), CliError> {
             let cfg = config(chaos_opts.pes)?;
             obs::reset();
             obs::enable();
-            let result = ParaConv::new(cfg)
+            // The flight recorder rides along on every campaign: when
+            // the run dies it holds the last structured events and is
+            // dumped as a content-hashed postmortem artifact.
+            obs::flight_enable(obs::DEFAULT_FLIGHT_CAPACITY);
+            let outcome = ParaConv::new(cfg)
                 .with_audit(true)
                 .with_verify(true)
-                .run_chaos(&graph, chaos_opts.iters, &spec)
-                .map_err(|e| e.to_string())?;
+                .run_chaos(&graph, chaos_opts.iters, &spec);
+            let result = match outcome {
+                Ok(result) => result,
+                Err(e) => {
+                    let reason = e.to_string();
+                    let path = dump_postmortem(&name, &reason, &chaos_opts)?;
+                    obs::flight_disable();
+                    obs::disable();
+                    return Err(CliError::Runtime(format!(
+                        "{reason} (postmortem dumped to `{path}`)"
+                    )));
+                }
+            };
+            obs::flight_disable();
             obs::disable();
             let replan_count = result.replans;
             if chaos_opts.json {
@@ -425,9 +511,280 @@ fn run(args: &[String]) -> Result<(), CliError> {
             }
             Ok(())
         }
+        "postmortem" => postmortem_command(args),
+        "bench" => bench_command(args),
+        "check" => check_command(args),
         "plan" => plan_command(args),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
+}
+
+/// `paraconv postmortem <dump>`: decode a flight-recorder dump and
+/// render it for a human.
+fn postmortem_command(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .get(1)
+        .ok_or_else(|| CliError::Usage("postmortem needs a dump file".into()))?;
+    if args.len() > 2 {
+        return Err(CliError::Usage(
+            "postmortem takes exactly one dump file".into(),
+        ));
+    }
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError::Runtime(format!("cannot read `{path}`: {e}")))?;
+    let artifact = plan_registry::decode_postmortem(&bytes)
+        .map_err(|e| CliError::Runtime(format!("postmortem rejected: {e}")))?;
+    let header = &artifact.header;
+    let bundle = &artifact.bundle;
+    println!(
+        "postmortem (format v{}, producer {})",
+        header.format, header.producer
+    );
+    println!("content hash: {}", header.content_hash);
+    println!("reason:       {}", bundle.reason);
+    if !bundle.context.is_empty() {
+        println!();
+        println!("context:");
+        for (k, v) in &bundle.context {
+            println!("  {k:<16} {v}");
+        }
+    }
+    println!();
+    if bundle.events.is_empty() {
+        println!("flight recorder: no events captured");
+    } else {
+        println!(
+            "flight recorder ({} event(s), oldest first):",
+            bundle.events.len()
+        );
+        println!(
+            "  {:>5}  {:<6} {:<18} {:>12}  value",
+            "seq", "cat", "event", "cycle"
+        );
+        for e in &bundle.events {
+            println!(
+                "  {:>5}  {:<6} {:<18} {:>12}  {}",
+                e.seq, e.cat, e.label, e.cycle, e.value
+            );
+        }
+    }
+    println!();
+    println!("metrics at failure:");
+    print!("{}", bundle.metrics);
+    Ok(())
+}
+
+/// `paraconv bench report|diff`: trajectory analysis over committed
+/// `BENCH_<n>.json` perf baselines.
+fn bench_command(args: &[String]) -> Result<(), CliError> {
+    let sub = args
+        .get(1)
+        .ok_or_else(|| CliError::Usage("bench needs a subcommand: report or diff".into()))?;
+    let mut dir = ".".to_owned();
+    let mut tolerance_bp = paraconv::bench_report::DEFAULT_TOLERANCE_BP;
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 2;
+    while i < args.len() {
+        let flag = &args[i];
+        if !flag.starts_with("--") {
+            positional.push(flag.clone());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+        match flag.as_str() {
+            "--dir" => dir = value.clone(),
+            "--tolerance-bp" => {
+                tolerance_bp = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --tolerance-bp `{value}`")))?;
+                if tolerance_bp > 10_000 {
+                    return Err(CliError::Usage(
+                        "--tolerance-bp is in basis points (0-10000)".into(),
+                    ));
+                }
+            }
+            other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
+        }
+        i += 2;
+    }
+    let report = match sub.as_str() {
+        "report" => {
+            if !positional.is_empty() {
+                return Err(CliError::Usage(
+                    "bench report takes no positional arguments (use --dir)".into(),
+                ));
+            }
+            let entries = paraconv::bench_report::load_series(std::path::Path::new(&dir))
+                .map_err(CliError::Runtime)?;
+            let ids: Vec<String> = entries.iter().map(|e| e.bench_id.to_string()).collect();
+            println!(
+                "bench series: {} report(s) [{}], tolerance {:.1}%",
+                entries.len(),
+                ids.join(", "),
+                tolerance_bp as f64 / 100.0
+            );
+            paraconv::bench_report::analyze(&entries, tolerance_bp)
+        }
+        "diff" => {
+            let [a_path, b_path] = positional.as_slice() else {
+                return Err(CliError::Usage(
+                    "bench diff takes exactly two report files".into(),
+                ));
+            };
+            let read = |path: &String| -> Result<paraconv::bench_report::BenchEntry, CliError> {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::Runtime(format!("cannot read `{path}`: {e}")))?;
+                paraconv::bench_report::BenchEntry::parse(path, &text).map_err(CliError::Runtime)
+            };
+            println!(
+                "bench diff: {a_path} -> {b_path}, tolerance {:.1}%",
+                tolerance_bp as f64 / 100.0
+            );
+            paraconv::bench_report::diff(&read(a_path)?, &read(b_path)?, tolerance_bp)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown bench subcommand `{other}`"
+            )))
+        }
+    };
+
+    for t in &report.trajectories {
+        let gate = if t.gated { "gated" } else { "info " };
+        println!();
+        println!("{} [{gate}]", t.name);
+        for (idx, (id, value)) in t.points.iter().enumerate() {
+            let shown = value.map_or("-".to_owned(), |v| format!("{v:.1}"));
+            let step = if idx == 0 {
+                String::new()
+            } else {
+                match t.steps.get(idx - 1).copied().flatten() {
+                    Some(r) => format!("  ({r:.3}x)"),
+                    None => "  (not comparable)".to_owned(),
+                }
+            };
+            println!("  BENCH_{id}: {shown}{step}");
+        }
+    }
+    println!();
+    if report.ok() {
+        println!("no regressions on the final step");
+        Ok(())
+    } else {
+        for r in &report.regressions {
+            println!(
+                "REGRESSED {}: BENCH_{} {:.1} -> BENCH_{} {:.1} (floor {:.1})",
+                r.metric, r.prior_id, r.prior, r.fresh_id, r.fresh, r.floor
+            );
+        }
+        Err(CliError::Runtime(format!(
+            "{} metric(s) regressed past {:.1}% tolerance",
+            report.regressions.len(),
+            report.tolerance_bp as f64 / 100.0
+        )))
+    }
+}
+
+/// `paraconv check trace|metrics|prom <file>`: validate an exported
+/// observability artifact's format without any external tooling.
+fn check_command(args: &[String]) -> Result<(), CliError> {
+    let kind = args
+        .get(1)
+        .ok_or_else(|| CliError::Usage("check needs a kind: trace, metrics, or prom".into()))?;
+    if !matches!(kind.as_str(), "trace" | "metrics" | "prom") {
+        return Err(CliError::Usage(format!("unknown check kind `{kind}`")));
+    }
+    let path = args
+        .get(2)
+        .ok_or_else(|| CliError::Usage(format!("check {kind} needs a file")))?;
+    if args.len() > 3 {
+        return Err(CliError::Usage("check takes exactly one file".into()));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Runtime(format!("cannot read `{path}`: {e}")))?;
+    match kind.as_str() {
+        "trace" => {
+            let events = check_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+            println!("{path}: {events} trace event(s) OK");
+            Ok(())
+        }
+        "metrics" => {
+            let lines = check_metrics_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+            println!("{path}: {lines} metric line(s) OK");
+            Ok(())
+        }
+        "prom" => {
+            let samples = obs::check_prometheus(&text).map_err(|e| format!("{path}: {e}"))?;
+            println!("{path}: {samples} sample(s) OK");
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown check kind `{other}`"))),
+    }
+}
+
+/// Validates a Chrome trace-event JSON export: a `traceEvents` array
+/// of objects whose `ph` is `X` or `M` with integer `pid`/`tid`.
+fn check_trace(text: &str) -> Result<usize, String> {
+    let root = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    let events = root
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .ok_or("missing `traceEvents` array")?;
+    if events.is_empty() {
+        return Err("trace has no events".into());
+    }
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing `ph`"))?;
+        if ph != "X" && ph != "M" {
+            return Err(format!("event {i}: unexpected phase `{ph}`"));
+        }
+        for field in ["pid", "tid"] {
+            if e.get(field).and_then(serde_json::Value::as_u64).is_none() {
+                return Err(format!("event {i}: missing integer `{field}`"));
+            }
+        }
+        if e.get("name").and_then(serde_json::Value::as_str).is_none() {
+            return Err(format!("event {i}: missing string `name`"));
+        }
+    }
+    Ok(events.len())
+}
+
+/// Validates a metrics JSONL export: every non-blank line is a JSON
+/// object with a known `type` and a string `name`.
+fn check_metrics_jsonl(text: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    for (n, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = serde_json::from_str(line).map_err(|e| format!("line {}: {e}", n + 1))?;
+        let kind = obj
+            .get("type")
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| format!("line {}: missing `type`", n + 1))?;
+        if !matches!(kind, "counter" | "gauge" | "histogram") {
+            return Err(format!("line {}: unknown type `{kind}`", n + 1));
+        }
+        if obj
+            .get("name")
+            .and_then(serde_json::Value::as_str)
+            .is_none()
+        {
+            return Err(format!("line {}: missing string `name`", n + 1));
+        }
+        count += 1;
+    }
+    if count == 0 {
+        return Err("no metric lines".into());
+    }
+    Ok(count)
 }
 
 /// Dispatches `paraconv plan <export|import|diff>`.
@@ -756,6 +1113,7 @@ struct ChaosOpts {
     pes: usize,
     iters: u64,
     json: bool,
+    postmortem: Option<String>,
 }
 
 impl ChaosOpts {
@@ -781,6 +1139,7 @@ fn chaos_options(args: &[String]) -> Result<ChaosOpts, CliError> {
         pes: 16,
         iters: 50,
         json: false,
+        postmortem: None,
     };
     let mut i = 2;
     while i < args.len() {
@@ -823,11 +1182,40 @@ fn chaos_options(args: &[String]) -> Result<ChaosOpts, CliError> {
                     .parse()
                     .map_err(|_| CliError::Usage(format!("bad --iters `{value}`")))?;
             }
+            "--postmortem" => opts.postmortem = Some(value.clone()),
             other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
         }
         i += 2;
     }
     Ok(opts)
+}
+
+/// Writes the flight recorder + metrics snapshot of a failed chaos
+/// campaign as a content-hashed postmortem artifact and returns its
+/// path. The context carries only campaign parameters — nothing
+/// host- or worker-count-dependent — so the bytes are identical at
+/// every `PARACONV_JOBS` width.
+fn dump_postmortem(name: &str, reason: &str, opts: &ChaosOpts) -> Result<String, CliError> {
+    let mut context = std::collections::BTreeMap::new();
+    context.insert("benchmark".to_owned(), name.to_owned());
+    context.insert("seed".to_owned(), opts.seed.to_string());
+    context.insert("fault_rate_bp".to_owned(), opts.rate_bp.to_string());
+    context.insert("kills".to_owned(), opts.kills.len().to_string());
+    context.insert("pes".to_owned(), opts.pes.to_string());
+    context.insert("iterations".to_owned(), opts.iters.to_string());
+    let bundle = plan_registry::PostmortemBundle {
+        reason: reason.to_owned(),
+        context,
+        events: obs::flight_events(),
+        metrics: obs::snapshot(),
+    };
+    let path = opts
+        .postmortem
+        .clone()
+        .unwrap_or_else(|| format!("{}.postmortem", slugify(name)));
+    std::fs::write(&path, bundle.encode())
+        .map_err(|e| CliError::Runtime(format!("cannot write postmortem to `{path}`: {e}")))?;
+    Ok(path)
 }
 
 /// Turns recording on (from a clean slate) when the parsed options

@@ -71,6 +71,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod bench_report;
 mod error;
 pub mod experiments;
 mod runner;

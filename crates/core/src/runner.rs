@@ -244,9 +244,10 @@ impl ParaConv {
                         config,
                     });
                 }
-                Err(SimError::PeFailStop { pe, .. }) => {
+                Err(SimError::PeFailStop { pe, cycle, .. }) => {
                     paraconv_obs::counter_add(paraconv_fault::metrics::REPLANS, 1);
                     replans += 1;
+                    paraconv_obs::flight_record("chaos", "replan", cycle, pe.index() as u64);
                     config = config.degrade(&[pe.index() as u32])?;
                 }
                 Err(e) => return Err(e.into()),

@@ -240,6 +240,45 @@ mod tests {
     }
 
     #[test]
+    fn hostile_names_round_trip_through_the_shared_escaper() {
+        let mut t = ChromeTrace::new();
+        t.name_process(1, "PE \"array\" \\ 阵列");
+        t.name_thread(1, 0, "PE0\nretimed µops");
+        t.push(ChromeEvent {
+            name: "conv\\1 \"3×3\" …latência".into(),
+            cat: "tâche\tspéciale".into(),
+            pid: 1,
+            tid: 0,
+            ts_us: 0,
+            dur_us: 2,
+            args: vec![("clé \"spéciale\"".into(), "valeur\\finale".into())],
+        });
+        let json = t.to_json();
+        // The full document must parse with the vendored serde_json —
+        // the same parser CI runs over emitted traces.
+        let doc = serde_json::from_str(&json).expect("trace JSON parses");
+        let names: Vec<String> = match &doc {
+            serde_json::Value::Object(map) => match map.get("traceEvents") {
+                Some(serde_json::Value::Array(events)) => events
+                    .iter()
+                    .filter_map(|e| match e {
+                        serde_json::Value::Object(o) => match o.get("name") {
+                            Some(serde_json::Value::String(s)) => Some(s.clone()),
+                            _ => None,
+                        },
+                        _ => None,
+                    })
+                    .collect(),
+                _ => Vec::new(),
+            },
+            _ => Vec::new(),
+        };
+        assert!(names.iter().any(|n| n == "conv\\1 \"3×3\" …latência"));
+        assert!(json.contains("\\\\ 阵列"));
+        assert!(json.contains("PE0\\nretimed µops"));
+    }
+
+    #[test]
     fn args_and_escaping() {
         let mut t = ChromeTrace::new();
         t.push(ChromeEvent {

@@ -1,26 +1,14 @@
-//! Minimal JSON string escaping for the exporters.
+//! JSON string escaping for the exporters.
 //!
-//! The exporters emit JSON by hand (this crate is dependency-free);
-//! the only part that needs care is string escaping, centralized here
-//! so every writer produces valid output for arbitrary names.
+//! The exporters emit JSON by hand, but string escaping — the only
+//! part that needs care — is NOT re-implemented here: every writer
+//! routes through the vendored `serde_json` escaper, so a name that
+//! round-trips through the `Value` serializer and one emitted by the
+//! Chrome-trace or JSONL writers escape identically.
 
 /// Appends `s` to `out` as a JSON string literal, quotes included.
 pub fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    serde_json::write_escaped(out, s);
 }
 
 /// Returns `s` as a JSON string literal, quotes included.
@@ -50,7 +38,27 @@ mod tests {
     }
 
     #[test]
+    fn backspace_and_formfeed_use_short_escapes() {
+        // The vendored escaper emits the two-character forms the JSON
+        // grammar names; the old hand-rolled escaper used \u00XX.
+        assert_eq!(escape("a\u{8}b"), "\"a\\bb\"");
+        assert_eq!(escape("a\u{c}b"), "\"a\\fb\"");
+    }
+
+    #[test]
     fn unicode_passes_through() {
         assert_eq!(escape("…+5"), "\"…+5\"");
+        assert_eq!(escape("латеншси p99 ≤ 4µs"), "\"латеншси p99 ≤ 4µs\"");
+    }
+
+    #[test]
+    fn matches_the_vendored_value_serializer() {
+        for s in ["plain", "q\"q", "b\\b", "nl\n", "…", "mixed \"\\\n…\u{1}"] {
+            assert_eq!(
+                escape(s),
+                serde_json::to_string(&serde_json::Value::from(s)),
+                "escaping diverged from the vendored serializer for {s:?}"
+            );
+        }
     }
 }

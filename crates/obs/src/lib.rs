@@ -18,9 +18,18 @@
 //! * **Contention-free recording.** Records land in thread-local
 //!   buffers; merging happens on thread exit (sweep workers) or an
 //!   explicit flush — never inside the recording fast path.
-//! * **Zero dependencies.** The build environment has no registry
-//!   access; this crate sits at the bottom of the workspace graph and
-//!   serializes its own JSON.
+//! * **Leaf of the workspace.** The build environment has no registry
+//!   access; this crate sits at the bottom of the workspace graph
+//!   (only the vendored `serde_json` stand-in below it, supplying the
+//!   one shared JSON string escaper) and serializes its own JSON.
+//!
+//! On top of the snapshot layer sit three serving-grade facilities:
+//! [`Histogram::quantile`] (deterministic p50/p90/p99),
+//! [`WindowedMetrics`] (cycle-keyed rolling windows checked against
+//! [`Slo`] objectives) and the **flight recorder**
+//! ([`flight_enable`]/[`flight_record`]) — a bounded ring of
+//! structured events drained into postmortem artifacts when a
+//! campaign dies.
 //!
 //! # Examples
 //!
@@ -51,14 +60,23 @@
 #![forbid(unsafe_code)]
 
 mod chrome;
+mod flight;
 pub mod json;
 mod metrics;
 mod recorder;
+mod window;
 
 pub use chrome::{ChromeEvent, ChromeTrace};
-pub use metrics::{Histogram, MetricsSnapshot, HISTOGRAM_BUCKETS};
-pub use recorder::{
-    counter_add, current_tid, disable, enable, enabled, flush_thread, gauge_max, now_us, observe,
-    reset, set_enabled, snapshot, span, take_spans, BufferedRecorder, NoopRecorder, Recorder,
-    SpanEvent, SpanGuard,
+pub use flight::{
+    flight_active, flight_disable, flight_enable, flight_events, flight_record, flight_reset,
+    FlightEvent, DEFAULT_FLIGHT_CAPACITY,
 };
+pub use metrics::{
+    check_prometheus, prometheus_name, Histogram, MetricsSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use recorder::{
+    counter_add, current_tid, disable, enable, enabled, flush_thread, gauge_max, logical_time,
+    now_us, observe, reset, set_enabled, snapshot, span, take_spans, BufferedRecorder,
+    NoopRecorder, Recorder, SpanEvent, SpanGuard,
+};
+pub use window::{Slo, SloStatus, WindowedMetrics};

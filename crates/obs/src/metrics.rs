@@ -137,6 +137,61 @@ impl Histogram {
         }
     }
 
+    /// The number of samples in bucket `i` (0 when out of range).
+    #[must_use]
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Rebuilds a histogram from its serialized parts — the shape
+    /// [`MetricsSnapshot::to_jsonl`] and the postmortem artifact
+    /// store: summary statistics plus `(lower_bound, count)` pairs for
+    /// the non-empty buckets. Returns `None` when the parts are
+    /// inconsistent: a lower bound that is not a real bucket boundary,
+    /// bucket counts that do not sum to `count`, `min > max`, or
+    /// summary values on an empty histogram.
+    #[must_use]
+    pub fn from_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        buckets: &[(u64, u64)],
+    ) -> Option<Histogram> {
+        if count == 0 {
+            if sum != 0 || min != 0 || max != 0 || !buckets.is_empty() {
+                return None;
+            }
+            return Some(Histogram::new());
+        }
+        if min > max {
+            return None;
+        }
+        let mut h = Histogram {
+            count,
+            sum,
+            min,
+            max,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        };
+        let mut total = 0u64;
+        for &(lo, c) in buckets {
+            let i = Self::bucket_of(lo);
+            if Self::bucket_lower(i) != lo || c == 0 {
+                return None;
+            }
+            if h.buckets[i] != 0 {
+                return None; // duplicate bucket
+            }
+            h.buckets[i] = c;
+            total = total.checked_add(c)?;
+        }
+        if total != count {
+            return None;
+        }
+        Some(h)
+    }
+
     /// The non-empty buckets as `(lower_bound, count)` pairs in
     /// ascending bound order.
     #[must_use]
@@ -147,6 +202,101 @@ impl Histogram {
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| (Self::bucket_lower(i), c))
             .collect()
+    }
+
+    /// The inclusive upper bound of bucket `i` (the largest value that
+    /// falls into it): `bucket_lower(i + 1) - 1`, or `u64::MAX` for
+    /// the last bucket.
+    #[must_use]
+    pub fn bucket_upper(i: usize) -> u64 {
+        if i + 1 >= HISTOGRAM_BUCKETS {
+            u64::MAX
+        } else {
+            Self::bucket_lower(i + 1) - 1
+        }
+    }
+
+    /// The `q`-quantile of the recorded samples under **fixed,
+    /// deterministic bucket-interpolation rules** — the same inputs
+    /// produce the same answer on every platform and at every worker
+    /// count, so quantiles are safe to embed in byte-compared
+    /// artifacts.
+    ///
+    /// The rules, exactly:
+    ///
+    /// 1. An empty histogram reports 0; `q <= 0` reports [`min`];
+    ///    `q >= 1` reports [`max`](Self::max).
+    /// 2. The target rank is `ceil(q * count)`, clamped to
+    ///    `[1, count]`.
+    /// 3. Buckets are scanned in ascending order until the cumulative
+    ///    count reaches the rank. The winning bucket's inclusive
+    ///    bounds are first narrowed to the observed `[min, max]`; the
+    ///    value is then linearly interpolated (integer arithmetic,
+    ///    truncating) between the narrowed bounds by the rank's
+    ///    position among that bucket's samples. A bucket holding a
+    ///    single sample reports its narrowed upper bound — so the top
+    ///    quantiles of a distribution whose largest sample sits alone
+    ///    in the last bucket report that sample, not a bucket edge.
+    /// 4. The result is clamped to the observed `[min, max]`, so a
+    ///    histogram holding one distinct value reports that value at
+    ///    every quantile.
+    ///
+    /// [`min`]: Self::min
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use paraconv_obs::Histogram;
+    ///
+    /// let mut h = Histogram::new();
+    /// for v in [1, 2, 3, 100] {
+    ///     h.record(v);
+    /// }
+    /// assert_eq!(h.quantile(0.5), 2);
+    /// assert_eq!(h.quantile(1.0), 100);
+    /// ```
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        // ceil(q * count) without float-precision surprises at the
+        // top: clamp into [1, count].
+        let rank = (q * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                // Bucket bounds narrowed to the observed [min, max].
+                let lo = Self::bucket_lower(i).max(self.min());
+                let hi = Self::bucket_upper(i).min(self.max);
+                // Position of the rank among this bucket's `c`
+                // samples, in [0, c-1]; interpolate on the narrowed
+                // span with truncating integer math.
+                let pos = rank - seen - 1;
+                let span = hi.saturating_sub(lo);
+                let value = if c <= 1 {
+                    hi
+                } else {
+                    // span/(c-1) scaling via u128: span can be up to
+                    // ~2^63, pos up to c-1.
+                    lo + u64::try_from(u128::from(span) * u128::from(pos) / u128::from(c - 1))
+                        .unwrap_or(span)
+                };
+                return value.clamp(self.min(), self.max);
+            }
+            seen += c;
+        }
+        self.max
     }
 }
 
@@ -254,6 +404,125 @@ impl MetricsSnapshot {
         }
         out
     }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# TYPE` comments, sanitized metric names
+    /// under a `paraconv_` prefix, and cumulative `_bucket{le="…"}`
+    /// series for histograms. Output is deterministic: groups in
+    /// fixed order (counters, gauges, histograms), names sorted.
+    ///
+    /// Dots and any other non-`[a-zA-Z0-9_]` characters in metric
+    /// names become underscores (`sim.tasks` → `paraconv_sim_tasks`).
+    /// Gauges here are high-water marks, so they are exposed as
+    /// Prometheus gauges that only ever rise.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let n = prometheus_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let n = prometheus_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = prometheus_name(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for i in 0..HISTOGRAM_BUCKETS {
+                let c = h.bucket_count(i);
+                if c == 0 {
+                    continue;
+                }
+                cumulative += c;
+                let le = Histogram::bucket_upper(i);
+                out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+            out.push_str(&format!("{n}_sum {}\n", h.sum()));
+            out.push_str(&format!("{n}_count {}\n", h.count()));
+            for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                out.push_str(&format!(
+                    "{n}_quantile{{quantile=\"{label}\"}} {}\n",
+                    h.quantile(q)
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Sanitizes a metric name for the Prometheus exposition format:
+/// every character outside `[a-zA-Z0-9_]` becomes `_`, and the result
+/// is prefixed with `paraconv_`.
+#[must_use]
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 9);
+    out.push_str("paraconv_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Validates Prometheus text-exposition lines: every line must be a
+/// `#` comment or `name[{label="value",…}] <integer-or-float>` with a
+/// legal metric name. Returns the number of sample (non-comment)
+/// lines.
+///
+/// This is the line-format checker CI runs over emitted expositions —
+/// a structural check, deliberately stricter than "Prometheus would
+/// probably accept it".
+///
+/// # Errors
+///
+/// The first offending line, as `line <n>: <reason>`.
+pub fn check_prometheus(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) = match line.split_once(' ') {
+            Some(parts) => parts,
+            None => return Err(format!("line {n}: expected `name value`")),
+        };
+        let name = match name_part.split_once('{') {
+            Some((name, labels)) => {
+                let Some(labels) = labels.strip_suffix('}') else {
+                    return Err(format!("line {n}: unterminated label set"));
+                };
+                for pair in labels.split(',') {
+                    let Some((k, v)) = pair.split_once('=') else {
+                        return Err(format!("line {n}: label `{pair}` is not key=\"value\""));
+                    };
+                    if k.is_empty() || !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
+                        return Err(format!("line {n}: label `{pair}` is not key=\"value\""));
+                    }
+                }
+                name
+            }
+            None => name_part,
+        };
+        let mut chars = name.chars();
+        let legal_start = chars
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+        if !legal_start || !chars.all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("line {n}: illegal metric name `{name}`"));
+        }
+        if value_part.is_empty() || value_part.parse::<f64>().is_err() {
+            return Err(format!("line {n}: `{value_part}` is not a number"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -267,12 +536,15 @@ impl fmt::Display for MetricsSnapshot {
         for (name, h) in &self.histograms {
             writeln!(
                 f,
-                "histogram  {name:<36} count={} sum={} min={} max={} mean={:.2}",
+                "histogram  {name:<36} count={} sum={} min={} max={} mean={:.2} p50={} p90={} p99={}",
                 h.count(),
                 h.sum(),
                 h.min(),
                 h.max(),
-                h.mean()
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99),
             )?;
         }
         Ok(())
@@ -346,6 +618,125 @@ mod tests {
     }
 
     #[test]
+    fn record_zero_lands_in_bucket_zero() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1)]);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn record_u64_max_lands_in_last_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.bucket_count(HISTOGRAM_BUCKETS - 1), 1);
+        assert_eq!(h.min(), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        // sum saturates rather than wrapping
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.quantile(0.99), u64::MAX);
+    }
+
+    #[test]
+    fn bucket_of_and_bucket_lower_round_trip_every_power_of_two() {
+        for exp in 0..64u32 {
+            let v = 1u64 << exp;
+            let i = Histogram::bucket_of(v);
+            // A power of two is the lower bound of its own bucket…
+            assert_eq!(Histogram::bucket_lower(i), v, "2^{exp}");
+            // …and the value one below it closes the previous bucket.
+            if v > 1 {
+                let prev = Histogram::bucket_of(v - 1);
+                assert_eq!(prev, i - 1, "2^{exp} - 1");
+                assert_eq!(Histogram::bucket_upper(prev), v - 1, "2^{exp} - 1");
+            }
+        }
+        assert_eq!(Histogram::bucket_upper(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_round_trips_through_its_parts() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 9, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let rebuilt =
+            Histogram::from_parts(h.count(), h.sum(), h.min(), h.max(), &h.nonzero_buckets())
+                .expect("own parts are consistent");
+        assert_eq!(rebuilt, h);
+        assert_eq!(
+            Histogram::from_parts(0, 0, 0, 0, &[]),
+            Some(Histogram::new())
+        );
+        // 3 is inside bucket [2,3], not a boundary.
+        assert!(Histogram::from_parts(2, 6, 3, 3, &[(3, 2)]).is_none());
+        // Counts must sum to `count`.
+        assert!(Histogram::from_parts(3, 6, 1, 4, &[(1, 1), (4, 1)]).is_none());
+        assert!(Histogram::from_parts(1, 0, 5, 4, &[(4, 1)]).is_none());
+    }
+
+    #[test]
+    fn quantiles_follow_the_documented_rules() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1); // q <= 0 → min
+        assert_eq!(h.quantile(1.0), 100); // q >= 1 → max
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(h.quantile(0.99), 100);
+
+        // A single distinct value reports itself at every quantile.
+        let mut one = Histogram::new();
+        for _ in 0..10 {
+            one.record(7);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 7, "q={q}");
+        }
+
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn prometheus_exposition_passes_the_line_checker() {
+        let mut s = MetricsSnapshot::new();
+        s.counters.insert("sim.tasks".into(), 42);
+        s.gauges.insert("sim.cache.peak_occupancy".into(), 7);
+        let mut h = Histogram::new();
+        for v in [1u64, 3, 900] {
+            h.record(v);
+        }
+        s.histograms.insert("sim.transfer.latency".into(), h);
+        let text = s.to_prometheus();
+        assert!(text.contains("# TYPE paraconv_sim_tasks counter\n"));
+        assert!(text.contains("paraconv_sim_tasks 42\n"));
+        assert!(text.contains("paraconv_sim_cache_peak_occupancy 7\n"));
+        assert!(text.contains("paraconv_sim_transfer_latency_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("paraconv_sim_transfer_latency_count 3\n"));
+        assert!(text.contains("paraconv_sim_transfer_latency_quantile{quantile=\"0.5\"} 3\n"));
+        let samples = check_prometheus(&text).expect("checker accepts own output");
+        assert!(samples >= 10, "expected >= 10 sample lines, got {samples}");
+    }
+
+    #[test]
+    fn prometheus_checker_rejects_malformed_lines() {
+        assert!(check_prometheus("no_value_here").is_err());
+        assert!(check_prometheus("9starts_with_digit 1").is_err());
+        assert!(check_prometheus("name{unterminated=\"x\" 1").is_err());
+        assert!(check_prometheus("name{k=unquoted} 1").is_err());
+        assert!(check_prometheus("name not-a-number").is_err());
+        assert_eq!(check_prometheus("# just a comment\n"), Ok(0));
+        assert_eq!(check_prometheus("ok{le=\"+Inf\"} 3\n"), Ok(1));
+    }
+
+    #[test]
     fn jsonl_is_deterministic_and_line_per_metric() {
         let mut s = MetricsSnapshot::new();
         s.counters.insert("b.count".into(), 2);
@@ -363,5 +754,36 @@ mod tests {
         assert!(lines[2].contains("\"gauge\""));
         assert!(lines[3].contains("\"histogram\""));
         assert_eq!(jsonl, s.to_jsonl());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn histogram_merge_is_commutative(
+            xs in proptest::collection::vec(0u64..=u64::MAX, 0..64),
+            ys in proptest::collection::vec(0u64..=u64::MAX, 0..64),
+        ) {
+            let mut a = Histogram::new();
+            for &v in &xs {
+                a.record(v);
+            }
+            let mut b = Histogram::new();
+            for &v in &ys {
+                b.record(v);
+            }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            proptest::prop_assert_eq!(&ab, &ba);
+
+            // Merging also matches recording everything into one
+            // histogram, and quantiles agree on the merged view.
+            let mut whole = Histogram::new();
+            for &v in xs.iter().chain(&ys) {
+                whole.record(v);
+            }
+            proptest::prop_assert_eq!(&ab, &whole);
+            proptest::prop_assert_eq!(ab.quantile(0.5), whole.quantile(0.5));
+        }
     }
 }

@@ -17,7 +17,7 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -119,9 +119,28 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-/// Microseconds since the recorder epoch (first use in the process).
+/// Process-local sequence driving logical-clock timestamps.
+static LOGICAL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// True when `PARACONV_LOGICAL_TIME=1` was set at first use: span
+/// timestamps come from a process-local atomic sequence instead of the
+/// wall clock, making `--trace` output byte-reproducible. Checked once
+/// and cached — flipping the variable mid-process has no effect.
+#[must_use]
+pub fn logical_time() -> bool {
+    static LOGICAL: OnceLock<bool> = OnceLock::new();
+    *LOGICAL.get_or_init(|| std::env::var("PARACONV_LOGICAL_TIME").is_ok_and(|v| v == "1"))
+}
+
+/// Microseconds since the recorder epoch (first use in the process) —
+/// or, under [`logical_time`], the next value of a process-local
+/// sequence, so every span start/end gets a distinct, reproducible
+/// "timestamp".
 #[must_use]
 pub fn now_us() -> u64 {
+    if logical_time() {
+        return LOGICAL_SEQ.fetch_add(1, Ordering::Relaxed);
+    }
     u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
@@ -389,6 +408,7 @@ pub fn reset() {
         .unwrap_or_else(std::sync::PoisonError::into_inner);
     g.metrics = MetricsSnapshot::new();
     g.spans.clear();
+    LOGICAL_SEQ.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]

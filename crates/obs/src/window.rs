@@ -1,0 +1,333 @@
+//! Time-windowed metric aggregation keyed by **logical** cycles.
+//!
+//! A long-running planner (ROADMAP item 1, planning-as-a-service)
+//! cannot report one whole-process snapshot forever: operators want
+//! rolling rates and burn-down against declared service objectives.
+//! [`WindowedMetrics`] keeps a bounded ring of per-window
+//! [`MetricsSnapshot`]s keyed by `cycle / window_len` — simulated
+//! cycles, never wallclock — so the same ingest stream produces the
+//! same windows on every machine and at every worker count, and two
+//! rings covering disjoint shards of a run
+//! [`merge`](WindowedMetrics::merge) commutatively into the ring a
+//! single worker would have built.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::metrics::{Histogram, MetricsSnapshot};
+
+/// Declared service objectives a serving planner is held to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slo {
+    /// The p99 of the tracked latency histogram must stay at or below
+    /// this many simulated cycles.
+    pub p99_cycles: u64,
+    /// Each window must complete at least this many tracked work items
+    /// (counter delta per window).
+    pub min_throughput: u64,
+}
+
+/// Verdict of checking a [`WindowedMetrics`] ring against an [`Slo`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloStatus {
+    /// Windows inspected (the ring's current occupancy).
+    pub windows: u64,
+    /// Windows violating the latency objective.
+    pub latency_violations: u64,
+    /// Windows violating the throughput objective.
+    pub throughput_violations: u64,
+    /// Error budget consumed, in basis points (violating windows /
+    /// total windows × 10⁴) — integer so status reports stay
+    /// byte-deterministic.
+    pub burn_bp: u64,
+}
+
+impl SloStatus {
+    /// True when no window violated either objective.
+    #[must_use]
+    pub const fn ok(&self) -> bool {
+        self.latency_violations == 0 && self.throughput_violations == 0
+    }
+}
+
+impl fmt::Display for SloStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slo {}: {} windows, {} latency violations, {} throughput violations, burn {}.{:02}%",
+            if self.ok() { "OK" } else { "VIOLATED" },
+            self.windows,
+            self.latency_violations,
+            self.throughput_violations,
+            self.burn_bp / 100,
+            self.burn_bp % 100,
+        )
+    }
+}
+
+/// A bounded ring of per-window metric snapshots keyed by logical
+/// cycle.
+///
+/// Windows are indexed by `cycle / window_len`; the ring keeps the
+/// `capacity` **highest** window indices and evicts the lowest — an
+/// order-independent rule, so merging two rings never depends on
+/// arrival order.
+///
+/// # Examples
+///
+/// ```
+/// use paraconv_obs::{MetricsSnapshot, WindowedMetrics};
+///
+/// let mut w = WindowedMetrics::new(100, 8);
+/// let mut snap = MetricsSnapshot::new();
+/// snap.counters.insert("serve.requests".into(), 3);
+/// w.merge_snapshot(250, &snap); // lands in window 2 = [200, 300)
+/// assert_eq!(w.window(2).unwrap().counter("serve.requests"), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedMetrics {
+    window_len: u64,
+    capacity: usize,
+    windows: BTreeMap<u64, MetricsSnapshot>,
+}
+
+impl WindowedMetrics {
+    /// Creates a ring of up to `capacity` windows, each spanning
+    /// `window_len` logical cycles. Both are clamped to at least 1.
+    #[must_use]
+    pub fn new(window_len: u64, capacity: usize) -> Self {
+        WindowedMetrics {
+            window_len: window_len.max(1),
+            capacity: capacity.max(1),
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// The window length in logical cycles.
+    #[must_use]
+    pub const fn window_len(&self) -> u64 {
+        self.window_len
+    }
+
+    /// The window index a cycle falls into.
+    #[must_use]
+    pub const fn window_of(&self, cycle: u64) -> u64 {
+        cycle / self.window_len
+    }
+
+    /// Number of windows currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// True when no window has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The snapshot for window index `idx`, if retained.
+    #[must_use]
+    pub fn window(&self, idx: u64) -> Option<&MetricsSnapshot> {
+        self.windows.get(&idx)
+    }
+
+    /// The retained windows in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &MetricsSnapshot)> {
+        self.windows.iter().map(|(&i, s)| (i, s))
+    }
+
+    /// Merges `snapshot` into the window containing `cycle`.
+    pub fn merge_snapshot(&mut self, cycle: u64, snapshot: &MetricsSnapshot) {
+        let idx = self.window_of(cycle);
+        self.windows.entry(idx).or_default().merge(snapshot);
+        self.evict();
+    }
+
+    /// Merges another ring into this one window-by-window. Commutative
+    /// up to ring parameters: `a.merge(&b)` and `b.merge(&a)` hold the
+    /// same windows when both rings share `window_len` and `capacity`.
+    pub fn merge(&mut self, other: &WindowedMetrics) {
+        for (&idx, snap) in &other.windows {
+            self.windows.entry(idx).or_default().merge(snap);
+        }
+        self.evict();
+    }
+
+    fn evict(&mut self) {
+        while self.windows.len() > self.capacity {
+            self.windows.pop_first();
+        }
+    }
+
+    /// Rolling rate of counter `name`: its total across retained
+    /// windows divided by the cycles those windows span, in events per
+    /// 1000 cycles (integer, truncating). 0 when empty.
+    #[must_use]
+    pub fn rate_per_kcycle(&self, name: &str) -> u64 {
+        if self.windows.is_empty() {
+            return 0;
+        }
+        let total: u64 = self.windows.values().map(|s| s.counter(name)).sum();
+        let span = self.windows.len() as u64 * self.window_len;
+        total.saturating_mul(1000) / span
+    }
+
+    /// The tracked latency distribution aggregated across all retained
+    /// windows.
+    #[must_use]
+    pub fn aggregate_histogram(&self, name: &str) -> Histogram {
+        let mut h = Histogram::new();
+        for s in self.windows.values() {
+            if let Some(w) = s.histogram(name) {
+                h.merge(w);
+            }
+        }
+        h
+    }
+
+    /// Checks every retained window against `slo`: the p99 of
+    /// `latency_hist` must stay within `slo.p99_cycles`, and
+    /// `throughput_counter` must reach `slo.min_throughput` per
+    /// window. Windows with no sample of the latency histogram only
+    /// count toward the throughput check.
+    #[must_use]
+    pub fn slo_status(&self, latency_hist: &str, throughput_counter: &str, slo: &Slo) -> SloStatus {
+        let mut latency_violations = 0u64;
+        let mut throughput_violations = 0u64;
+        for s in self.windows.values() {
+            if let Some(h) = s.histogram(latency_hist) {
+                if h.quantile(0.99) > slo.p99_cycles {
+                    latency_violations += 1;
+                }
+            }
+            if s.counter(throughput_counter) < slo.min_throughput {
+                throughput_violations += 1;
+            }
+        }
+        let windows = self.windows.len() as u64;
+        let violating = self
+            .windows
+            .values()
+            .filter(|s| {
+                let lat = s
+                    .histogram(latency_hist)
+                    .is_some_and(|h| h.quantile(0.99) > slo.p99_cycles);
+                lat || s.counter(throughput_counter) < slo.min_throughput
+            })
+            .count() as u64;
+        let burn_bp = (violating * 10_000).checked_div(windows).unwrap_or(0);
+        SloStatus {
+            windows,
+            latency_violations,
+            throughput_violations,
+            burn_bp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(counter: u64, latencies: &[u64]) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new();
+        s.counters.insert("serve.requests".into(), counter);
+        let mut h = Histogram::new();
+        for &v in latencies {
+            h.record(v);
+        }
+        if !latencies.is_empty() {
+            s.histograms.insert("serve.latency".into(), h);
+        }
+        s
+    }
+
+    #[test]
+    fn snapshots_land_in_cycle_keyed_windows() {
+        let mut w = WindowedMetrics::new(100, 4);
+        w.merge_snapshot(0, &snap(1, &[5]));
+        w.merge_snapshot(99, &snap(2, &[6]));
+        w.merge_snapshot(100, &snap(4, &[7]));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.window(0).unwrap().counter("serve.requests"), 3);
+        assert_eq!(w.window(1).unwrap().counter("serve.requests"), 4);
+    }
+
+    #[test]
+    fn eviction_keeps_the_newest_windows() {
+        let mut w = WindowedMetrics::new(10, 2);
+        for cycle in [5, 15, 25, 35] {
+            w.merge_snapshot(cycle, &snap(1, &[]));
+        }
+        assert_eq!(w.len(), 2);
+        assert!(w.window(0).is_none());
+        assert!(w.window(2).is_some());
+        assert!(w.window(3).is_some());
+    }
+
+    #[test]
+    fn ring_merge_is_commutative_and_matches_single_writer() {
+        let parts: [(u64, MetricsSnapshot); 4] = [
+            (10, snap(1, &[3])),
+            (110, snap(2, &[30])),
+            (25, snap(4, &[9])),
+            (205, snap(8, &[100])),
+        ];
+        let mut whole = WindowedMetrics::new(100, 8);
+        for (cycle, s) in &parts {
+            whole.merge_snapshot(*cycle, s);
+        }
+        let mut a = WindowedMetrics::new(100, 8);
+        let mut b = WindowedMetrics::new(100, 8);
+        for (i, (cycle, s)) in parts.iter().enumerate() {
+            if i % 2 == 0 {
+                a.merge_snapshot(*cycle, s);
+            } else {
+                b.merge_snapshot(*cycle, s);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, whole);
+    }
+
+    #[test]
+    fn rates_and_aggregates_cover_all_windows() {
+        let mut w = WindowedMetrics::new(100, 8);
+        w.merge_snapshot(50, &snap(10, &[1, 2]));
+        w.merge_snapshot(150, &snap(30, &[4, 8]));
+        // 40 events over 2 windows × 100 cycles = 200 events/kcycle.
+        assert_eq!(w.rate_per_kcycle("serve.requests"), 200);
+        assert_eq!(w.aggregate_histogram("serve.latency").count(), 4);
+    }
+
+    #[test]
+    fn slo_status_counts_violating_windows() {
+        let slo = Slo {
+            p99_cycles: 10,
+            min_throughput: 5,
+        };
+        let mut w = WindowedMetrics::new(100, 8);
+        w.merge_snapshot(0, &snap(9, &[1, 2, 3])); // healthy
+        w.merge_snapshot(100, &snap(9, &[1, 2, 400])); // latency violation
+        w.merge_snapshot(200, &snap(2, &[1])); // throughput violation
+        let status = w.slo_status("serve.latency", "serve.requests", &slo);
+        assert!(!status.ok());
+        assert_eq!(status.windows, 3);
+        assert_eq!(status.latency_violations, 1);
+        assert_eq!(status.throughput_violations, 1);
+        // 2 of 3 windows violate something: 6666 bp.
+        assert_eq!(status.burn_bp, 6666);
+        assert!(status.to_string().contains("VIOLATED"));
+
+        let healthy =
+            WindowedMetrics::new(100, 8).slo_status("serve.latency", "serve.requests", &slo);
+        assert!(healthy.ok());
+        assert_eq!(healthy.burn_bp, 0);
+    }
+}

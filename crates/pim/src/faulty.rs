@@ -160,6 +160,12 @@ pub(crate) fn perturb(
                     out.injected += 1;
                     paraconv_obs::counter_add(metrics::INJECTED, 1);
                     if attempt >= retry.max_retries {
+                        paraconv_obs::flight_record(
+                            "fault",
+                            "retry.exhausted",
+                            base,
+                            x.edge.index() as u64,
+                        );
                         return Err(SimError::RetryExhausted {
                             edge: x.edge,
                             iteration: x.iteration,
@@ -170,6 +176,12 @@ pub(crate) fn perturb(
                     let backoff = retry.backoff(attempt);
                     waited = waited.saturating_add(backoff);
                     if waited > retry.deadline {
+                        paraconv_obs::flight_record(
+                            "fault",
+                            "retry.exhausted",
+                            base,
+                            x.edge.index() as u64,
+                        );
                         return Err(SimError::RetryExhausted {
                             edge: x.edge,
                             iteration: x.iteration,
@@ -180,6 +192,7 @@ pub(crate) fn perturb(
                     out.retries += 1;
                     paraconv_obs::counter_add(metrics::RETRIES, 1);
                     paraconv_obs::observe(metrics::RETRY_LATENCY, backoff);
+                    paraconv_obs::flight_record("fault", "vault.retry", base, backoff);
                     attempt += 1;
                 }
             }
@@ -191,6 +204,7 @@ pub(crate) fn perturb(
                 out.injected += 1;
                 paraconv_obs::counter_add(metrics::CONGESTION, 1);
                 paraconv_obs::counter_add(metrics::INJECTED, 1);
+                paraconv_obs::flight_record("fault", "congestion", base, congestion);
             }
 
             // Cached IPR fails its checksum: repair by re-fetching the
@@ -202,6 +216,7 @@ pub(crate) fn perturb(
                 out.injected += 1;
                 paraconv_obs::counter_add(metrics::CORRUPTIONS, 1);
                 paraconv_obs::counter_add(metrics::INJECTED, 1);
+                paraconv_obs::flight_record("fault", "corruption", base, refetch);
             }
 
             let delay = waited.saturating_add(congestion).saturating_add(refetch);
@@ -228,8 +243,15 @@ pub(crate) fn perturb(
             if let Some(cycle) = spec.kill_cycle(t.pe.index() as u32) {
                 if finish > cycle {
                     // `out` is dropped with the error; only the obs
-                    // counter survives to record the kill.
+                    // counter and the flight recorder survive to
+                    // record the kill.
                     paraconv_obs::counter_add(metrics::INJECTED, 1);
+                    paraconv_obs::flight_record(
+                        "fault",
+                        "pe.fail_stop",
+                        cycle,
+                        t.pe.index() as u64,
+                    );
                     return Err(SimError::PeFailStop {
                         pe: t.pe,
                         node: t.node,

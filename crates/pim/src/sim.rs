@@ -1224,6 +1224,7 @@ fn finish(
     paraconv_obs::gauge_max("sim.cache.peak_occupancy", peak_cache.max(0) as u64);
     paraconv_obs::gauge_max("sim.fifo.peak_occupancy", peak_fifo as u64);
     paraconv_obs::gauge_max("sim.vault.peak_concurrency", peak_vault_concurrency as u64);
+    paraconv_obs::flight_record("sim", "replay.done", total_time, plan.tasks().len() as u64);
 
     Ok(SimReport {
         total_time,

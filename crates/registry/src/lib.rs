@@ -21,6 +21,12 @@
 //! input to a typed [`ArtifactError`] (never a panic), and the CLI
 //! runs `paraconv-verify` over every imported plan before anything is
 //! simulated.
+//!
+//! The same idiom carries the **postmortem artifact**
+//! ([`PostmortemBundle`]/[`decode_postmortem`]): when a campaign dies,
+//! the driver dumps the flight recorder's recent events plus the
+//! metrics aggregate behind a content-hashed header, byte-identical at
+//! every `PARACONV_JOBS` width.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +35,7 @@ mod artifact;
 mod codec;
 mod error;
 mod hash;
+mod postmortem;
 mod store;
 
 pub use artifact::{
@@ -41,4 +48,8 @@ pub use codec::{
 };
 pub use error::ArtifactError;
 pub use hash::{sha256_hex, Sha256};
+pub use postmortem::{
+    decode_postmortem, PostmortemArtifact, PostmortemBundle, PostmortemHeader,
+    POSTMORTEM_FORMAT_VERSION, POSTMORTEM_MAGIC,
+};
 pub use store::{is_valid_key, Registry};

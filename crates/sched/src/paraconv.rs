@@ -366,6 +366,7 @@ impl ParaConvScheduler {
             }
         }
 
+        paraconv_obs::flight_record("sched", "schedule.done", plan.makespan(), pes.len() as u64);
         Ok(ParaConvOutcome {
             plan,
             kernel,

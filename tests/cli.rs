@@ -266,3 +266,298 @@ fn plan_diff_of_differing_plans_is_a_runtime_error() {
     std::fs::remove_file(&a).expect("cleanup");
     std::fs::remove_file(&b).expect("cleanup");
 }
+
+// ---- flight recorder & postmortem -------------------------------------
+
+/// A chaos campaign that kills every PE: recovery is impossible, so
+/// the run must die and dump the flight recorder.
+fn killed_campaign(dump: &std::path::Path, jobs: &str) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_paraconv"))
+        .env("PARACONV_JOBS", jobs)
+        .args([
+            "chaos",
+            "cat",
+            "--seed",
+            "7",
+            "--fault-rate",
+            "100",
+            "--pes",
+            "8",
+            "--iters",
+            "5",
+            "--kill-pe",
+            "0@5",
+            "--kill-pe",
+            "1@10",
+            "--kill-pe",
+            "2@15",
+            "--kill-pe",
+            "3@20",
+            "--kill-pe",
+            "4@25",
+            "--kill-pe",
+            "5@30",
+            "--kill-pe",
+            "6@35",
+            "--kill-pe",
+            "7@40",
+            "--postmortem",
+            dump.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("binary spawns")
+}
+
+#[test]
+fn a_killed_campaign_dumps_a_renderable_postmortem() {
+    let dump = plan_tmp("killed.postmortem");
+    let out = killed_campaign(&dump, "1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "a dead campaign exits 1");
+    assert!(
+        stderr.contains("postmortem dumped to"),
+        "failure names the dump: {stderr}"
+    );
+
+    let out = paraconv(&["postmortem", dump.to_str().expect("utf-8 path")]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "dump renders: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "reason:",
+        "flight recorder",
+        "pe.fail_stop",
+        "chaos",
+        "replan",
+        "metrics at failure:",
+        "benchmark",
+    ] {
+        assert!(stdout.contains(needle), "missing `{needle}` in: {stdout}");
+    }
+    std::fs::remove_file(&dump).expect("cleanup");
+}
+
+#[test]
+fn postmortem_bytes_are_identical_across_worker_counts() {
+    let mut dumps = Vec::new();
+    for jobs in ["1", "2", "8"] {
+        let dump = plan_tmp(&format!("identity-j{jobs}.postmortem"));
+        let out = killed_campaign(&dump, jobs);
+        assert_eq!(out.status.code(), Some(1));
+        dumps.push(std::fs::read(&dump).expect("dump written"));
+        std::fs::remove_file(&dump).expect("cleanup");
+    }
+    assert_eq!(dumps[0], dumps[1], "jobs=1 and jobs=2 dumps differ");
+    assert_eq!(dumps[0], dumps[2], "jobs=1 and jobs=8 dumps differ");
+}
+
+#[test]
+fn postmortem_usage_and_rejection_contract() {
+    assert_usage_error(&["postmortem"]);
+    assert_usage_error(&["postmortem", "a", "b"]);
+
+    let out = paraconv(&["postmortem", "/nonexistent/never.postmortem"]);
+    assert_eq!(out.status.code(), Some(1));
+
+    let path = plan_tmp("corrupt.postmortem");
+    std::fs::write(&path, b"not a postmortem\n").expect("write fixture");
+    let out = paraconv(&["postmortem", path.to_str().expect("utf-8 path")]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+    assert!(
+        stderr.contains("postmortem rejected"),
+        "typed rejection expected, got: {stderr}"
+    );
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+// ---- logical-clock trace identity -------------------------------------
+
+/// Exports a trace under `PARACONV_LOGICAL_TIME=1` and returns its
+/// bytes. Span timestamps come from a process-local sequence, so two
+/// identical invocations must serialize identical files.
+fn logical_trace(path: &std::path::Path) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_paraconv"))
+        .env("PARACONV_LOGICAL_TIME", "1")
+        .args([
+            "run",
+            "cat",
+            "--pes",
+            "8",
+            "--iters",
+            "5",
+            "--trace",
+            path.to_str().expect("utf-8 path"),
+        ])
+        .output()
+        .expect("binary spawns");
+    assert_eq!(out.status.code(), Some(0));
+    let bytes = std::fs::read(path).expect("trace written");
+    std::fs::remove_file(path).expect("cleanup");
+    bytes
+}
+
+#[test]
+fn logical_time_traces_are_byte_identical() {
+    let a = logical_trace(&plan_tmp("logical-a.json"));
+    let b = logical_trace(&plan_tmp("logical-b.json"));
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "logical-clock spans must not depend on wallclock");
+}
+
+// ---- bench trajectory analyzer ----------------------------------------
+
+fn bench_fixture(dir: &std::path::Path, id: u64, tasks: f64) {
+    let text = format!(
+        "{{\"bench_id\": {id},
+          \"simulate\": {{\"planned_tasks_per_sec\": {tasks}}},
+          \"dp\": {{\"fills_per_sec\": 500.0, \"workload\": \"cold\"}},
+          \"sweep\": {{\"speedup\": 1.5}}}}\n"
+    );
+    std::fs::write(dir.join(format!("BENCH_{id}.json")), text).expect("write fixture");
+}
+
+#[test]
+fn bench_report_gates_the_final_step() {
+    let dir = plan_tmp("bench-series");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    bench_fixture(&dir, 1, 1000.0);
+    bench_fixture(&dir, 2, 950.0);
+    let out = paraconv(&["bench", "report", "--dir", dir.to_str().expect("utf-8")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "a 5% dip is in tolerance");
+    assert!(stdout.contains("no regressions"), "got: {stdout}");
+
+    bench_fixture(&dir, 3, 700.0);
+    let out = paraconv(&["bench", "report", "--dir", dir.to_str().expect("utf-8")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "a 26% drop regresses");
+    assert!(
+        stdout.contains("REGRESSED simulate.planned_tasks_per_sec"),
+        "got: {stdout}"
+    );
+
+    // A looser tolerance waves the same series through.
+    let out = paraconv(&[
+        "bench",
+        "report",
+        "--dir",
+        dir.to_str().expect("utf-8"),
+        "--tolerance-bp",
+        "5000",
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn bench_diff_compares_two_reports() {
+    let dir = plan_tmp("bench-diff");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    bench_fixture(&dir, 1, 1000.0);
+    bench_fixture(&dir, 2, 400.0);
+    let a = dir.join("BENCH_1.json");
+    let b = dir.join("BENCH_2.json");
+    let out = paraconv(&[
+        "bench",
+        "diff",
+        a.to_str().expect("utf-8"),
+        b.to_str().expect("utf-8"),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "a 60% drop regresses");
+    let out = paraconv(&[
+        "bench",
+        "diff",
+        b.to_str().expect("utf-8"),
+        a.to_str().expect("utf-8"),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "an improvement passes");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn bench_usage_contract() {
+    assert_usage_error(&["bench"]);
+    assert_usage_error(&["bench", "bogus"]);
+    assert_usage_error(&["bench", "diff", "only-one.json"]);
+    assert_usage_error(&["bench", "report", "--tolerance-bp", "99999"]);
+    assert_usage_error(&["bench", "report", "stray-positional"]);
+}
+
+// ---- artifact format checkers -----------------------------------------
+
+#[test]
+fn check_validates_real_exports_and_rejects_garbage() {
+    let trace = plan_tmp("check.trace.json");
+    let metrics = plan_tmp("check.metrics.jsonl");
+    let out = paraconv(&[
+        "run",
+        "cat",
+        "--pes",
+        "8",
+        "--iters",
+        "5",
+        "--trace",
+        trace.to_str().expect("utf-8"),
+        "--metrics",
+        metrics.to_str().expect("utf-8"),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+
+    let out = paraconv(&["check", "trace", trace.to_str().expect("utf-8")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "trace validates: {stdout}");
+    assert!(stdout.contains("trace event(s) OK"));
+
+    let out = paraconv(&["check", "metrics", metrics.to_str().expect("utf-8")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "metrics validate: {stdout}");
+    assert!(stdout.contains("metric line(s) OK"));
+
+    // Kind confusion is caught: a metrics JSONL is not a trace.
+    let out = paraconv(&["check", "trace", metrics.to_str().expect("utf-8")]);
+    assert_eq!(out.status.code(), Some(1));
+
+    let garbage = plan_tmp("check.garbage");
+    std::fs::write(&garbage, b"{\"not\": \"a metric\"}\n").expect("write fixture");
+    for kind in ["trace", "metrics", "prom"] {
+        let out = paraconv(&["check", kind, garbage.to_str().expect("utf-8")]);
+        assert_eq!(out.status.code(), Some(1), "garbage fails `check {kind}`");
+    }
+    for path in [&trace, &metrics, &garbage] {
+        std::fs::remove_file(path).expect("cleanup");
+    }
+}
+
+#[test]
+fn check_usage_contract() {
+    assert_usage_error(&["check"]);
+    assert_usage_error(&["check", "trace"]);
+    assert_usage_error(&["check", "bogus", "file.json"]);
+}
+
+// ---- stats flags -------------------------------------------------------
+
+#[test]
+fn stats_prom_emits_a_checkable_exposition() {
+    let out = paraconv(&["stats", "cat", "--pes", "8", "--iters", "5", "--prom"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("# TYPE paraconv_sim_runs counter"));
+    assert!(stdout.contains("_quantile{quantile=\"0.99\"}"));
+}
+
+#[test]
+fn stats_watch_refreshes_and_terminates() {
+    let out = paraconv(&["stats", "cat", "--pes", "8", "--iters", "5", "--watch", "2"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\u{1b}[2J"),
+        "refresh clears the screen between rounds"
+    );
+    assert_usage_error(&["stats", "cat", "--watch", "0"]);
+    assert_usage_error(&["stats", "cat", "--watch", "abc"]);
+}

@@ -189,3 +189,102 @@ fn chrome_trace_parses_and_matches_schema() {
     assert!(json.contains("\"sched.kernel\""));
     assert!(json.contains("\"pim.simulate\""));
 }
+
+#[test]
+fn flight_recorder_captures_scheduler_and_simulator_events() {
+    let _guard = lock();
+    obs::reset();
+    obs::flight_enable(obs::DEFAULT_FLIGHT_CAPACITY);
+    let cfg = PimConfig::neurocube(8).unwrap();
+    let graph = benchmarks::all()[0].graph().unwrap();
+    ParaConv::new(cfg).run(&graph, 10).unwrap();
+    obs::flight_disable();
+    let events = obs::flight_events();
+    obs::flight_reset();
+    obs::reset();
+
+    assert!(
+        events
+            .iter()
+            .any(|e| e.cat == "sched" && e.label == "schedule.done"),
+        "scheduler completion is on the flight ring"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.cat == "sim" && e.label == "replay.done"),
+        "simulator completion is on the flight ring"
+    );
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq, "sequence numbers are ordered");
+    }
+}
+
+#[test]
+fn flight_recorder_is_silent_when_disabled() {
+    let _guard = lock();
+    obs::reset();
+    obs::flight_reset();
+    let cfg = PimConfig::neurocube(8).unwrap();
+    let graph = benchmarks::all()[0].graph().unwrap();
+    ParaConv::new(cfg).run(&graph, 10).unwrap();
+    assert!(
+        obs::flight_events().is_empty(),
+        "no events may be recorded while the ring is inactive"
+    );
+}
+
+#[test]
+fn prometheus_exposition_of_a_real_run_passes_the_checker() {
+    let _guard = lock();
+    obs::reset();
+    obs::enable();
+    let runner = ParaConv::new(PimConfig::neurocube(8).unwrap());
+    let graph = benchmarks::all()[0].graph().unwrap();
+    runner.compare(&graph, 10).unwrap();
+    obs::disable();
+    let snapshot = obs::snapshot();
+    obs::reset();
+
+    let text = snapshot.to_prometheus();
+    let samples = obs::check_prometheus(&text).expect("exposition is line-format clean");
+    assert!(samples > 10, "a real run exports a rich sample set");
+    assert!(text.contains("paraconv_sim_runs"));
+    assert!(
+        text.contains("_quantile{quantile=\"0.99\"}"),
+        "histograms surface their p99"
+    );
+}
+
+#[test]
+fn windowed_metrics_track_a_real_latency_histogram() {
+    let _guard = lock();
+    obs::reset();
+    obs::enable();
+    let runner = ParaConv::new(PimConfig::neurocube(8).unwrap());
+    let graph = benchmarks::all()[0].graph().unwrap();
+    runner.compare(&graph, 10).unwrap();
+    obs::disable();
+    let snapshot = obs::snapshot();
+    obs::reset();
+
+    let mut windows = obs::WindowedMetrics::new(100, 8);
+    windows.merge_snapshot(50, &snapshot);
+    let merged = windows.aggregate_histogram("sim.transfer.latency");
+    assert!(
+        merged.count() > 0,
+        "the simulator records transfer latencies"
+    );
+    let slo = obs::Slo {
+        p99_cycles: merged.max(),
+        min_throughput: 0,
+    };
+    let status = windows.slo_status("sim.transfer.latency", "sim.events", &slo);
+    assert!(status.ok(), "a permissive SLO passes: {status}");
+    let strict = obs::Slo {
+        p99_cycles: 0,
+        min_throughput: u64::MAX,
+    };
+    let status = windows.slo_status("sim.transfer.latency", "sim.events", &strict);
+    assert!(!status.ok(), "an impossible SLO is flagged: {status}");
+}

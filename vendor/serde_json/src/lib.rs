@@ -289,7 +289,12 @@ fn newline_indent(out: &mut String, indent: Option<usize>) {
     }
 }
 
-fn write_escaped(out: &mut String, s: &str) {
+/// Appends `s` to `out` as a JSON string literal, quotes included.
+///
+/// This is the one escaper every hand-rolled JSON writer in the
+/// workspace routes through (the `paraconv-obs` exporters delegate
+/// here), so string emission cannot drift between serializers.
+pub fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
