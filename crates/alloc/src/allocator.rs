@@ -90,6 +90,7 @@ impl CacheAllocation {
     #[must_use]
     pub fn to_placement_vec(&self, edge_count: usize) -> Vec<Placement> {
         let mut v = vec![Placement::Edram; edge_count];
+        // lint: allow(nondet-iteration) — each pair writes its own dense slot; the result is order-insensitive
         for (&edge, &placement) in &self.placements {
             if edge.index() < edge_count {
                 // lint: allow(unchecked-index) — indices are bounded by the table dimensions fixed in fill()
@@ -102,6 +103,7 @@ impl CacheAllocation {
     /// Iterates over every decided `(edge, placement)` pair, in the
     /// map's internal (unspecified) order — serializers should sort.
     pub fn placements(&self) -> impl Iterator<Item = (EdgeId, Placement)> + '_ {
+        // lint: allow(nondet-iteration) — unspecified order is this API's documented contract; callers sort
         self.placements.iter().map(|(&e, &p)| (e, p))
     }
 
@@ -120,6 +122,7 @@ impl CacheAllocation {
         capacity: u64,
     ) -> Self {
         CacheAllocation {
+            // lint: allow(nondet-iteration) — `placements` here is the Vec parameter, not the hash field; the rule matches by name
             placements: placements.into_iter().collect(),
             cached,
             total_profit,

@@ -1,0 +1,98 @@
+//! Vector clocks for happens-before tracking inside the model.
+//!
+//! Every model thread carries a [`VClock`]; synchronization edges
+//! (spawn, join, mutex hand-off, release/acquire atomic pairs) join
+//! clocks together. A plain-memory access by thread `t` is racy when
+//! the previous conflicting access — recorded as `(thread, stamp)` —
+//! is **not** ordered before `t`'s current clock.
+
+/// A grow-on-demand vector clock: component `i` counts the events of
+/// model thread `i` that are known to have happened before.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The zero clock (nothing happened before).
+    #[must_use]
+    pub const fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    /// The component for thread `tid` (0 when never touched).
+    #[must_use]
+    pub fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances this thread's own component and returns the new stamp.
+    pub fn tick(&mut self, tid: usize) -> u64 {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+        self.0[tid]
+    }
+
+    /// Componentwise maximum: afterwards everything ordered before
+    /// either input is ordered before `self`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// Forgets all ordering (used when a `Relaxed` store breaks a
+    /// release chain: later acquire loads must not inherit stale
+    /// happens-before edges the hardware would not provide).
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    /// Is the event `(tid, stamp)` ordered before this clock?
+    #[must_use]
+    pub fn covers(&self, tid: usize, stamp: u64) -> bool {
+        self.get(tid) >= stamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_cover() {
+        let mut a = VClock::new();
+        let s = a.tick(2);
+        assert_eq!(s, 1);
+        assert!(a.covers(2, 1));
+        assert!(!a.covers(2, 2));
+        assert!(a.covers(5, 0));
+    }
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        a.join(&b);
+        assert!(a.covers(0, 2));
+        assert!(a.covers(1, 1));
+        b.join(&a);
+        assert!(b.covers(0, 2));
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut a = VClock::new();
+        a.tick(3);
+        a.clear();
+        assert!(!a.covers(3, 1));
+    }
+}

@@ -1,0 +1,699 @@
+//! The controlled execution runtime: real OS threads serialized down
+//! to one runnable thread at a time, with every instrumented operation
+//! a schedule point the DFS explorer can branch on.
+//!
+//! A model execution spawns one OS thread per model thread, but a
+//! "baton" (`active` under the `Exec` mutex) guarantees only the
+//! scheduled thread performs its next operation; everyone else waits
+//! on the condvar. Each operation records a trace line, transfers
+//! vector clocks according to its synchronization semantics, and then
+//! picks the next thread to run — following the forced decision prefix
+//! during replay, defaulting to "keep running the current thread"
+//! otherwise, and recording which alternatives remain for the DFS.
+//!
+//! Switching away from a still-runnable thread is a **preemption**;
+//! alternatives are only recorded while the execution's preemption
+//! count is below the budget, which is what keeps the state space
+//! finite and small (classic iterative context bounding).
+
+use std::panic::panic_any;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+
+use crate::clock::VClock;
+
+/// Schedule points one execution may take before the explorer calls it
+/// a runaway (a model loop that never converges).
+pub const MAX_STEPS: usize = 100_000;
+
+/// Panic payload used to unwind model threads once an execution is
+/// aborting; never reported as a harness failure.
+pub(crate) struct AbortToken;
+
+/// Why a model execution failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A harness assertion (or any other panic) fired.
+    Panic,
+    /// Two unordered conflicting plain-memory accesses (vector-clock
+    /// happens-before violation).
+    DataRace,
+    /// Every live thread was blocked.
+    Deadlock,
+    /// The execution exceeded [`MAX_STEPS`] schedule points.
+    Runaway,
+    /// A forced replay decision named a thread that was not runnable —
+    /// the replayed schedule does not match the model.
+    Divergence,
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FailureKind::Panic => "assertion",
+            FailureKind::DataRace => "data race",
+            FailureKind::Deadlock => "deadlock",
+            FailureKind::Runaway => "runaway",
+            FailureKind::Divergence => "schedule divergence",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A failure recorded inside one execution.
+#[derive(Debug, Clone)]
+pub(crate) struct Failure {
+    pub kind: FailureKind,
+    pub message: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WaitKind {
+    Mutex(usize),
+    Join(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(WaitKind),
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    clock: VClock,
+}
+
+/// One scheduling decision: which thread ran, and which runnable
+/// alternatives the DFS has not tried yet at this point.
+#[derive(Debug, Clone)]
+pub(crate) struct Decision {
+    pub chosen: usize,
+    pub pending: Vec<usize>,
+}
+
+struct AtomicSlot {
+    name: String,
+    value: u64,
+    clock: VClock,
+}
+
+struct MutexSlot {
+    name: String,
+    held_by: Option<usize>,
+    clock: VClock,
+}
+
+struct CellSlot {
+    name: String,
+    value: u64,
+    last_write: (usize, u64),
+    reads: Vec<(usize, u64)>,
+}
+
+pub(crate) struct ExecInner {
+    threads: Vec<ThreadState>,
+    active: usize,
+    decisions: Vec<Decision>,
+    step: usize,
+    preemptions: usize,
+    budget: usize,
+    trace: Vec<(usize, String)>,
+    failure: Option<Failure>,
+    aborting: bool,
+    atomics: Vec<AtomicSlot>,
+    mutexes: Vec<MutexSlot>,
+    cells: Vec<CellSlot>,
+}
+
+/// What one model execution produced, harvested by the explorer.
+pub(crate) struct RunResult {
+    pub decisions: Vec<Decision>,
+    pub failure: Option<Failure>,
+    pub steps: usize,
+    pub trace: Vec<(usize, String)>,
+}
+
+enum Step<R> {
+    Done(R),
+    Block(WaitKind),
+    Fail(FailureKind, String),
+}
+
+const fn acquires(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+const fn releases(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+impl ExecInner {
+    fn note(&mut self, tid: usize, msg: String) {
+        self.trace.push((tid, msg));
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn all_finished(&self) -> bool {
+        !self.threads.is_empty() && self.threads.iter().all(|t| t.status == Status::Finished)
+    }
+
+    fn record_failure(&mut self, kind: FailureKind, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure { kind, message });
+        }
+        self.aborting = true;
+    }
+
+    /// The scheduling decision after thread `me` completed an
+    /// operation: replay the forced prefix, otherwise default to
+    /// continuing `me` and record budget-affordable alternatives.
+    fn pick_next(&mut self, me: usize) {
+        if self.trace.len() >= MAX_STEPS {
+            self.record_failure(
+                FailureKind::Runaway,
+                format!("execution exceeded {MAX_STEPS} schedule points"),
+            );
+        }
+        if self.aborting {
+            self.active = usize::MAX;
+            return;
+        }
+        let runnable = self.runnable();
+        if runnable.is_empty() {
+            if !self.all_finished() {
+                let blocked: Vec<String> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| matches!(t.status, Status::Blocked(_)))
+                    .map(|(i, _)| format!("T{i}"))
+                    .collect();
+                self.record_failure(
+                    FailureKind::Deadlock,
+                    format!("all live threads blocked: {}", blocked.join(", ")),
+                );
+            }
+            self.active = usize::MAX;
+            return;
+        }
+        let me_runnable = self
+            .threads
+            .get(me)
+            .is_some_and(|t| t.status == Status::Runnable);
+        let chosen = if self.step < self.decisions.len() {
+            let c = self.decisions[self.step].chosen;
+            if !runnable.contains(&c) {
+                self.record_failure(
+                    FailureKind::Divergence,
+                    format!(
+                        "replayed schedule chose T{c} at step {} but it is not runnable",
+                        self.step
+                    ),
+                );
+                self.active = usize::MAX;
+                return;
+            }
+            c
+        } else {
+            let default = if me_runnable { me } else { runnable[0] };
+            let mut pending: Vec<usize> =
+                runnable.iter().copied().filter(|&t| t != default).collect();
+            if me_runnable && self.preemptions >= self.budget {
+                // Out of preemption budget: switching away from a
+                // runnable thread is no longer on the table.
+                pending.clear();
+            }
+            self.decisions.push(Decision {
+                chosen: default,
+                pending,
+            });
+            default
+        };
+        self.step += 1;
+        if me_runnable && chosen != me {
+            self.preemptions += 1;
+        }
+        self.active = chosen;
+    }
+}
+
+pub(crate) struct Exec {
+    inner: StdMutex<ExecInner>,
+    cv: Condvar,
+    handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Exec>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The executing model thread's runtime context; model shims resolve
+/// their `Exec` through this.
+pub(crate) fn ctx() -> (Arc<Exec>, usize) {
+    let cur = CURRENT.with(|c| c.borrow().clone());
+    match cur {
+        Some(pair) => pair,
+        None => panic_any("model shim used outside a model thread".to_string()),
+    }
+}
+
+fn payload_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Installs (once per process) a panic hook that keeps model-thread
+/// panics quiet: the explorer captures every payload and prints a
+/// tidy interleaving report itself, so the default hook's backtraces
+/// — including one per `AbortToken` unwind — are pure noise. Panics
+/// outside model threads still reach the previous hook untouched.
+fn silence_model_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_model = CURRENT.try_with(|c| c.borrow().is_some()).unwrap_or(false);
+            if !in_model {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn run_thread(exec: Arc<Exec>, tid: usize, f: Box<dyn FnOnce() + Send>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    if let Err(payload) = result {
+        if !payload.is::<AbortToken>() {
+            exec.fail_from(tid, FailureKind::Panic, payload_message(&payload));
+        }
+    }
+    exec.thread_exit(tid);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+impl Exec {
+    pub(crate) fn new(prefix: Vec<Decision>, budget: usize) -> Self {
+        Exec {
+            inner: StdMutex::new(ExecInner {
+                threads: Vec::new(),
+                active: 0,
+                decisions: prefix,
+                step: 0,
+                preemptions: 0,
+                budget,
+                trace: Vec::new(),
+                failure: None,
+                aborting: false,
+                atomics: Vec::new(),
+                mutexes: Vec::new(),
+                cells: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    fn lock_inner(&self) -> StdMutexGuard<'_, ExecInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Runs one execution of `f` as model thread 0 and harvests the
+    /// result once every model thread has finished.
+    pub(crate) fn run(self: &Arc<Self>, f: Arc<dyn Fn() + Send + Sync>) -> RunResult {
+        silence_model_panics();
+        {
+            let mut inner = self.lock_inner();
+            let mut clock = VClock::new();
+            clock.tick(0);
+            inner.threads.push(ThreadState {
+                status: Status::Runnable,
+                clock,
+            });
+            inner.active = 0;
+        }
+        let exec = Arc::clone(self);
+        let root = std::thread::spawn(move || run_thread(exec, 0, Box::new(move || f())));
+        self.handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(root);
+        let mut inner = self.lock_inner();
+        while !inner.all_finished() {
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+        let result = RunResult {
+            decisions: std::mem::take(&mut inner.decisions),
+            failure: inner.failure.take(),
+            steps: inner.trace.len(),
+            trace: std::mem::take(&mut inner.trace),
+        };
+        drop(inner);
+        let handles: Vec<_> =
+            std::mem::take(&mut *self.handles.lock().unwrap_or_else(PoisonError::into_inner));
+        for h in handles {
+            // A model thread that panicked already recorded its failure;
+            // the join result carries nothing further.
+            let _ = h.join();
+        }
+        result
+    }
+
+    /// Core op protocol: wait for the baton, run `f` under the runtime
+    /// lock, then schedule the next thread. `Block` parks the thread
+    /// (a forced, budget-free switch) and retries when rescheduled;
+    /// `Fail` aborts the whole execution.
+    fn with_turn<R>(&self, tid: usize, mut f: impl FnMut(&mut ExecInner) -> Step<R>) -> R {
+        let mut inner = self.lock_inner();
+        loop {
+            while !inner.aborting && inner.active != tid {
+                inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+            }
+            if inner.aborting {
+                drop(inner);
+                panic_any(AbortToken);
+            }
+            match f(&mut inner) {
+                Step::Done(r) => {
+                    inner.pick_next(tid);
+                    self.cv.notify_all();
+                    return r;
+                }
+                Step::Block(kind) => {
+                    inner.threads[tid].status = Status::Blocked(kind);
+                    inner.pick_next(tid);
+                    self.cv.notify_all();
+                }
+                Step::Fail(kind, message) => {
+                    inner.note(tid, format!("FAIL ({kind}): {message}"));
+                    inner.record_failure(kind, message);
+                    inner.active = usize::MAX;
+                    self.cv.notify_all();
+                    drop(inner);
+                    panic_any(AbortToken);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn fail_from(&self, tid: usize, kind: FailureKind, message: String) {
+        let mut inner = self.lock_inner();
+        inner.note(tid, format!("FAIL ({kind}): {message}"));
+        inner.record_failure(kind, message);
+        self.cv.notify_all();
+    }
+
+    /// Marks `tid` finished. Unlike ordinary ops this never panics —
+    /// it runs outside `catch_unwind` — and short-circuits when the
+    /// execution is aborting.
+    pub(crate) fn thread_exit(&self, tid: usize) {
+        let mut inner = self.lock_inner();
+        while !inner.aborting && inner.active != tid {
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+        inner.threads[tid].clock.tick(tid);
+        inner.threads[tid].status = Status::Finished;
+        for t in &mut inner.threads {
+            if t.status == Status::Blocked(WaitKind::Join(tid)) {
+                t.status = Status::Runnable;
+            }
+        }
+        if inner.aborting {
+            inner.active = usize::MAX;
+        } else {
+            inner.note(tid, "exit".to_string());
+            inner.pick_next(tid);
+        }
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn spawn(
+        self: &Arc<Self>,
+        parent: usize,
+        f: Box<dyn FnOnce() + Send + 'static>,
+    ) -> usize {
+        let child = self.with_turn(parent, |inner| {
+            let child = inner.threads.len();
+            let mut clock = inner.threads[parent].clock.clone();
+            clock.tick(child);
+            inner.threads.push(ThreadState {
+                status: Status::Runnable,
+                clock,
+            });
+            inner.threads[parent].clock.tick(parent);
+            inner.note(parent, format!("spawn T{child}"));
+            Step::Done(child)
+        });
+        let exec = Arc::clone(self);
+        let cell = StdMutex::new(Some(f));
+        let handle = std::thread::spawn(move || {
+            let f = cell
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .unwrap_or_else(|| Box::new(|| {}));
+            run_thread(exec, child, f);
+        });
+        self.handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(handle);
+        child
+    }
+
+    pub(crate) fn join(&self, tid: usize, target: usize) {
+        self.with_turn(tid, |inner| {
+            if inner.threads[target].status == Status::Finished {
+                let c = inner.threads[target].clock.clone();
+                inner.threads[tid].clock.join(&c);
+                inner.note(tid, format!("join T{target}"));
+                Step::Done(())
+            } else {
+                inner.note(tid, format!("join T{target} (blocked)"));
+                Step::Block(WaitKind::Join(target))
+            }
+        })
+    }
+
+    pub(crate) fn atomic_new(&self, tid: usize, name: &str, init: u64) -> usize {
+        self.with_turn(tid, |inner| {
+            let idx = inner.atomics.len();
+            inner.note(tid, format!("atomic.new {name}={init}"));
+            inner.atomics.push(AtomicSlot {
+                name: name.to_string(),
+                value: init,
+                clock: VClock::new(),
+            });
+            Step::Done(idx)
+        })
+    }
+
+    pub(crate) fn atomic_load(&self, tid: usize, idx: usize, order: Ordering) -> u64 {
+        self.with_turn(tid, |inner| {
+            let v = inner.atomics[idx].value;
+            let label = format!("{}.load({order:?}) -> {v}", inner.atomics[idx].name);
+            if acquires(order) {
+                let c = inner.atomics[idx].clock.clone();
+                inner.threads[tid].clock.join(&c);
+            }
+            inner.note(tid, label);
+            Step::Done(v)
+        })
+    }
+
+    pub(crate) fn atomic_store(&self, tid: usize, idx: usize, v: u64, order: Ordering) {
+        self.with_turn(tid, |inner| {
+            let label = format!("{}.store({v}, {order:?})", inner.atomics[idx].name);
+            inner.atomics[idx].value = v;
+            if releases(order) {
+                let tc = inner.threads[tid].clock.clone();
+                inner.atomics[idx].clock.join(&tc);
+            } else {
+                // A relaxed store heads no release sequence and (since
+                // C++20 semantics) does not continue one: later acquire
+                // loads must not inherit happens-before through it.
+                inner.atomics[idx].clock.clear();
+            }
+            inner.note(tid, label);
+            Step::Done(())
+        })
+    }
+
+    /// Read-modify-write (`fetch_add`-style). A relaxed RMW continues
+    /// an existing release sequence, so the location clock is kept.
+    pub(crate) fn atomic_rmw(&self, tid: usize, idx: usize, delta: u64, order: Ordering) -> u64 {
+        self.with_turn(tid, |inner| {
+            let old = inner.atomics[idx].value;
+            let label = format!(
+                "{}.fetch_add({delta}, {order:?}) -> {old}",
+                inner.atomics[idx].name
+            );
+            inner.atomics[idx].value = old.wrapping_add(delta);
+            if acquires(order) {
+                let c = inner.atomics[idx].clock.clone();
+                inner.threads[tid].clock.join(&c);
+            }
+            if releases(order) {
+                let tc = inner.threads[tid].clock.clone();
+                inner.atomics[idx].clock.join(&tc);
+            }
+            inner.note(tid, label);
+            Step::Done(old)
+        })
+    }
+
+    pub(crate) fn mutex_new(&self, tid: usize, name: &str) -> usize {
+        self.with_turn(tid, |inner| {
+            let idx = inner.mutexes.len();
+            inner.note(tid, format!("mutex.new {name}"));
+            inner.mutexes.push(MutexSlot {
+                name: name.to_string(),
+                held_by: None,
+                clock: VClock::new(),
+            });
+            Step::Done(idx)
+        })
+    }
+
+    pub(crate) fn mutex_lock(&self, tid: usize, idx: usize) {
+        self.with_turn(tid, |inner| match inner.mutexes[idx].held_by {
+            Some(holder) => {
+                let label = format!("{}.lock() blocked on T{holder}", inner.mutexes[idx].name);
+                inner.note(tid, label);
+                Step::Block(WaitKind::Mutex(idx))
+            }
+            None => {
+                inner.mutexes[idx].held_by = Some(tid);
+                let label = format!("{}.lock() acquired", inner.mutexes[idx].name);
+                let c = inner.mutexes[idx].clock.clone();
+                inner.threads[tid].clock.join(&c);
+                inner.note(tid, label);
+                Step::Done(())
+            }
+        })
+    }
+
+    /// Releases a model mutex. Callable from guard drops during an
+    /// abort unwind, so instead of the panicking op protocol it bows
+    /// out silently once the execution is aborting.
+    pub(crate) fn mutex_unlock(&self, tid: usize, idx: usize) {
+        let mut inner = self.lock_inner();
+        while !inner.aborting && inner.active != tid {
+            inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        }
+        inner.mutexes[idx].held_by = None;
+        let tc = inner.threads[tid].clock.clone();
+        inner.mutexes[idx].clock.join(&tc);
+        for t in &mut inner.threads {
+            if t.status == Status::Blocked(WaitKind::Mutex(idx)) {
+                t.status = Status::Runnable;
+            }
+        }
+        if !inner.aborting {
+            let label = format!("{}.unlock()", inner.mutexes[idx].name);
+            inner.note(tid, label);
+            inner.pick_next(tid);
+        }
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn cell_new(&self, tid: usize, name: &str, value: u64) -> usize {
+        self.with_turn(tid, |inner| {
+            let idx = inner.cells.len();
+            inner.note(tid, format!("cell.new {name}={value}"));
+            let stamp = inner.threads[tid].clock.tick(tid);
+            inner.cells.push(CellSlot {
+                name: name.to_string(),
+                value,
+                last_write: (tid, stamp),
+                reads: Vec::new(),
+            });
+            Step::Done(idx)
+        })
+    }
+
+    pub(crate) fn cell_get(&self, tid: usize, idx: usize) -> u64 {
+        self.with_turn(tid, |inner| {
+            let (wt, ws) = inner.cells[idx].last_write;
+            if !inner.threads[tid].clock.covers(wt, ws) {
+                return Step::Fail(
+                    FailureKind::DataRace,
+                    format!(
+                        "T{tid} reads `{}` without ordering against T{wt}'s write",
+                        inner.cells[idx].name
+                    ),
+                );
+            }
+            let v = inner.cells[idx].value;
+            let label = format!("{}.get() -> {v}", inner.cells[idx].name);
+            let stamp = inner.threads[tid].clock.tick(tid);
+            let reads = &mut inner.cells[idx].reads;
+            match reads.iter_mut().find(|(t, _)| *t == tid) {
+                Some(entry) => entry.1 = stamp,
+                None => reads.push((tid, stamp)),
+            }
+            inner.note(tid, label);
+            Step::Done(v)
+        })
+    }
+
+    pub(crate) fn cell_set(&self, tid: usize, idx: usize, v: u64) {
+        self.with_turn(tid, |inner| {
+            let (wt, ws) = inner.cells[idx].last_write;
+            if !inner.threads[tid].clock.covers(wt, ws) {
+                return Step::Fail(
+                    FailureKind::DataRace,
+                    format!(
+                        "T{tid} writes `{}` without ordering against T{wt}'s write",
+                        inner.cells[idx].name
+                    ),
+                );
+            }
+            let tclock = inner.threads[tid].clock.clone();
+            let racy_read = inner.cells[idx]
+                .reads
+                .iter()
+                .find(|&&(rt, rs)| rt != tid && !tclock.covers(rt, rs))
+                .map(|&(rt, _)| rt);
+            if let Some(rt) = racy_read {
+                return Step::Fail(
+                    FailureKind::DataRace,
+                    format!(
+                        "T{tid} writes `{}` without ordering against T{rt}'s read",
+                        inner.cells[idx].name
+                    ),
+                );
+            }
+            let label = format!("{}.set({v})", inner.cells[idx].name);
+            let stamp = inner.threads[tid].clock.tick(tid);
+            let cell = &mut inner.cells[idx];
+            cell.value = v;
+            cell.last_write = (tid, stamp);
+            cell.reads.clear();
+            inner.note(tid, label);
+            Step::Done(())
+        })
+    }
+}

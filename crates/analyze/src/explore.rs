@@ -1,0 +1,178 @@
+//! The DFS schedule explorer: runs a model closure under every
+//! interleaving reachable within a bounded preemption budget, and
+//! reports the first failing schedule as a replayable seed.
+
+use std::sync::Arc;
+
+use crate::exec::{Decision, Exec, FailureKind};
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreOpts {
+    /// Stop (incomplete) after this many executed schedules.
+    pub max_schedules: usize,
+    /// How many times one execution may switch away from a
+    /// still-runnable thread. Forced switches (blocking on a mutex or
+    /// join) are free. 2 catches the overwhelming majority of real
+    /// ordering bugs (classic context-bounding result) while keeping
+    /// the state space exhaustively checkable.
+    pub preemption_budget: usize,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> Self {
+        ExploreOpts {
+            max_schedules: 100_000,
+            preemption_budget: 2,
+        }
+    }
+}
+
+/// Summary of a completed (failure-free) exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Explored {
+    /// Executed schedules.
+    pub schedules: usize,
+    /// Whether the bounded state space was exhausted (`false` when the
+    /// `max_schedules` budget ran out first).
+    pub complete: bool,
+    /// Schedule points in the longest execution.
+    pub max_steps: usize,
+    /// The preemption budget the exploration ran under.
+    pub preemption_budget: usize,
+}
+
+/// A failing schedule, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct ModelFailure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// The harness assertion / race / deadlock message.
+    pub message: String,
+    /// Replayable schedule seed: the chosen thread at every decision
+    /// point, dot-separated. Feed it back through [`replay`].
+    pub schedule: String,
+    /// Schedules executed before (and including) the failing one.
+    pub schedules: usize,
+    /// The failing interleaving, one `T<tid> <op>` line per step.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for ModelFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "model failure ({}) on schedule {} of the exploration",
+            self.kind, self.schedules
+        )?;
+        writeln!(f, "  message:  {}", self.message)?;
+        writeln!(f, "  schedule: {}", self.schedule)?;
+        writeln!(f, "  interleaving:")?;
+        for line in &self.trace {
+            writeln!(f, "    {line}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ModelFailure {}
+
+fn fmt_schedule(decisions: &[Decision]) -> String {
+    let parts: Vec<String> = decisions.iter().map(|d| d.chosen.to_string()).collect();
+    parts.join(".")
+}
+
+fn fmt_trace(trace: Vec<(usize, String)>) -> Vec<String> {
+    trace
+        .into_iter()
+        .map(|(tid, msg)| format!("T{tid} {msg}"))
+        .collect()
+}
+
+/// Explores every schedule of `f` reachable within the preemption
+/// budget, depth-first. Returns the first failure (assertion, data
+/// race, deadlock) with its replayable schedule seed, or exploration
+/// statistics when every schedule passes.
+pub fn explore<F>(opts: &ExploreOpts, f: F) -> Result<Explored, ModelFailure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut prefix: Vec<Decision> = Vec::new();
+    let mut schedules = 0usize;
+    let mut max_steps = 0usize;
+    loop {
+        let exec = Arc::new(Exec::new(prefix, opts.preemption_budget));
+        let run = exec.run(Arc::clone(&f));
+        schedules += 1;
+        max_steps = max_steps.max(run.steps);
+        if let Some(fail) = run.failure {
+            return Err(ModelFailure {
+                kind: fail.kind,
+                message: fail.message,
+                schedule: fmt_schedule(&run.decisions),
+                schedules,
+                trace: fmt_trace(run.trace),
+            });
+        }
+        // Backtrack: deepest decision with an untried alternative.
+        let mut d = run.decisions;
+        loop {
+            match d.last_mut() {
+                None => {
+                    return Ok(Explored {
+                        schedules,
+                        complete: true,
+                        max_steps,
+                        preemption_budget: opts.preemption_budget,
+                    });
+                }
+                Some(last) => {
+                    if let Some(next) = last.pending.pop() {
+                        last.chosen = next;
+                        break;
+                    }
+                    d.pop();
+                }
+            }
+        }
+        if schedules >= opts.max_schedules {
+            return Ok(Explored {
+                schedules,
+                complete: false,
+                max_steps,
+                preemption_budget: opts.preemption_budget,
+            });
+        }
+        prefix = d;
+    }
+}
+
+/// Replays one schedule seed (as printed in a [`ModelFailure`]) and
+/// returns the failure it reproduces, `None` when the run passes, or
+/// an error for a malformed seed.
+pub fn replay<F>(opts: &ExploreOpts, schedule: &str, f: F) -> Result<Option<ModelFailure>, String>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let mut forced = Vec::new();
+    for part in schedule.split('.').filter(|s| !s.is_empty()) {
+        let chosen: usize = part
+            .parse()
+            .map_err(|_| format!("malformed schedule component `{part}`"))?;
+        forced.push(Decision {
+            chosen,
+            pending: Vec::new(),
+        });
+    }
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let exec = Arc::new(Exec::new(forced, opts.preemption_budget));
+    let run = exec.run(f);
+    Ok(run.failure.map(|fail| ModelFailure {
+        kind: fail.kind,
+        message: fail.message,
+        schedule: fmt_schedule(&run.decisions),
+        schedules: 1,
+        trace: fmt_trace(run.trace),
+    }))
+}

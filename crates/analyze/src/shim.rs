@@ -1,0 +1,222 @@
+//! Model twins of the `std::sync` primitives the serving path uses.
+//!
+//! Harness code swaps `std::sync::atomic::AtomicU64` for
+//! [`AtomicU64`], `std::sync::Mutex` for [`Mutex`], plain shared data
+//! for [`Cell`], and `std::thread::spawn`/`join` for [`spawn`] /
+//! [`JoinHandle::join`]. Every operation becomes a schedule point of
+//! the surrounding [`explore`](crate::explore::explore) run and
+//! transfers vector clocks per its `Ordering`, so the explorer sees
+//! exactly the synchronization the real code would get — no more
+//! (values stay sequentially consistent; weak-memory *value*
+//! speculation is out of scope) and no less (a `Relaxed` gate transfers
+//! no happens-before, which is how the [`Cell`] checker catches
+//! publication bugs).
+//!
+//! Shims may only be used inside a model closure; they hold indices
+//! into the execution's slot tables and are shared across model
+//! threads with `Arc`.
+
+pub use std::sync::atomic::Ordering;
+
+use crate::exec::ctx;
+
+/// Model `AtomicU64`.
+#[derive(Debug)]
+pub struct AtomicU64 {
+    idx: usize,
+}
+
+impl AtomicU64 {
+    /// Registers a named atomic in the current execution.
+    #[must_use]
+    pub fn new(name: &str, value: u64) -> Self {
+        let (exec, tid) = ctx();
+        AtomicU64 {
+            idx: exec.atomic_new(tid, name, value),
+        }
+    }
+
+    /// Model `load`: an acquire (or stronger) load joins the
+    /// location's release clock into this thread's clock.
+    #[must_use]
+    pub fn load(&self, order: Ordering) -> u64 {
+        let (exec, tid) = ctx();
+        exec.atomic_load(tid, self.idx, order)
+    }
+
+    /// Model `store`: a release (or stronger) store publishes this
+    /// thread's clock at the location; a relaxed store publishes
+    /// nothing and breaks any release sequence.
+    pub fn store(&self, value: u64, order: Ordering) {
+        let (exec, tid) = ctx();
+        exec.atomic_store(tid, self.idx, value, order);
+    }
+
+    /// Model `fetch_add`; always atomic, clocks transferred per the
+    /// ordering (a relaxed RMW continues a release sequence).
+    pub fn fetch_add(&self, delta: u64, order: Ordering) -> u64 {
+        let (exec, tid) = ctx();
+        exec.atomic_rmw(tid, self.idx, delta, order)
+    }
+}
+
+/// Model `AtomicBool`, stored as 0/1 in an [`AtomicU64`] slot.
+#[derive(Debug)]
+pub struct AtomicBool {
+    inner: AtomicU64,
+}
+
+impl AtomicBool {
+    /// Registers a named atomic flag in the current execution.
+    #[must_use]
+    pub fn new(name: &str, value: bool) -> Self {
+        AtomicBool {
+            inner: AtomicU64::new(name, u64::from(value)),
+        }
+    }
+
+    /// Model `load`.
+    #[must_use]
+    pub fn load(&self, order: Ordering) -> bool {
+        self.inner.load(order) != 0
+    }
+
+    /// Model `store`.
+    pub fn store(&self, value: bool, order: Ordering) {
+        self.inner.store(u64::from(value), order);
+    }
+}
+
+/// Model `Mutex<T>`: lock acquisition order is explored, clocks
+/// transfer through the lock, and the protected value travels with
+/// the guard.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    idx: usize,
+    storage: std::sync::Mutex<Option<T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Registers a named mutex in the current execution.
+    #[must_use]
+    pub fn new(name: &str, value: T) -> Self {
+        let (exec, tid) = ctx();
+        Mutex {
+            idx: exec.mutex_new(tid, name),
+            storage: std::sync::Mutex::new(Some(value)),
+        }
+    }
+
+    /// Model `lock`: blocks (a free scheduler switch) while another
+    /// model thread holds the lock.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let (exec, tid) = ctx();
+        exec.mutex_lock(tid, self.idx);
+        let value = self
+            .storage
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        MutexGuard { mutex: self, value }
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releasing it is the unlock
+/// schedule point.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+    value: Option<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match &self.value {
+            Some(v) => v,
+            None => unreachable!("model mutex guard always holds the value"),
+        }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.value {
+            Some(v) => v,
+            None => unreachable!("model mutex guard always holds the value"),
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        *self
+            .mutex
+            .storage
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = self.value.take();
+        let (exec, tid) = ctx();
+        exec.mutex_unlock(tid, self.mutex.idx);
+    }
+}
+
+/// Plain (non-atomic) shared data under vector-clock race detection:
+/// a `get`/`set` pair by two threads without a happens-before edge
+/// between them fails the execution as a data race.
+#[derive(Debug)]
+pub struct Cell {
+    idx: usize,
+}
+
+impl Cell {
+    /// Registers a named plain-memory location; creation counts as the
+    /// initial write.
+    #[must_use]
+    pub fn new(name: &str, value: u64) -> Self {
+        let (exec, tid) = ctx();
+        Cell {
+            idx: exec.cell_new(tid, name, value),
+        }
+    }
+
+    /// Race-checked read.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        let (exec, tid) = ctx();
+        exec.cell_get(tid, self.idx)
+    }
+
+    /// Race-checked write.
+    pub fn set(&self, value: u64) {
+        let (exec, tid) = ctx();
+        exec.cell_set(tid, self.idx, value);
+    }
+}
+
+/// Handle for a model thread, to be [`join`](JoinHandle::join)ed.
+#[derive(Debug)]
+pub struct JoinHandle {
+    tid: usize,
+}
+
+impl JoinHandle {
+    /// Model `join`: blocks (free switch) until the thread exits and
+    /// joins its final clock into the caller — reads of data the child
+    /// wrote are race-free afterwards, exactly like real `join`.
+    pub fn join(self) {
+        let (exec, tid) = ctx();
+        exec.join(tid, self.tid);
+    }
+}
+
+/// Spawns a model thread running `f`.
+pub fn spawn<F>(f: F) -> JoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    let (exec, tid) = ctx();
+    JoinHandle {
+        tid: exec.spawn(tid, Box::new(f)),
+    }
+}

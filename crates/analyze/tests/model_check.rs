@@ -1,0 +1,149 @@
+//! Model-check gate: every passing harness explores its bounded state
+//! space exhaustively; every seeded-bug fixture fails with a
+//! replayable interleaving that reproduces.
+
+use paraconv_analyze::{explore, harnesses, replay, ExploreOpts, FailureKind};
+
+fn opts() -> ExploreOpts {
+    ExploreOpts::default()
+}
+
+#[test]
+fn passing_harnesses_explore_exhaustively() {
+    for h in harnesses().iter().filter(|h| !h.seeded_bug) {
+        let explored = h
+            .run(&opts())
+            .unwrap_or_else(|f| panic!("harness {} failed:\n{f}", h.name));
+        assert!(
+            explored.complete,
+            "harness {} did not exhaust its state space within {} schedules",
+            h.name,
+            opts().max_schedules
+        );
+        assert!(
+            explored.schedules > 1,
+            "harness {} explored a single schedule — no concurrency was modeled",
+            h.name
+        );
+    }
+}
+
+#[test]
+fn seeded_fixtures_fail_with_replayable_schedules() {
+    for h in harnesses().iter().filter(|h| h.seeded_bug) {
+        let failure = match h.run(&opts()) {
+            Err(f) => f,
+            Ok(e) => panic!(
+                "seeded fixture {} passed {} schedules without failing",
+                h.name, e.schedules
+            ),
+        };
+        assert!(
+            !failure.schedule.is_empty(),
+            "fixture {} failure carries no schedule seed",
+            h.name
+        );
+        assert!(
+            !failure.trace.is_empty(),
+            "fixture {} failure carries no interleaving",
+            h.name
+        );
+        // The printed seed must reproduce the same failure kind.
+        let replayed = replay(&opts(), &failure.schedule, h.body)
+            .unwrap_or_else(|e| panic!("fixture {} seed did not parse: {e}", h.name))
+            .unwrap_or_else(|| {
+                panic!(
+                    "fixture {} schedule {} did not reproduce the failure",
+                    h.name, failure.schedule
+                )
+            });
+        assert_eq!(
+            replayed.kind, failure.kind,
+            "fixture {} replay reproduced a different failure kind",
+            h.name
+        );
+    }
+}
+
+#[test]
+fn broken_merge_reports_an_interleaving() {
+    let h = paraconv_analyze::find_harness("obs-merge-broken").unwrap();
+    let failure = h.run(&opts()).expect_err("non-commutative merge must fail");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(
+        failure.message.contains("sequential expectation"),
+        "unexpected message: {}",
+        failure.message
+    );
+    let report = failure.to_string();
+    assert!(report.contains("schedule:"), "report misses the seed");
+    assert!(report.contains("interleaving:"), "report misses the trace");
+}
+
+#[test]
+fn relaxed_publication_is_a_data_race_only_with_preemption_budget() {
+    let h = paraconv_analyze::find_harness("publish-relaxed").unwrap();
+    // Budget 0 never switches away from a runnable thread: the reader
+    // samples the gate before the writer runs, sees false, and the bug
+    // stays hidden — iterative context bounding is what surfaces it.
+    let zero = ExploreOpts {
+        preemption_budget: 0,
+        ..opts()
+    };
+    let explored = h.run(&zero).expect("budget 0 cannot reach the race");
+    assert!(explored.complete);
+    // One preemption reaches it, reported as a data race.
+    let one = ExploreOpts {
+        preemption_budget: 1,
+        ..opts()
+    };
+    let failure = h.run(&one).expect_err("budget 1 must reach the race");
+    assert_eq!(failure.kind, FailureKind::DataRace);
+    assert!(
+        failure.message.contains("without ordering"),
+        "unexpected message: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn deadlock_is_detected_with_its_interleaving() {
+    let failure = explore(&opts(), || {
+        let a = std::sync::Arc::new(paraconv_analyze::shim::Mutex::new("lock.a", 0u64));
+        let b = std::sync::Arc::new(paraconv_analyze::shim::Mutex::new("lock.b", 0u64));
+        let t = {
+            let a = std::sync::Arc::clone(&a);
+            let b = std::sync::Arc::clone(&b);
+            paraconv_analyze::shim::spawn(move || {
+                let _gb = b.lock();
+                let _ga = a.lock();
+            })
+        };
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        t.join();
+    })
+    .expect_err("opposite lock orders must deadlock under some schedule");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(!failure.schedule.is_empty());
+}
+
+#[test]
+fn schedule_budget_caps_exploration_incomplete() {
+    let h = paraconv_analyze::find_harness("obs-merge").unwrap();
+    let capped = ExploreOpts {
+        max_schedules: 1,
+        ..opts()
+    };
+    let explored = h.run(&capped).expect("first schedule passes");
+    assert_eq!(explored.schedules, 1);
+    assert!(!explored.complete);
+}
+
+#[test]
+fn replay_rejects_malformed_seeds() {
+    let err = replay(&opts(), "0.x.1", || {}).expect_err("malformed seed must be rejected");
+    assert!(err.contains("malformed"));
+}

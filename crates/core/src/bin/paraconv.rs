@@ -24,6 +24,9 @@
 //! $ paraconv plan export --all --zoo --dir plans --registry .registry
 //! $ paraconv plan import cat.plan --run
 //! $ paraconv plan diff cat.plan other.plan
+//! $ paraconv analyze --list
+//! $ paraconv analyze --schedules 50000 --preemptions 2
+//! $ paraconv analyze registry-put-shared-tmp
 //! ```
 //!
 //! Exit codes: `0` success, `1` runtime failure (a run that errored,
@@ -95,6 +98,9 @@ const USAGE: &str = "usage:
                                         export verified plan artifact(s)
   paraconv plan import <file> [opts]    decode + verify-gate an artifact
   paraconv plan diff <a> <b>            compare two plan artifacts
+  paraconv analyze [<harness>...] [opts]
+                                        model-check the concurrent serving path
+  paraconv analyze --list               list the model-check harnesses
 
 options:
   --pes <n>       processing engines (default 16; table1 sweeps 16/32/64)
@@ -128,7 +134,12 @@ plan options:
   --dir <path>      export --all: output directory (default plans/)
   --registry <dir>  content-addressed store to consult and populate
   --key <hex>       import: fetch by registry key instead of a file
-  --run             import: simulate the plan after the verifier gate";
+  --run             import: simulate the plan after the verifier gate
+
+analyze options:
+  --schedules <n>   cap on explored interleavings (default 100000)
+  --preemptions <n> preemption budget per schedule (default 2)
+  --json            machine-readable results on stdout";
 
 /// Parsed command options shared by the scheduling subcommands.
 struct Opts {
@@ -515,7 +526,138 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "bench" => bench_command(args),
         "check" => check_command(args),
         "plan" => plan_command(args),
+        "analyze" => analyze_command(args),
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+/// `paraconv analyze`: run the paraconv-analyze model-check harnesses
+/// over the concurrent serving path. Exit 0 when every selected
+/// harness explores its bounded state space cleanly, exit 1 when any
+/// fails (the failing interleaving and its replayable schedule seed
+/// are printed), exit 2 on a malformed invocation.
+fn analyze_command(args: &[String]) -> Result<(), CliError> {
+    use paraconv::analyze::{find_harness, harnesses, ExploreOpts, Harness};
+
+    let mut opts = ExploreOpts::default();
+    let mut list = false;
+    let mut json = false;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--json" => json = true,
+            "--schedules" => {
+                opts.max_schedules = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| CliError::Usage("--schedules needs a positive count".into()))?;
+            }
+            "--preemptions" => {
+                opts.preemption_budget = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| CliError::Usage("--preemptions needs a count".into()))?;
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown option `{other}`")));
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+
+    if list {
+        println!("{:<26} {:<8} about", "harness", "kind");
+        for h in harnesses() {
+            let kind = if h.seeded_bug { "seeded" } else { "passing" };
+            println!("{:<26} {:<8} {}", h.name, kind, h.about);
+        }
+        return Ok(());
+    }
+
+    let selected: Vec<&Harness> = if names.is_empty() {
+        // The default gate: every harness that must pass. Seeded-bug
+        // fixtures are opt-in by name (they exist to fail).
+        harnesses().iter().filter(|h| !h.seeded_bug).collect()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                find_harness(n)
+                    .ok_or_else(|| CliError::Usage(format!("unknown harness `{n}`; try --list")))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    use serde_json::{Number, Value};
+    let jnum = |n: u64| Value::Number(Number::from_u64(n));
+    let jstr = |s: &str| Value::String(s.to_string());
+
+    let mut failed = 0usize;
+    let mut reports = Vec::new();
+    for h in &selected {
+        match h.run(&opts) {
+            Ok(explored) => {
+                if json {
+                    let mut obj = serde_json::Map::new();
+                    obj.insert("harness".into(), jstr(h.name));
+                    obj.insert("ok".into(), Value::Bool(true));
+                    obj.insert("schedules".into(), jnum(explored.schedules as u64));
+                    obj.insert("complete".into(), Value::Bool(explored.complete));
+                    obj.insert("max_steps".into(), jnum(explored.max_steps as u64));
+                    obj.insert(
+                        "preemption_budget".into(),
+                        jnum(explored.preemption_budget as u64),
+                    );
+                    reports.push(Value::Object(obj));
+                } else {
+                    let coverage = if explored.complete {
+                        "state space exhausted"
+                    } else {
+                        "schedule cap reached"
+                    };
+                    println!(
+                        "ok   {:<26} {} schedules, {} (budget {})",
+                        h.name, explored.schedules, coverage, explored.preemption_budget
+                    );
+                }
+            }
+            Err(failure) => {
+                failed += 1;
+                if json {
+                    let mut obj = serde_json::Map::new();
+                    obj.insert("harness".into(), jstr(h.name));
+                    obj.insert("ok".into(), Value::Bool(false));
+                    obj.insert("kind".into(), jstr(&failure.kind.to_string()));
+                    obj.insert("message".into(), jstr(&failure.message));
+                    obj.insert("schedule".into(), jstr(&failure.schedule));
+                    obj.insert("schedules_explored".into(), jnum(failure.schedules as u64));
+                    obj.insert(
+                        "trace".into(),
+                        Value::Array(failure.trace.iter().map(|l| jstr(l)).collect()),
+                    );
+                    reports.push(Value::Object(obj));
+                } else {
+                    println!("FAIL {:<26} after {} schedules", h.name, failure.schedules);
+                    for line in failure.to_string().lines() {
+                        println!("     {line}");
+                    }
+                }
+            }
+        }
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&Value::Array(reports)));
+    }
+    if failed > 0 {
+        Err(CliError::Runtime(format!(
+            "{failed} of {} harness(es) failed model checking",
+            selected.len()
+        )))
+    } else {
+        Ok(())
     }
 }
 

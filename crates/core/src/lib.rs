@@ -120,3 +120,7 @@ pub use paraconv_verify as verify;
 /// Versioned plan artifacts and the content-addressed registry
 /// (re-export of `paraconv-registry`).
 pub use paraconv_registry as registry;
+
+/// The concurrency model checker and its serving-path harnesses
+/// (re-export of `paraconv-analyze`).
+pub use paraconv_analyze as analyze;

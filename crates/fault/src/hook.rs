@@ -29,15 +29,19 @@ pub fn active() -> bool {
 pub fn install(spec: FaultSpec) {
     let mut guard = slot().lock().unwrap_or_else(PoisonError::into_inner);
     *guard = Some(Arc::new(spec));
-    // Publish after the spec is in place so `active()` readers that
-    // win the race still find a spec behind `current()`.
-    ACTIVE.store(true, Ordering::SeqCst);
+    // Relaxed on both sides, deliberately: the gate publishes nothing
+    // by itself — every reader that sees `true` goes through the slot
+    // mutex for the spec, and that lock is the happens-before edge
+    // (model-checked by the `flight-ring`/`publish-acquire` harnesses
+    // in paraconv-analyze). The store sits inside the critical
+    // section so a winning `active()` reader still finds the spec.
+    ACTIVE.store(true, Ordering::Relaxed);
 }
 
 /// Uninstalls the global fault campaign; `simulate()` returns to the
 /// exact fault-free replay.
 pub fn clear() {
-    ACTIVE.store(false, Ordering::SeqCst);
+    ACTIVE.store(false, Ordering::Relaxed);
     let mut guard = slot().lock().unwrap_or_else(PoisonError::into_inner);
     *guard = None;
 }

@@ -137,7 +137,7 @@ pub(crate) fn perturb(
 
     for (_, kind, idx) in events {
         if kind == KIND_TRANSFER {
-            // lint: allow(unchecked-index) — idx enumerated from this very vector above
+            // idx enumerated from this very vector above, so the index is in bounds
             let x = &plan.transfers()[idx];
             let ipr = graph
                 .edge(x.edge)
@@ -225,9 +225,9 @@ pub(crate) fn perturb(
             transfer_finish.insert((x.edge.index(), x.iteration), finish);
             achieved = achieved.max(finish);
         } else {
-            // lint: allow(unchecked-index) — idx enumerated from this very vector above
+            // idx enumerated from this very vector above, so the index is in bounds
             let t = &plan.tasks()[idx];
-            // lint: allow(unchecked-index) — PE ids are validated by the replay pass before perturb runs
+            // PE ids are validated by the replay pass before perturb runs
             let mut start = t.start.max(pe_avail[t.pe.index()]);
             for &e in graph
                 .in_edges(t.node)
@@ -261,7 +261,7 @@ pub(crate) fn perturb(
                 }
             }
             task_finish.insert((t.node.index(), t.iteration), finish);
-            // lint: allow(unchecked-index) — PE ids are validated by the replay pass before perturb runs
+            // PE ids are validated by the replay pass before perturb runs
             pe_avail[t.pe.index()] = finish;
             achieved = achieved.max(finish);
         }

@@ -119,10 +119,17 @@ impl Registry {
         // lint: allow(no-unwrap) — object_path always has a parent shard dir.
         let shard = path.parent().unwrap();
         fs::create_dir_all(shard)?;
-        // The temp name embeds the pid so concurrent writers of the
-        // same key cannot collide mid-write; the final rename is
-        // atomic either way and both land identical bytes.
-        let tmp = shard.join(format!(".tmp-{}-{}", std::process::id(), &key[2..10]));
+        // The temp name embeds the pid *and* a process-global counter:
+        // pid alone left two same-process threads putting the same key
+        // sharing one temp path, where the second `File::create`
+        // truncates the first writer's file mid-write and the rename
+        // publishes a torn artifact (the `registry-put-shared-tmp`
+        // model harness in paraconv-analyze reproduces exactly this).
+        // With unique temp files the final rename is atomic and both
+        // writers land identical bytes.
+        static PUT_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = PUT_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = shard.join(format!(".tmp-{}-{seq}-{}", std::process::id(), &key[2..10]));
         let result = (|| {
             let mut file = fs::File::create(&tmp)?;
             file.write_all(bytes)?;
@@ -249,6 +256,30 @@ mod tests {
         }
         expected.sort();
         assert_eq!(registry.keys().unwrap(), expected);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn same_process_same_key_writers_never_tear() {
+        // Regression for the shared-temp-path race: two threads in one
+        // process putting the same key used to share `.tmp-<pid>-…`,
+        // so the loser's `create` truncated the winner mid-write.
+        let root = temp_root("sameput");
+        let payload = vec![0xabu8; 1 << 16];
+        let key = sha256_hex(&payload);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let registry = Registry::open(&root).unwrap();
+                let key = key.clone();
+                let payload = payload.clone();
+                std::thread::spawn(move || registry.put(&key, &payload).unwrap())
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let registry = Registry::open(&root).unwrap();
+        assert_eq!(registry.get(&key).unwrap(), Some(payload));
         let _ = fs::remove_dir_all(&root);
     }
 

@@ -1,13 +1,14 @@
 //! The workspace lint binary: walks the given roots (default
-//! `crates`), lints every non-test `.rs` file, prints unsuppressed
-//! findings as `path:line: [rule] message`, and exits non-zero when
-//! any exist.
+//! `crates`), collects every non-test `.rs` file and lints them as
+//! **one workspace** (the dataflow rules pair atomic sites and lock
+//! orders across files), prints unsuppressed findings as
+//! `path:line: [rule] message`, and exits non-zero when any exist.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use paraconv_verify::lint::lint_source;
+use paraconv_verify::lint::lint_workspace;
 
 /// Directory names never descended into.
 const SKIP_DIRS: [&str; 3] = ["target", "vendor", ".git"];
@@ -65,17 +66,20 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut total = 0usize;
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for file in &files {
         let Ok(source) = fs::read_to_string(file) else {
             eprintln!("warning: could not read {}", file.display());
             continue;
         };
         let display = file.to_string_lossy().replace('\\', "/");
-        for finding in lint_source(&display, &source) {
-            println!("{display}:{finding}");
-            total += 1;
-        }
+        sources.push((display, source));
+    }
+
+    let mut total = 0usize;
+    for (path, finding) in lint_workspace(&sources) {
+        println!("{path}:{finding}");
+        total += 1;
     }
 
     if total > 0 {

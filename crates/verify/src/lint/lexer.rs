@@ -105,9 +105,18 @@ pub(crate) fn lex(src: &str) -> Lexed {
             while j < n && chars[j] != '\n' {
                 j += 1;
             }
-            let body: String = chars[start..j].iter().collect();
-            if let Some(rules) = parse_allow(&body) {
-                allows.entry(line).or_default().extend(rules);
+            // Doc comments (`///`, `//!` — but not `////`) are prose:
+            // text *describing* an annotation must not register one.
+            let is_doc = match at!(start) {
+                Some('!') => true,
+                Some('/') => at!(start + 1) != Some('/'),
+                _ => false,
+            };
+            if !is_doc {
+                let body: String = chars[start..j].iter().collect();
+                if let Some(rules) = parse_allow(&body) {
+                    allows.entry(line).or_default().extend(rules);
+                }
             }
             i = j;
             continue;
@@ -296,7 +305,15 @@ fn scan_plain_string(chars: &[char], start: usize) -> (usize, u32) {
     let mut newlines = 0u32;
     while j < n {
         match chars[j] {
-            '\\' => j += 2,
+            // An escaped newline (string continuation) still ends a
+            // source line — skipping it without counting drifts every
+            // later line number in the file.
+            '\\' => {
+                if chars.get(j + 1) == Some(&'\n') {
+                    newlines += 1;
+                }
+                j += 2;
+            }
             '"' => return (j + 1, newlines),
             '\n' => {
                 newlines += 1;

@@ -9,6 +9,16 @@
 //! | `unchecked-index` | `x[i]` slice indexing | `pim::sim` and `alloc` hot paths |
 //! | `wallclock-rng` | `Instant::now`, `SystemTime::now`, `thread_rng`, `from_entropy` | deterministic sweep paths |
 //! | `nan-unsafe-cmp` | `partial_cmp`, `== 1.0` float equality | everywhere |
+//! | `atomic-ordering` | `Relaxed` load of a `Release`-published atomic (and the converse) | cross-file, by receiver name |
+//! | `lock-order` | two mutexes acquired in opposite orders | cross-file, per function |
+//! | `nondet-iteration` | `HashMap`/`HashSet` iteration without a sort or order-insensitive sink | per file |
+//! | `stale-allow` | an `allow(...)` whose rule no longer fires there | per file, after all other rules |
+//!
+//! The first four are token rules over one file at a time. The
+//! dataflow rules (see [`dataflow`]) collect per-file facts in a first
+//! pass and analyze them workspace-wide in a second — which is why the
+//! walker feeds every file to one [`lint_workspace`] call instead of
+//! linting file by file.
 //!
 //! `#[cfg(test)]` modules, `#[test]` functions, comments (including
 //! doc-comment examples) and string literals are never scanned.
@@ -21,15 +31,23 @@
 //! let slot = table.get(i).unwrap();
 //! ```
 //!
-//! `// lint: allow(all)` suppresses every rule for one line. The
-//! `paraconv-verify` binary walks the workspace, prints unsuppressed
-//! findings as `path:line: [rule] message` and exits non-zero when any
-//! exist.
+//! `// lint: allow(all)` suppresses every rule for one line.
+//! Annotations are themselves audited: one whose rule no longer fires
+//! on the annotated line is reported as `stale-allow` (suppressed, if
+//! deliberate, by an adjacent `allow(stale-allow)`), and one naming a
+//! rule the engine does not know is always stale. Doc comments never
+//! register annotations — prose describing the escape hatch is not an
+//! escape hatch. The `paraconv-verify` binary walks the workspace,
+//! prints unsuppressed findings as `path:line: [rule] message` and
+//! exits non-zero when any exist.
 
+pub mod dataflow;
 mod lexer;
 pub mod rules;
 
-use lexer::{lex, Tok, TokKind};
+use std::collections::BTreeSet;
+
+use lexer::{lex, Lexed, Tok, TokKind};
 
 /// One unsuppressed lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,26 +66,134 @@ impl core::fmt::Display for Finding {
     }
 }
 
-/// Lints one source file. `path` selects the path-scoped rules
-/// (indexing hot paths, wall-clock exemptions); `source` is the file
-/// content. Returns the findings that survive `// lint: allow(...)`
-/// annotations, sorted by line.
+/// Lints one source file in isolation. `path` selects the path-scoped
+/// rules (indexing hot paths, wall-clock exemptions); `source` is the
+/// file content. Returns the findings that survive
+/// `// lint: allow(...)` annotations, sorted by line. Dataflow rules
+/// see only this one file — cross-file pairings need
+/// [`lint_workspace`].
 #[must_use]
 pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
-    let lexed = lex(source);
-    let stripped = strip_test_items(&lexed.tokens);
-    let mut findings = rules::scan(path, &stripped);
-    findings.retain(|f| {
-        let allowed_on = |line: u32| {
-            lexed
-                .allows
-                .get(&line)
-                .is_some_and(|rules| rules.iter().any(|r| r == f.rule || r == "all"))
-        };
-        !(allowed_on(f.line) || (f.line > 1 && allowed_on(f.line - 1)))
-    });
-    findings.sort_by_key(|f| (f.line, f.rule));
-    findings
+    lint_workspace(&[(path.to_string(), source.to_string())])
+        .into_iter()
+        .map(|(_, f)| f)
+        .collect()
+}
+
+/// Per-file state carried between the two lint passes.
+struct FileCtx {
+    lexed: Lexed,
+    /// Lines holding at least one token after test stripping.
+    live_lines: BTreeSet<u32>,
+    /// Lines holding at least one token before test stripping.
+    raw_lines: BTreeSet<u32>,
+    /// Pre-suppression findings (token rules, then dataflow rules).
+    findings: Vec<Finding>,
+}
+
+/// Lints a whole workspace in two passes: per-file token rules and
+/// dataflow fact collection first, then the cross-file dataflow rules
+/// and the `stale-allow` audit over the combined result. Returns
+/// `(path, finding)` pairs that survive suppression, sorted by path
+/// then line.
+#[must_use]
+pub fn lint_workspace(files: &[(String, String)]) -> Vec<(String, Finding)> {
+    // Pass 1: lex, strip tests, run token rules, collect facts.
+    let mut ctxs: Vec<FileCtx> = Vec::with_capacity(files.len());
+    let mut facts: Vec<(String, dataflow::FileDataflow)> = Vec::with_capacity(files.len());
+    for (path, source) in files {
+        let lexed = lex(source);
+        let stripped = strip_test_items(&lexed.tokens);
+        let findings = rules::scan(path, &stripped);
+        facts.push((path.clone(), dataflow::collect_file(&stripped)));
+        ctxs.push(FileCtx {
+            live_lines: stripped.iter().map(|t| t.line).collect(),
+            raw_lines: lexed.tokens.iter().map(|t| t.line).collect(),
+            lexed,
+            findings,
+        });
+    }
+
+    // Pass 2: cross-file dataflow rules.
+    for (fi, finding) in dataflow::cross_file(&facts) {
+        ctxs[fi].findings.push(finding);
+    }
+
+    // stale-allow audit: runs over the complete pre-suppression
+    // finding set, so an allow is stale exactly when removing it would
+    // change nothing.
+    for ctx in &mut ctxs {
+        let stale = stale_allow_findings(ctx);
+        ctx.findings.extend(stale);
+    }
+
+    // Suppression, then a stable global order.
+    let mut out = Vec::new();
+    for ((path, _), ctx) in files.iter().zip(ctxs) {
+        let mut findings = ctx.findings;
+        findings.retain(|f| {
+            let allowed_on = |line: u32| {
+                ctx.lexed
+                    .allows
+                    .get(&line)
+                    .is_some_and(|rules| rules.iter().any(|r| r == f.rule || r == "all"))
+            };
+            !(allowed_on(f.line) || (f.line > 1 && allowed_on(f.line - 1)))
+        });
+        findings.sort_by_key(|f| (f.line, f.rule));
+        out.extend(findings.into_iter().map(|f| (path.clone(), f)));
+    }
+    out.sort_by(|a, b| (a.0.as_str(), a.1.line, a.1.rule).cmp(&(b.0.as_str(), b.1.line, b.1.rule)));
+    out
+}
+
+/// Audits every `// lint: allow(...)` annotation in one file against
+/// its pre-suppression findings. An annotation is stale when the named
+/// rule (or, for `all`, any rule) does not fire on the annotated line
+/// or the line below — the two lines the annotation would suppress.
+/// Annotations attached to stripped test code are skipped, as are
+/// `allow(stale-allow)` markers (the meta escape hatch).
+fn stale_allow_findings(ctx: &FileCtx) -> Vec<Finding> {
+    let mut stale = Vec::new();
+    let mut lines: Vec<&u32> = ctx.lexed.allows.keys().collect();
+    lines.sort_unstable();
+    for &line in lines {
+        let covered = [line, line + 1];
+        let live = covered.iter().any(|l| ctx.live_lines.contains(l));
+        let raw = covered.iter().any(|l| ctx.raw_lines.contains(l));
+        // Annotation on test-only code: the rules never saw it.
+        if raw && !live {
+            continue;
+        }
+        for rule in &ctx.lexed.allows[&line] {
+            if rule == rules::STALE_ALLOW {
+                continue;
+            }
+            let known = rule == "all" || rules::ALL_RULES.contains(&rule.as_str());
+            if !known {
+                stale.push(Finding {
+                    rule: rules::STALE_ALLOW,
+                    line,
+                    message: format!("allow names unknown rule `{rule}`; remove or fix the name"),
+                });
+                continue;
+            }
+            let fires = ctx
+                .findings
+                .iter()
+                .any(|f| covered.contains(&f.line) && (rule == "all" || f.rule == rule.as_str()));
+            if !fires {
+                stale.push(Finding {
+                    rule: rules::STALE_ALLOW,
+                    line,
+                    message: format!(
+                        "allow(`{rule}`) no longer suppresses anything here; remove it"
+                    ),
+                });
+            }
+        }
+    }
+    stale
 }
 
 /// Removes `#[cfg(test)]` / `#[test]` items (attributes, the item
@@ -195,7 +321,12 @@ mod tests {
                 Some(1).unwrap();
             }
         ";
-        assert_eq!(lint_source("crates/x/src/lib.rs", src).len(), 1);
+        // The unwrap still fires — and the mismatched annotation is
+        // itself reported as stale.
+        let findings = lint_source("crates/x/src/lib.rs", src);
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings[0].rule, rules::STALE_ALLOW);
+        assert_eq!(findings[1].rule, rules::NO_UNWRAP);
     }
 
     #[test]

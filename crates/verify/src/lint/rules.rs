@@ -12,9 +12,35 @@ pub const UNCHECKED_INDEX: &str = "unchecked-index";
 pub const WALLCLOCK_RNG: &str = "wallclock-rng";
 /// Flag NaN-unsafe `f64` comparisons.
 pub const NAN_UNSAFE_CMP: &str = "nan-unsafe-cmp";
+/// Dataflow rule: a `Relaxed` atomic load paired (by receiver name,
+/// across files) with a `Release`-or-stronger publisher — or a
+/// `Relaxed` store paired with an `Acquire`-or-stronger load. Either
+/// half alone provides no happens-before edge.
+pub const ATOMIC_ORDERING: &str = "atomic-ordering";
+/// Dataflow rule: two mutexes acquired in opposite orders by
+/// different functions anywhere in the workspace — the classic ABBA
+/// deadlock shape.
+pub const LOCK_ORDER: &str = "lock-order";
+/// Dataflow rule: iterating a `HashMap`/`HashSet` into ordered output
+/// without sorting or an order-insensitive sink; iteration order is
+/// nondeterministic across runs.
+pub const NONDET_ITERATION: &str = "nondet-iteration";
+/// Meta rule: a `// lint: allow(...)` annotation naming a rule that no
+/// longer fires on the annotated line — the escape hatch outlived the
+/// finding and should be removed.
+pub const STALE_ALLOW: &str = "stale-allow";
 
 /// Every rule the engine knows, for `allow(...)` validation and docs.
-pub const ALL_RULES: [&str; 4] = [NO_UNWRAP, UNCHECKED_INDEX, WALLCLOCK_RNG, NAN_UNSAFE_CMP];
+pub const ALL_RULES: [&str; 8] = [
+    NO_UNWRAP,
+    UNCHECKED_INDEX,
+    WALLCLOCK_RNG,
+    NAN_UNSAFE_CMP,
+    ATOMIC_ORDERING,
+    LOCK_ORDER,
+    NONDET_ITERATION,
+    STALE_ALLOW,
+];
 
 /// The no-unwrap rule targets *library* code: binaries may abort on
 /// bad invocations, that is their error channel.

@@ -561,3 +561,82 @@ fn stats_watch_refreshes_and_terminates() {
     assert_usage_error(&["stats", "cat", "--watch", "0"]);
     assert_usage_error(&["stats", "cat", "--watch", "abc"]);
 }
+
+// ---- analyze (concurrency model checking) ------------------------------
+
+#[test]
+fn analyze_list_names_every_harness_with_its_kind() {
+    let out = paraconv(&["analyze", "--list"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "obs-merge",
+        "flight-ring",
+        "registry-put-same-key",
+        "sweep-pool",
+        "publish-acquire",
+    ] {
+        assert!(stdout.contains(name), "missing harness `{name}`: {stdout}");
+    }
+    assert!(stdout.contains("seeded"), "seeded fixtures labelled");
+    assert!(stdout.contains("passing"), "passing harnesses labelled");
+}
+
+#[test]
+fn analyze_passing_harness_exits_clean_and_reports_coverage() {
+    let out = paraconv(&["analyze", "publish-acquire"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok   publish-acquire"), "got: {stdout}");
+    assert!(stdout.contains("state space exhausted"), "got: {stdout}");
+}
+
+#[test]
+fn analyze_seeded_fixture_exits_one_with_a_replayable_schedule() {
+    let out = paraconv(&["analyze", "publish-relaxed"]);
+    assert_eq!(out.status.code(), Some(1), "seeded bug must fail the run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL publish-relaxed"), "got: {stdout}");
+    assert!(stdout.contains("schedule:"), "seed printed: {stdout}");
+    assert!(stdout.contains("interleaving:"), "trace printed: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("failed model checking"),
+        "summary on stderr: {stderr}"
+    );
+}
+
+#[test]
+fn analyze_json_emits_a_parsable_report_per_harness() {
+    let out = paraconv(&["analyze", "--json", "publish-acquire", "publish-relaxed"]);
+    assert_eq!(out.status.code(), Some(1), "one seeded failure selected");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value: serde_json::Value =
+        serde_json::from_str(&stdout).unwrap_or_else(|e| panic!("bad JSON ({e}): {stdout}"));
+    let reports = value.as_array().expect("top-level array");
+    assert_eq!(reports.len(), 2);
+    let field = |i: usize, key: &str| {
+        reports[i]
+            .get(key)
+            .unwrap_or_else(|| panic!("report {i} missing {key}"))
+    };
+    assert_eq!(field(0, "harness").as_str(), Some("publish-acquire"));
+    assert_eq!(field(0, "ok").as_bool(), Some(true));
+    assert_eq!(field(0, "complete").as_bool(), Some(true));
+    assert!(field(0, "schedules").as_u64().is_some());
+    assert_eq!(field(1, "harness").as_str(), Some("publish-relaxed"));
+    assert_eq!(field(1, "ok").as_bool(), Some(false));
+    assert!(field(1, "schedule").as_str().is_some());
+    assert!(!field(1, "trace").as_array().unwrap().is_empty());
+}
+
+#[test]
+fn analyze_rejects_malformed_invocations() {
+    assert_usage_error(&["analyze", "--schedules", "x"]);
+    assert_usage_error(&["analyze", "--schedules", "0"]);
+    assert_usage_error(&["analyze", "--preemptions"]);
+    assert_usage_error(&["analyze", "--bogus-flag"]);
+    assert_usage_error(&["analyze", "no-such-harness"]);
+}

@@ -10,7 +10,13 @@
 //!    [`ArtifactError`]s, never a panic, and a tampered-but-hash-valid
 //!    bundle is still rejected by the verifier gate;
 //! 3. **Registry** — the sharded store returns exactly the bytes it
-//!    was given and rejects path-shaped keys.
+//!    was given and rejects path-shaped keys;
+//! 4. **Concurrency** — a same-key put storm and a put-while-get loop
+//!    never expose a torn artifact (the protocol the
+//!    `registry-put-same-key` model harness in `paraconv-analyze`
+//!    proves schedule-exhaustively, re-checked here against the real
+//!    filesystem), with exact `registry.hits`/`misses`/`puts`
+//!    counters.
 
 use proptest::prelude::*;
 
@@ -307,4 +313,123 @@ proptest! {
             ),
         }
     }
+}
+
+/// Serializes the tests that do registry operations: counter
+/// exactness needs the process-global obs recorder to itself.
+fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| std::sync::Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn concurrent_same_key_put_storm_never_tears_and_counts_exactly() {
+    let _guard = obs_lock();
+    paraconv::obs::reset();
+    paraconv::obs::enable();
+
+    let dir = std::env::temp_dir().join(format!("paraconv-put-storm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let payload: Vec<u8> = (0..1 << 16).map(|i| (i % 251) as u8).collect();
+    let key = sha256_hex(&payload);
+    const WRITERS: usize = 8;
+    const PUTS_EACH: usize = 4;
+    let threads: Vec<_> = (0..WRITERS)
+        .map(|_| {
+            let registry = Registry::open(&dir).expect("registry opens");
+            let key = key.clone();
+            let payload = payload.clone();
+            std::thread::spawn(move || {
+                for _ in 0..PUTS_EACH {
+                    registry.put(&key, &payload).expect("put succeeds");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("writer thread completes");
+    }
+
+    // Worker threads flushed their obs buffers on exit; snapshot
+    // before the final get so the put count stands alone.
+    let snapshot = paraconv::obs::snapshot();
+    assert_eq!(
+        snapshot.counter("registry.puts"),
+        (WRITERS * PUTS_EACH) as u64,
+        "every put lands exactly once in the counter"
+    );
+    assert_eq!(snapshot.counter("registry.hits"), 0);
+    assert_eq!(snapshot.counter("registry.misses"), 0);
+
+    let registry = Registry::open(&dir).expect("registry opens");
+    assert_eq!(
+        registry.get(&key).expect("get works"),
+        Some(payload),
+        "the artifact is whole after the storm"
+    );
+    let shard = dir.join("objects").join(&key[..2]);
+    let leftovers: Vec<_> = std::fs::read_dir(&shard)
+        .expect("shard exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp-"))
+        .collect();
+    assert!(leftovers.is_empty(), "no temp files survive the storm");
+
+    paraconv::obs::disable();
+    paraconv::obs::reset();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn put_while_get_sees_none_or_the_whole_artifact() {
+    let _guard = obs_lock();
+    paraconv::obs::reset();
+    paraconv::obs::enable();
+
+    let dir = std::env::temp_dir().join(format!("paraconv-put-get-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let payload: Vec<u8> = (0..1 << 16).map(|i| (i % 241) as u8).collect();
+    let key = sha256_hex(&payload);
+    const PUTS: usize = 16;
+    let writer = {
+        let registry = Registry::open(&dir).expect("registry opens");
+        let key = key.clone();
+        let payload = payload.clone();
+        std::thread::spawn(move || {
+            for _ in 0..PUTS {
+                registry.put(&key, &payload).expect("put succeeds");
+            }
+        })
+    };
+
+    // Read concurrently: every get is either a miss or the complete
+    // payload — never a prefix, never zero-filled bytes.
+    let registry = Registry::open(&dir).expect("registry opens");
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for _ in 0..64 {
+        match registry.get(&key).expect("get never errors") {
+            None => misses += 1,
+            Some(got) => {
+                assert_eq!(got, payload, "a visible artifact is always whole");
+                hits += 1;
+            }
+        }
+    }
+    writer.join().expect("writer completes");
+
+    // One settled read after the writer is done must hit.
+    assert_eq!(registry.get(&key).expect("get works"), Some(payload));
+    hits += 1;
+
+    let snapshot = paraconv::obs::snapshot();
+    assert_eq!(snapshot.counter("registry.puts"), PUTS as u64);
+    assert_eq!(snapshot.counter("registry.hits"), hits);
+    assert_eq!(snapshot.counter("registry.misses"), misses);
+
+    paraconv::obs::disable();
+    paraconv::obs::reset();
+    let _ = std::fs::remove_dir_all(&dir);
 }
