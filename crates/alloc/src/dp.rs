@@ -80,6 +80,15 @@ impl DpTable {
         let mut arena = vec![0u64; 2 * cols];
         let (mut prev, mut curr) = arena.split_at_mut(cols);
         for (m, item) in items.iter().enumerate() {
+            // Cooperative cancellation inside the hottest planning
+            // loop: when the ambient token fires (serve deadline or
+            // drain) the fill stops early. The truncated table is
+            // garbage, but the token stays cancelled, so the scheduler
+            // discards it at the next phase boundary before anything
+            // can read it.
+            if m % 64 == 0 && paraconv_obs::cancel_requested() {
+                break;
+            }
             // lint: allow(unchecked-index) — row index bounded by n, the decisions length divisor
             let row_bits = &mut decisions[m * words_per_row..(m + 1) * words_per_row];
             if item.space() >= cols as u64 {

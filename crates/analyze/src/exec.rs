@@ -71,6 +71,7 @@ pub(crate) struct Failure {
 enum WaitKind {
     Mutex(usize),
     Join(usize),
+    Condvar(usize),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +126,7 @@ pub(crate) struct ExecInner {
     atomics: Vec<AtomicSlot>,
     mutexes: Vec<MutexSlot>,
     cells: Vec<CellSlot>,
+    condvars: Vec<String>,
 }
 
 /// What one model execution produced, harvested by the explorer.
@@ -330,6 +332,7 @@ impl Exec {
                 atomics: Vec::new(),
                 mutexes: Vec::new(),
                 cells: Vec::new(),
+                condvars: Vec::new(),
             }),
             cv: Condvar::new(),
             handles: StdMutex::new(Vec::new()),
@@ -617,6 +620,128 @@ impl Exec {
             inner.pick_next(tid);
         }
         self.cv.notify_all();
+    }
+
+    pub(crate) fn condvar_new(&self, tid: usize, name: &str) -> usize {
+        self.with_turn(tid, |inner| {
+            let idx = inner.condvars.len();
+            inner.note(tid, format!("condvar.new {name}"));
+            inner.condvars.push(name.to_string());
+            Step::Done(idx)
+        })
+    }
+
+    /// Atomic release-and-wait — the real `Condvar::wait` contract.
+    /// One schedule point releases `mutex` (waking its blocked
+    /// lockers) **and** parks this thread on the condvar, so no
+    /// notify can land between the two. After a wake-up, the mutex is
+    /// re-acquired like an ordinary (possibly blocking) lock, joining
+    /// the mutex clock — which is how a notifier's writes become
+    /// visible, exactly as in real code.
+    ///
+    /// Happens-before flows only through the mutex: the condvar itself
+    /// carries no clock, matching the `std::sync::Condvar` contract
+    /// that data must be guarded by the paired mutex.
+    pub(crate) fn condvar_wait(&self, tid: usize, cv: usize, mutex: usize) {
+        let mut released = false;
+        self.with_turn(tid, |inner| {
+            if !released {
+                released = true;
+                inner.mutexes[mutex].held_by = None;
+                let tc = inner.threads[tid].clock.clone();
+                inner.mutexes[mutex].clock.join(&tc);
+                for t in &mut inner.threads {
+                    if t.status == Status::Blocked(WaitKind::Mutex(mutex)) {
+                        t.status = Status::Runnable;
+                    }
+                }
+                let label = format!(
+                    "{}.wait() releases {}",
+                    inner.condvars[cv], inner.mutexes[mutex].name
+                );
+                inner.note(tid, label);
+                return Step::Block(WaitKind::Condvar(cv));
+            }
+            match inner.mutexes[mutex].held_by {
+                Some(holder) => {
+                    let label = format!(
+                        "{}.wait() woken; {}.lock() blocked on T{holder}",
+                        inner.condvars[cv], inner.mutexes[mutex].name
+                    );
+                    inner.note(tid, label);
+                    Step::Block(WaitKind::Mutex(mutex))
+                }
+                None => {
+                    inner.mutexes[mutex].held_by = Some(tid);
+                    let c = inner.mutexes[mutex].clock.clone();
+                    inner.threads[tid].clock.join(&c);
+                    let label = format!(
+                        "{}.wait() woken; {} re-acquired",
+                        inner.condvars[cv], inner.mutexes[mutex].name
+                    );
+                    inner.note(tid, label);
+                    Step::Done(())
+                }
+            }
+        })
+    }
+
+    /// Parks the thread on the condvar *without* touching any mutex —
+    /// the detached wait behind the seeded lost-wakeup fixture. Real
+    /// code gets this shape by unlocking first and waiting as a
+    /// separate step, opening the window where a notify fires between
+    /// the two, wakes nobody, and is lost forever.
+    pub(crate) fn condvar_block(&self, tid: usize, cv: usize) {
+        let mut parked = false;
+        self.with_turn(tid, |inner| {
+            if !parked {
+                parked = true;
+                let label = format!("{}.wait_detached() parks", inner.condvars[cv]);
+                inner.note(tid, label);
+                return Step::Block(WaitKind::Condvar(cv));
+            }
+            let label = format!("{}.wait_detached() woken", inner.condvars[cv]);
+            inner.note(tid, label);
+            Step::Done(())
+        })
+    }
+
+    /// Wakes the lowest-tid parked waiter (`notify_one`). Which waiter
+    /// a real OS wakes is unspecified; the model pins it for
+    /// determinism, which is exact whenever the waiters are
+    /// interchangeable (as the serve workers are).
+    pub(crate) fn condvar_notify_one(&self, tid: usize, cv: usize) {
+        self.with_turn(tid, |inner| {
+            let waiter = inner
+                .threads
+                .iter()
+                .position(|t| t.status == Status::Blocked(WaitKind::Condvar(cv)));
+            let label = match waiter {
+                Some(w) => {
+                    inner.threads[w].status = Status::Runnable;
+                    format!("{}.notify_one() wakes T{w}", inner.condvars[cv])
+                }
+                None => format!("{}.notify_one() wakes nobody", inner.condvars[cv]),
+            };
+            inner.note(tid, label);
+            Step::Done(())
+        })
+    }
+
+    /// Wakes every thread parked on the condvar.
+    pub(crate) fn condvar_notify_all(&self, tid: usize, cv: usize) {
+        self.with_turn(tid, |inner| {
+            let mut woken = 0usize;
+            for t in &mut inner.threads {
+                if t.status == Status::Blocked(WaitKind::Condvar(cv)) {
+                    t.status = Status::Runnable;
+                    woken += 1;
+                }
+            }
+            let label = format!("{}.notify_all() wakes {woken}", inner.condvars[cv]);
+            inner.note(tid, label);
+            Step::Done(())
+        })
     }
 
     pub(crate) fn cell_new(&self, tid: usize, name: &str, value: u64) -> usize {

@@ -1,6 +1,8 @@
-//! Model-check harnesses for the four concurrent cores of the serving
-//! path, plus seeded-bug fixtures that prove the explorer catches the
-//! bug classes it exists for.
+//! Model-check harnesses for the concurrent cores of the serving path
+//! — obs merge, flight ring, registry put/get, sweep pool, gate
+//! publication, and the serve daemon's bounded admission queue — plus
+//! seeded-bug fixtures that prove the explorer catches the bug classes
+//! it exists for.
 //!
 //! Each harness is a plain `fn()` model closure run under
 //! [`explore`](crate::explore::explore); every `assert!` inside holds
@@ -11,7 +13,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::explore::{explore, ExploreOpts, Explored, ModelFailure};
-use crate::shim::{self, AtomicBool, AtomicU64, Cell, Mutex, Ordering};
+use crate::shim::{self, AtomicBool, AtomicU64, Cell, Condvar, Mutex, Ordering};
 
 /// One registered model-check harness.
 #[derive(Debug, Clone, Copy)]
@@ -75,6 +77,12 @@ pub fn harnesses() -> &'static [Harness] {
             body: publish_acquire,
         },
         Harness {
+            name: "serve-queue",
+            about: "serve admission queue: bounded MPMC wait/notify with drain flag read under the sleeper's lock",
+            seeded_bug: false,
+            body: serve_queue,
+        },
+        Harness {
             name: "obs-merge-broken",
             about: "seeded bug: gauge merge as last-write-wins instead of max (order-dependent result)",
             seeded_bug: true,
@@ -91,6 +99,12 @@ pub fn harnesses() -> &'static [Harness] {
             about: "seeded bug: Relaxed gate load guarding plain published data (caught as a data race)",
             seeded_bug: true,
             body: publish_relaxed,
+        },
+        Harness {
+            name: "serve-queue-lost-wakeup",
+            about: "seeded bug: consumer unlocks then parks as two steps — a drain notify in the gap is lost (deadlock)",
+            seeded_bug: true,
+            body: serve_queue_lost_wakeup,
         },
     ]
 }
@@ -479,4 +493,94 @@ fn publish_acquire() {
 
 fn publish_relaxed() {
     publish_model(Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// 6. serve admission queue wait/notify protocol
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct ModelQueue {
+    items: Vec<u64>,
+    draining: bool,
+}
+
+/// One consumer's blocking pop, mirroring `BoundedQueue::pop`: check
+/// for an item, then the drain flag, **under the same lock the wait
+/// releases**; sleep otherwise. `detached` swaps the atomic
+/// release-and-wait for the seeded two-step unlock-then-park.
+fn model_pop(queue: &Mutex<ModelQueue>, available: &Condvar, detached: bool) -> Option<u64> {
+    let mut q = queue.lock();
+    loop {
+        if !q.items.is_empty() {
+            return Some(q.items.remove(0));
+        }
+        if q.draining {
+            return None;
+        }
+        q = if detached {
+            available.wait_detached(q)
+        } else {
+            available.wait(q)
+        };
+    }
+}
+
+/// Mirrors the serve daemon's `BoundedQueue` protocol: producers push
+/// under the lock and `notify_one` after releasing it, `drain` sets
+/// the flag and `notify_all`s, consumers loop in [`model_pop`]. Under
+/// every schedule, each admitted item is consumed exactly once and
+/// every consumer exits after drain — no lost wakeups, no lost items,
+/// no consumer left parked.
+fn serve_queue_model(detached: bool) {
+    let queue = Arc::new(Mutex::new(
+        "serve.queue",
+        ModelQueue {
+            items: Vec::new(),
+            draining: false,
+        },
+    ));
+    let available = Arc::new(Condvar::new("serve.available"));
+    let popped = Arc::new(Mutex::new("serve.popped", Vec::<u64>::new()));
+    let consumers: Vec<shim::JoinHandle> = (0..2)
+        .map(|_| {
+            let queue = Arc::clone(&queue);
+            let available = Arc::clone(&available);
+            let popped = Arc::clone(&popped);
+            shim::spawn(move || {
+                while let Some(item) = model_pop(&queue, &available, detached) {
+                    popped.lock().push(item);
+                }
+            })
+        })
+        .collect();
+    // The root thread is the producer: admit two items, then drain.
+    for item in [1u64, 2] {
+        queue.lock().items.push(item);
+        available.notify_one();
+    }
+    {
+        queue.lock().draining = true;
+        available.notify_all();
+    }
+    for c in consumers {
+        c.join();
+    }
+    let mut got = popped.lock().clone();
+    got.sort_unstable();
+    assert_eq!(
+        got,
+        vec![1, 2],
+        "admitted items must be consumed exactly once"
+    );
+    let q = queue.lock();
+    assert!(q.items.is_empty(), "drain abandoned admitted work");
+}
+
+fn serve_queue() {
+    serve_queue_model(false);
+}
+
+fn serve_queue_lost_wakeup() {
+    serve_queue_model(true);
 }

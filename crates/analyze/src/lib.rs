@@ -16,11 +16,12 @@
 //!   place of the `std::sync` originals. Clock transfer follows the
 //!   `Ordering` argument, so a `Relaxed` gate really publishes
 //!   nothing.
-//! * [`harness`] — model-checked harnesses for the four concurrent
-//!   cores the future `paraconv serve` daemon stands on (obs merge
-//!   commutativity, flight-recorder ring, registry put/get, sweep
-//!   worker pool), plus deliberately seeded-bug fixtures proving the
-//!   explorer catches what it claims to catch.
+//! * [`harness`] — model-checked harnesses for the concurrent cores
+//!   the `paraconv serve` daemon stands on (obs merge commutativity,
+//!   flight-recorder ring, registry put/get, sweep worker pool, and
+//!   the daemon's bounded admission queue wait/notify protocol), plus
+//!   deliberately seeded-bug fixtures proving the explorer catches
+//!   what it claims to catch.
 //!
 //! Scope, stated honestly: modeled **values** are sequentially
 //! consistent — the explorer does not speculate weak-memory load

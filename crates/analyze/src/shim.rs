@@ -161,6 +161,83 @@ impl<T> Drop for MutexGuard<'_, T> {
     }
 }
 
+/// Model `Condvar`, paired with a model [`Mutex`] exactly like
+/// `std::sync::Condvar`.
+///
+/// [`wait`](Condvar::wait) is the real atomic release-and-wait: the
+/// mutex release and the park are **one** schedule point, so a notify
+/// can never slip between them. [`wait_detached`](Condvar::wait_detached)
+/// is the deliberately broken variant — unlock first, park as a
+/// separate step — kept only so the seeded `serve-queue-lost-wakeup`
+/// fixture can demonstrate the lost-notify window the atomic contract
+/// closes.
+#[derive(Debug)]
+pub struct Condvar {
+    idx: usize,
+}
+
+impl Condvar {
+    /// Registers a named condvar in the current execution.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        let (exec, tid) = ctx();
+        Condvar {
+            idx: exec.condvar_new(tid, name),
+        }
+    }
+
+    /// Model `wait`: atomically releases the guard's mutex and parks
+    /// until a notify, then re-acquires the mutex (blocking if
+    /// contended) and returns a fresh guard. Spurious wakeups are not
+    /// modeled — correct code must tolerate them anyway (wait in a
+    /// loop), and they only add schedules that notify-driven wakes
+    /// already cover.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let mutex = guard.mutex;
+        // Hand the value back to storage, then defuse the guard: its
+        // `Drop` would emit a *separate* unlock op, and the whole point
+        // is that the release happens inside the wait op itself.
+        *mutex
+            .storage
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = guard.value.take();
+        std::mem::forget(guard);
+        let (exec, tid) = ctx();
+        exec.condvar_wait(tid, self.idx, mutex.idx);
+        let value = mutex
+            .storage
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
+        MutexGuard { mutex, value }
+    }
+
+    /// The seeded-bug wait: drops the guard (an ordinary unlock
+    /// schedule point), *then* parks on the condvar as a second step.
+    /// A notify scheduled into the gap wakes nobody and is lost — the
+    /// classic lost-wakeup deadlock the explorer exists to catch.
+    pub fn wait_detached<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let mutex = guard.mutex;
+        drop(guard);
+        let (exec, tid) = ctx();
+        exec.condvar_block(tid, self.idx);
+        mutex.lock()
+    }
+
+    /// Model `notify_one`: wakes one parked waiter (the model
+    /// deterministically picks the lowest tid), or nobody.
+    pub fn notify_one(&self) {
+        let (exec, tid) = ctx();
+        exec.condvar_notify_one(tid, self.idx);
+    }
+
+    /// Model `notify_all`: wakes every parked waiter.
+    pub fn notify_all(&self) {
+        let (exec, tid) = ctx();
+        exec.condvar_notify_all(tid, self.idx);
+    }
+}
+
 /// Plain (non-atomic) shared data under vector-clock race detection:
 /// a `get`/`set` pair by two threads without a happens-before edge
 /// between them fails the execution as a data race.

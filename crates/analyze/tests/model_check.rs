@@ -131,6 +131,30 @@ fn deadlock_is_detected_with_its_interleaving() {
 }
 
 #[test]
+fn lost_wakeup_is_a_deadlock_the_atomic_wait_prevents() {
+    // The seeded fixture is the serve queue with a two-step
+    // unlock-then-park wait: a drain notify lands in the gap and is
+    // lost, leaving a consumer parked forever.
+    let broken = paraconv_analyze::find_harness("serve-queue-lost-wakeup").unwrap();
+    let failure = broken
+        .run(&opts())
+        .expect_err("detached wait must lose a wakeup under some schedule");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(
+        failure.message.contains("blocked"),
+        "unexpected message: {}",
+        failure.message
+    );
+    // The identical protocol with the real atomic release-and-wait
+    // explores the same space clean — the one-op wait is the fix.
+    let fixed = paraconv_analyze::find_harness("serve-queue").unwrap();
+    let explored = fixed
+        .run(&opts())
+        .unwrap_or_else(|f| panic!("atomic-wait queue protocol must survive every schedule:\n{f}"));
+    assert!(explored.complete);
+}
+
+#[test]
 fn schedule_budget_caps_exploration_incomplete() {
     let h = paraconv_analyze::find_harness("obs-merge").unwrap();
     let capped = ExploreOpts {

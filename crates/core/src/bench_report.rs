@@ -22,11 +22,16 @@
 //!   it measures host-pool scaling, which shared CI runners make too
 //!   noisy to fail a build over.
 //!
-//! Only the **final** consecutive pair is gated. Historical steps are
-//! printed for trend context but never fail: the committed series
-//! already contains known, explained dips (BENCH_2's `fills_per_sec`
-//! traded DP throughput for exactness) and re-litigating them on every
-//! push would be noise.
+//! Only the **last comparable pair** of each metric is gated — the two
+//! most recent reports that actually carry the metric (and agree on
+//! any workload guard). A newer report that simply lacks a metric
+//! (because that PR's bench focused elsewhere, e.g. BENCH_6's serving
+//! load test carries no `dp` section) therefore does not silently
+//! disable the gate for the series. Historical steps are printed for
+//! trend context but never fail: the committed series already contains
+//! known, explained dips (BENCH_2's `fills_per_sec` traded DP
+//! throughput for exactness) and re-litigating them on every push
+//! would be noise.
 
 use std::path::Path;
 
@@ -168,6 +173,25 @@ const TRACKED: &[Tracked] = &[
         readout: Readout::Direct("sweep.speedup"),
         gated: false,
     },
+    Tracked {
+        name: "serve.requests_per_sec",
+        readout: Readout::Direct("serve.requests_per_sec"),
+        gated: true,
+    },
+    Tracked {
+        // Lower is better, so the throughput-style floor gate does
+        // not apply; reported for trend context only.
+        name: "serve.p99_us",
+        readout: Readout::Direct("serve.p99_us"),
+        gated: false,
+    },
+    Tracked {
+        // Workload-mix dependent (the load generator fixes the mix,
+        // but the mix is a choice, not a property): never gated.
+        name: "serve.hit_rate",
+        readout: Readout::Direct("serve.hit_rate"),
+        gated: false,
+    },
 ];
 
 /// One metric's value series across the bench reports.
@@ -265,21 +289,27 @@ pub fn analyze(entries: &[BenchEntry], tolerance_bp: u64) -> BenchReport {
                 _ => None,
             });
         }
-        if t.gated && entries.len() >= 2 {
-            let last = entries.len() - 1;
-            let (prior, fresh, comparable) =
-                read_pair(&entries[last - 1], &entries[last], t.readout);
-            if let (Some(p), Some(f), true) = (prior, fresh, comparable) {
-                let floor = p * (10_000u64.saturating_sub(tolerance_bp)) as f64 / 10_000.0;
-                if f < floor {
-                    regressions.push(Regression {
-                        metric: t.name.to_owned(),
-                        prior_id: entries[last - 1].bench_id,
-                        fresh_id: entries[last].bench_id,
-                        prior: p,
-                        fresh: f,
-                        floor,
-                    });
+        if t.gated {
+            // Gate the last pair of reports that *carry* the metric:
+            // a newer report without it must not retire the gate.
+            let present: Vec<usize> = (0..entries.len())
+                .filter(|&i| read_one(&entries[i], t.readout).is_some())
+                .collect();
+            if let [.., prior_at, fresh_at] = present[..] {
+                let (prior, fresh, comparable) =
+                    read_pair(&entries[prior_at], &entries[fresh_at], t.readout);
+                if let (Some(p), Some(f), true) = (prior, fresh, comparable) {
+                    let floor = p * (10_000u64.saturating_sub(tolerance_bp)) as f64 / 10_000.0;
+                    if f < floor {
+                        regressions.push(Regression {
+                            metric: t.name.to_owned(),
+                            prior_id: entries[prior_at].bench_id,
+                            fresh_id: entries[fresh_at].bench_id,
+                            prior: p,
+                            fresh: f,
+                            floor,
+                        });
+                    }
                 }
             }
         }
@@ -457,6 +487,45 @@ mod tests {
             "unexpected regressions: {:?}",
             report.regressions
         );
+    }
+
+    #[test]
+    fn a_report_without_the_metric_does_not_retire_the_gate() {
+        // Entry 3 focuses elsewhere (no simulate/dp sections, like a
+        // serving load test); the gate must still compare 1 vs 2 and
+        // catch the regression between them.
+        let series = [
+            bench(1, 1000.0, 500.0, None, "cold"),
+            bench(2, 700.0, 500.0, None, "cold"),
+            entry(
+                3,
+                "{\"bench_id\": 3, \"serve\": {\"requests_per_sec\": 50000}}",
+            ),
+        ];
+        let report = analyze(&series, DEFAULT_TOLERANCE_BP);
+        assert_eq!(report.regressions.len(), 1);
+        let r = &report.regressions[0];
+        assert_eq!(r.metric, "simulate.planned_tasks_per_sec");
+        assert_eq!((r.prior_id, r.fresh_id), (1, 2));
+    }
+
+    #[test]
+    fn serve_throughput_gates_across_its_own_series() {
+        let serve = |id: u64, rps: f64| {
+            entry(
+                id,
+                &format!("{{\"bench_id\": {id}, \"serve\": {{\"requests_per_sec\": {rps}, \"p99_us\": 100, \"hit_rate\": 0.9}}}}"),
+            )
+        };
+        let series = [serve(6, 100_000.0), serve(7, 50_000.0)];
+        let report = analyze(&series, DEFAULT_TOLERANCE_BP);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].metric, "serve.requests_per_sec");
+        // p99 and hit rate ride along ungated.
+        assert!(report
+            .trajectories
+            .iter()
+            .any(|t| t.name == "serve.p99_us" && !t.gated));
     }
 
     #[test]

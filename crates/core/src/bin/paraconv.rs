@@ -89,7 +89,10 @@ const USAGE: &str = "usage:
   paraconv table1 [opts]                Table 1 (SPARTA vs Para-CONV sweep)
   paraconv stats <benchmark> [opts]     run compare and print its metrics
   paraconv chaos <benchmark> [opts]     deterministic fault campaign + recovery
+  paraconv chaos --serve [opts]         in-process serving chaos campaign
   paraconv postmortem <dump>            render a flight-recorder dump
+  paraconv serve [opts]                 long-running multi-tenant planner daemon
+  paraconv client --addr <a> [opts]     JSONL stdin/stdout client for a daemon
   paraconv bench report [opts]          BENCH_*.json trajectory + regression gate
   paraconv bench diff <a> <b>           compare two bench reports
   paraconv check trace|metrics|prom <file>
@@ -139,7 +142,28 @@ plan options:
 analyze options:
   --schedules <n>   cap on explored interleavings (default 100000)
   --preemptions <n> preemption budget per schedule (default 2)
-  --json            machine-readable results on stdout";
+  --json            machine-readable results on stdout
+
+serve options (also chaos --serve):
+  --addr <host:port>    bind address (default 127.0.0.1:0, ephemeral)
+  --addr-file <path>    write the bound address here once listening
+  --jobs <n>            worker pool width (default PARACONV_JOBS or cores)
+  --queue <n>           admission queue capacity (default 64)
+  --registry <dir>      persistent plan store (recovered on startup)
+  --quota <n>           per-tenant in-flight quota (default 16)
+  --breaker-threshold <n>  consecutive poisons tripping the breaker (default 3)
+  --breaker-cooldown <n>   rejections before a half-open probe (default 8)
+  --seed <n>            fault campaign seed (default 0)
+  --worker-kill <bp>    worker kill rate, basis points (default 0)
+  --slow <bp>           slow-request injection rate (default 0)
+  --disk-fail <bp>      cache-write failure rate (default 0)
+
+chaos --serve options:
+  --requests <n>        total requests across all clients (default 512)
+  --clients <n>         concurrent client threads (default 8)
+  --json                machine-readable campaign report on stdout
+  --postmortem <path>   dump the campaign (flight recorder + metrics)
+                        as a postmortem artifact for `paraconv postmortem`";
 
 /// Parsed command options shared by the scheduling subcommands.
 struct Opts {
@@ -436,6 +460,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
             obs::disable();
             export(&opts, None)
         }
+        "chaos" if args.iter().any(|a| a == "--serve") => serve_chaos_command(args),
         "chaos" => {
             let graph = load(args.get(1))?;
             let name = args.get(1).cloned().unwrap_or_default();
@@ -523,6 +548,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         "postmortem" => postmortem_command(args),
+        "serve" => serve_command(args),
+        "client" => client_command(args),
         "bench" => bench_command(args),
         "check" => check_command(args),
         "plan" => plan_command(args),
@@ -1451,4 +1478,475 @@ fn options(args: &[String]) -> Result<Opts, CliError> {
         i += 2;
     }
     Ok(opts)
+}
+
+/// Options shared by `serve` and `chaos --serve`.
+struct ServeOpts {
+    addr: String,
+    addr_file: Option<String>,
+    jobs: Option<usize>,
+    queue: usize,
+    registry: Option<String>,
+    quota: u64,
+    breaker_threshold: u64,
+    breaker_cooldown: u64,
+    seed: u64,
+    worker_kill_bp: u32,
+    slow_bp: u32,
+    disk_fail_bp: u32,
+    requests: u64,
+    clients: u64,
+    json: bool,
+    postmortem: Option<String>,
+}
+
+impl ServeOpts {
+    /// The engine config this invocation asks for.
+    fn config(&self) -> Result<paraconv::serve::ServeConfig, CliError> {
+        let fault = if self.worker_kill_bp > 0 || self.slow_bp > 0 || self.disk_fail_bp > 0 {
+            Some(
+                FaultSpec::builder(self.seed)
+                    .worker_kill_bp(self.worker_kill_bp)
+                    .slow_request_bp(self.slow_bp)
+                    .cache_write_fail_bp(self.disk_fail_bp)
+                    .build()
+                    .map_err(|e| CliError::Usage(e.to_string()))?,
+            )
+        } else {
+            None
+        };
+        let defaults = paraconv::serve::ServeConfig::default();
+        Ok(paraconv::serve::ServeConfig {
+            jobs: self.jobs.unwrap_or(defaults.jobs),
+            queue_capacity: self.queue,
+            registry_path: self.registry.clone().map(Into::into),
+            quota: self.quota,
+            breaker_threshold: self.breaker_threshold,
+            breaker_cooldown: self.breaker_cooldown,
+            fault,
+        })
+    }
+}
+
+fn serve_options(args: &[String]) -> Result<ServeOpts, CliError> {
+    let mut opts = ServeOpts {
+        addr: "127.0.0.1:0".into(),
+        addr_file: None,
+        jobs: None,
+        queue: 64,
+        registry: None,
+        quota: 16,
+        breaker_threshold: 3,
+        breaker_cooldown: 8,
+        seed: 0,
+        worker_kill_bp: 0,
+        slow_bp: 0,
+        disk_fail_bp: 0,
+        requests: 512,
+        clients: 8,
+        json: false,
+        postmortem: None,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        let flag = &args[i];
+        match flag.as_str() {
+            "--serve" | "--json" => {
+                opts.json |= flag == "--json";
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if !flag.starts_with("--") {
+            return Err(CliError::Usage(format!("unexpected argument `{flag}`")));
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+        let parse_num = |what: &str| {
+            value
+                .parse::<u64>()
+                .map_err(|_| CliError::Usage(format!("bad {what} `{value}`")))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = value.clone(),
+            "--addr-file" => opts.addr_file = Some(value.clone()),
+            "--registry" => opts.registry = Some(value.clone()),
+            "--jobs" => {
+                opts.jobs = Some(usize::try_from(parse_num("--jobs")?).unwrap_or(usize::MAX));
+            }
+            "--queue" => {
+                opts.queue = usize::try_from(parse_num("--queue")?).unwrap_or(usize::MAX);
+                if opts.queue == 0 {
+                    return Err(CliError::Usage("--queue must be positive".into()));
+                }
+            }
+            "--quota" => opts.quota = parse_num("--quota")?,
+            "--breaker-threshold" => opts.breaker_threshold = parse_num("--breaker-threshold")?,
+            "--breaker-cooldown" => opts.breaker_cooldown = parse_num("--breaker-cooldown")?,
+            "--seed" => opts.seed = parse_num("--seed")?,
+            "--worker-kill" => {
+                opts.worker_kill_bp = u32::try_from(parse_num("--worker-kill")?)
+                    .map_err(|_| CliError::Usage("bad --worker-kill".into()))?;
+            }
+            "--slow" => {
+                opts.slow_bp = u32::try_from(parse_num("--slow")?)
+                    .map_err(|_| CliError::Usage("bad --slow".into()))?;
+            }
+            "--disk-fail" => {
+                opts.disk_fail_bp = u32::try_from(parse_num("--disk-fail")?)
+                    .map_err(|_| CliError::Usage("bad --disk-fail".into()))?;
+            }
+            "--requests" => opts.requests = parse_num("--requests")?,
+            "--postmortem" => opts.postmortem = Some(value.clone()),
+            "--clients" => {
+                opts.clients = parse_num("--clients")?;
+                if opts.clients == 0 {
+                    return Err(CliError::Usage("--clients must be positive".into()));
+                }
+            }
+            other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
+        }
+        i += 2;
+    }
+    Ok(opts)
+}
+
+/// `paraconv serve`: bind, announce the address, park until a client
+/// drains the daemon, then print the final counters.
+fn serve_command(args: &[String]) -> Result<(), CliError> {
+    let opts = serve_options(args)?;
+    obs::reset();
+    obs::enable();
+    let handle = paraconv::serve::daemon::serve(&opts.addr, opts.config()?)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let addr = handle.addr();
+    if let Some(path) = &opts.addr_file {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| CliError::Runtime(format!("cannot write `{path}`: {e}")))?;
+    }
+    println!("listening on {addr}");
+    handle.wait_for_drain();
+    let stats = handle.shutdown();
+    obs::disable();
+    println!("{}", stats.to_json());
+    if stats.accepted != stats.served + stats.deadline + stats.failed {
+        return Err(CliError::Runtime(format!(
+            "accepted {} but only {} answered — a request was lost",
+            stats.accepted,
+            stats.served + stats.deadline + stats.failed
+        )));
+    }
+    Ok(())
+}
+
+/// `paraconv client`: stream JSONL requests from stdin to a daemon and
+/// its responses to stdout. Exits non-zero only on transport failure —
+/// per-request failures are data, not process errors.
+fn client_command(args: &[String]) -> Result<(), CliError> {
+    use std::io::{BufRead, Write};
+    let mut addr = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--addr needs a value".into()))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown option `{other}`"))),
+        }
+    }
+    let addr = addr.ok_or_else(|| CliError::Usage("client needs --addr <host:port>".into()))?;
+    let stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| CliError::Runtime(format!("cannot connect to `{addr}`: {e}")))?;
+    let mut writer = std::io::BufWriter::new(
+        stream
+            .try_clone()
+            .map_err(|e| CliError::Runtime(e.to_string()))?,
+    );
+    let mut reader = std::io::BufReader::new(stream);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| CliError::Runtime(format!("stdin read failed: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| CliError::Runtime(format!("send failed: {e}")))?;
+        let mut response = String::new();
+        let n = reader
+            .read_line(&mut response)
+            .map_err(|e| CliError::Runtime(format!("receive failed: {e}")))?;
+        if n == 0 {
+            return Err(CliError::Runtime("daemon closed the connection".into()));
+        }
+        out.write_all(response.as_bytes())
+            .map_err(|e| CliError::Runtime(format!("stdout write failed: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Deterministic pseudo-random stream for the serving chaos campaign
+/// (SplitMix64; the CLI cannot depend on a rand crate).
+fn chaos_mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// `paraconv chaos --serve`: an in-process serving chaos campaign.
+/// Mixed cold/cached/poisoned/deadline requests from concurrent client
+/// threads against an engine with worker-kill, slow-request and
+/// disk-full injection; then prove the robustness contract:
+/// every accepted request answered exactly once, every `ok` key maps
+/// to one decodable (untorn) artifact, and drain is clean.
+fn serve_chaos_command(args: &[String]) -> Result<(), CliError> {
+    use paraconv::serve::{ServeCore, ServeStatus, Submission};
+    use std::collections::BTreeMap;
+    use std::sync::{Arc, Mutex};
+
+    let mut opts = serve_options(args)?;
+    // A chaos campaign with no faults proves nothing: default the
+    // injection rates up when the user did not pin them.
+    if opts.worker_kill_bp == 0 && opts.slow_bp == 0 && opts.disk_fail_bp == 0 {
+        opts.worker_kill_bp = 500;
+        opts.slow_bp = 200;
+        opts.disk_fail_bp = 300;
+    }
+    let temp_registry = opts.registry.is_none();
+    if temp_registry {
+        let dir = std::env::temp_dir().join(format!(
+            "paraconv-serve-chaos-{}-{}",
+            std::process::id(),
+            opts.seed
+        ));
+        opts.registry = Some(dir.to_string_lossy().into_owned());
+    }
+
+    obs::reset();
+    obs::enable();
+    // The serving path records every injected worker kill into the
+    // flight recorder; keep it on for the whole campaign so the
+    // optional postmortem dump carries the injected failures.
+    obs::flight_enable(obs::DEFAULT_FLIGHT_CAPACITY);
+    let core =
+        Arc::new(ServeCore::new(opts.config()?).map_err(|e| CliError::Runtime(e.to_string()))?);
+    core.start();
+
+    let benches = ["cat", "car"];
+    let responses: Arc<Mutex<Vec<paraconv::serve::ServeResponse>>> =
+        Arc::new(Mutex::new(Vec::new()));
+    let per_client = opts.requests / opts.clients;
+    let threads: Vec<_> = (0..opts.clients)
+        .map(|c| {
+            let core = Arc::clone(&core);
+            let responses = Arc::clone(&responses);
+            let seed = opts.seed;
+            std::thread::spawn(move || {
+                for r in 0..per_client {
+                    let roll = chaos_mix(seed ^ (c << 32) ^ r);
+                    // Mix: ~1/8 poisoned, ~1/8 zero-deadline, the rest
+                    // split between a handful of hot keys (cached) and
+                    // per-client cold keys.
+                    let poisoned = roll.is_multiple_of(8);
+                    let deadline = roll % 8 == 1;
+                    let hot = !roll.is_multiple_of(4);
+                    let request = paraconv::serve::PlanRequest {
+                        id: format!("c{c}-r{r}"),
+                        tenant: format!("tenant-{}", c % 3),
+                        benchmark: if poisoned {
+                            "no-such-benchmark".into()
+                        } else {
+                            benches[(roll as usize / 8) % benches.len()].into()
+                        },
+                        pes: if hot { 8 } else { 8 + 4 * ((c as usize) % 3) },
+                        iterations: if hot { 4 } else { 4 + r % 3 },
+                        policy: AllocationPolicy::DynamicProgram,
+                        deadline_ms: if deadline { Some(0) } else { None },
+                    };
+                    let response = match core.submit(request) {
+                        Submission::Accepted(ticket) => ticket.wait(),
+                        Submission::Rejected(response) => response,
+                    };
+                    responses
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(response);
+                }
+                obs::flush_thread();
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join()
+            .map_err(|_| CliError::Runtime("a chaos client panicked".into()))?;
+    }
+    let stats = core.drain();
+    obs::disable();
+
+    // Invariant 1: every submission was answered exactly once.
+    let responses = std::mem::take(
+        &mut *responses
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    let submitted = per_client * opts.clients;
+    let mut violations: Vec<String> = Vec::new();
+    if responses.len() as u64 != submitted {
+        violations.push(format!(
+            "submitted {submitted} requests but saw {} responses",
+            responses.len()
+        ));
+    }
+
+    // Invariant 2: accepted requests are conserved — each ends in
+    // exactly one terminal counter, none lost to kills or drain.
+    let answered = stats.served + stats.deadline + stats.failed;
+    if stats.accepted != answered {
+        violations.push(format!(
+            "accepted {} but answered {answered} — requests lost",
+            stats.accepted
+        ));
+    }
+
+    // Invariant 3: every `ok` key resolves to one decodable artifact,
+    // byte-identical no matter how many responses carried the key.
+    let mut keys: BTreeMap<String, u64> = BTreeMap::new();
+    for response in &responses {
+        if response.status == ServeStatus::Ok {
+            match &response.key {
+                Some(key) => *keys.entry(key.clone()).or_insert(0) += 1,
+                None => violations.push(format!("ok response `{}` without a key", response.id)),
+            }
+        }
+    }
+    for key in keys.keys() {
+        match core.cache().lookup(key) {
+            None => violations.push(format!("served key {key} is not resident")),
+            Some(bytes) => {
+                if let Err(e) = plan_registry::decode(&bytes) {
+                    violations.push(format!("torn artifact for {key}: {e}"));
+                }
+            }
+        }
+    }
+
+    let report = |k: &str, v: u64| println!("  \"{k}\": {v},");
+    if opts.json {
+        println!("{{");
+        println!("  \"seed\": {},", opts.seed);
+        report("requests", submitted);
+        report("accepted", stats.accepted);
+        report("served", stats.served);
+        report("hits", stats.hits);
+        report("misses", stats.misses);
+        report("shed", stats.shed);
+        report("invalid", stats.invalid);
+        report("quota", stats.quota);
+        report("circuit_open", stats.circuit_open);
+        report("deadline", stats.deadline);
+        report("failed", stats.failed);
+        report("worker_kills", stats.worker_kills);
+        report("slow_injected", stats.slow_injected);
+        report("distinct_keys", keys.len() as u64);
+        println!("  \"violations\": {}", violations.len());
+        println!("}}");
+    } else {
+        println!(
+            "campaign: seed {}, {} clients x {} requests, kill {} bp, slow {} bp, disk-fail {} bp",
+            opts.seed,
+            opts.clients,
+            per_client,
+            opts.worker_kill_bp,
+            opts.slow_bp,
+            opts.disk_fail_bp
+        );
+        println!(
+            "traffic:  {} accepted ({} served = {} hits + {} misses, {} deadline, {} failed)",
+            stats.accepted, stats.served, stats.hits, stats.misses, stats.deadline, stats.failed
+        );
+        println!(
+            "shed:     {} overloaded, {} invalid, {} quota, {} circuit-open",
+            stats.shed, stats.invalid, stats.quota, stats.circuit_open
+        );
+        println!(
+            "faults:   {} worker kills survived, {} slow injections, {} distinct keys intact",
+            stats.worker_kills,
+            stats.slow_injected,
+            keys.len()
+        );
+        for tenant in core.tenant_stats() {
+            println!(
+                "tenant:   {} served {}, poisoned {}, rejected {}{}",
+                tenant.tenant,
+                tenant.served,
+                tenant.poisoned,
+                tenant.rejected,
+                if tenant.circuit_open {
+                    " [circuit open]"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+
+    // `--postmortem` snapshots the campaign — injected worker kills in
+    // the flight recorder plus the final metrics — whether or not the
+    // contract held, so `paraconv postmortem` can replay the faults.
+    if let Some(path) = &opts.postmortem {
+        let mut context = BTreeMap::new();
+        context.insert("campaign".to_owned(), "chaos --serve".to_owned());
+        context.insert("seed".to_owned(), opts.seed.to_string());
+        context.insert("requests".to_owned(), submitted.to_string());
+        context.insert("clients".to_owned(), opts.clients.to_string());
+        context.insert("worker_kill_bp".to_owned(), opts.worker_kill_bp.to_string());
+        context.insert("slow_bp".to_owned(), opts.slow_bp.to_string());
+        context.insert("disk_fail_bp".to_owned(), opts.disk_fail_bp.to_string());
+        let bundle = plan_registry::PostmortemBundle {
+            reason: format!(
+                "serving chaos campaign: survived {} injected worker kill(s), \
+                 {} slow injection(s), {} violation(s)",
+                stats.worker_kills,
+                stats.slow_injected,
+                violations.len()
+            ),
+            context,
+            events: obs::flight_events(),
+            metrics: obs::snapshot(),
+        };
+        std::fs::write(path, bundle.encode())
+            .map_err(|e| CliError::Runtime(format!("cannot write postmortem to `{path}`: {e}")))?;
+        println!("postmortem: campaign dumped to `{path}`");
+    }
+    obs::flight_disable();
+
+    if temp_registry {
+        if let Some(dir) = &opts.registry {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+    if violations.is_empty() {
+        println!("chaos --serve: contract holds");
+        Ok(())
+    } else {
+        for v in &violations {
+            eprintln!("violation: {v}");
+        }
+        Err(CliError::Runtime(format!(
+            "{} robustness violation(s)",
+            violations.len()
+        )))
+    }
 }

@@ -75,6 +75,7 @@ pub mod bench_report;
 mod error;
 pub mod experiments;
 mod runner;
+pub mod serve;
 pub mod sweep;
 mod table;
 

@@ -1,0 +1,333 @@
+//! Per-tenant quotas, fairness accounting, and circuit breaking.
+//!
+//! Two protections, both deterministic (counted in requests, never
+//! wall-clock):
+//!
+//! * **In-flight quota** — at most `max_inflight` requests per tenant
+//!   admitted at once, so one chatty tenant cannot monopolize the
+//!   worker pool; the `quota` rejection is the fairness backpressure.
+//! * **Circuit breaker** — `threshold` *consecutive* poisoned requests
+//!   trip the tenant's breaker open; while open, requests are rejected
+//!   with `circuit_open` until `cooldown` rejections have passed, then
+//!   one half-open probe is admitted. A successful probe closes the
+//!   breaker, a poisoned one re-opens it.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Why a tenant's request was refused admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The tenant is at its in-flight quota.
+    QuotaExceeded,
+    /// The tenant's circuit breaker is open.
+    CircuitOpen,
+}
+
+/// How a tenant's request ended, for breaker accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Planned (or served from cache) successfully.
+    Served,
+    /// Poisoned: invalid inputs or a planning failure attributable to
+    /// the request itself. Feeds the breaker.
+    Poisoned,
+    /// Neither success nor the tenant's fault (deadline expiry, shed,
+    /// internal error): in-flight is released, the breaker is
+    /// untouched.
+    Aborted,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    Closed,
+    /// Open; admits again after `remaining` further rejections.
+    Open {
+        remaining: u64,
+    },
+    /// One probe is in flight; its outcome decides open vs closed.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct TenantState {
+    inflight: u64,
+    consecutive_poisoned: u64,
+    breaker: Breaker,
+    served: u64,
+    poisoned: u64,
+    rejected: u64,
+}
+
+impl TenantState {
+    fn new() -> TenantState {
+        TenantState {
+            inflight: 0,
+            consecutive_poisoned: 0,
+            breaker: Breaker::Closed,
+            served: 0,
+            poisoned: 0,
+            rejected: 0,
+        }
+    }
+}
+
+/// Fairness counters for one tenant (a [`TenantGovernor::stats`] row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub tenant: String,
+    /// Requests served successfully.
+    pub served: u64,
+    /// Requests that ended poisoned.
+    pub poisoned: u64,
+    /// Requests refused admission (quota or open circuit).
+    pub rejected: u64,
+    /// Whether the breaker is currently open or half-open.
+    pub circuit_open: bool,
+}
+
+/// The per-tenant governor: quotas and circuit breakers behind one
+/// lock (tenant counts are small; the planning work dwarfs this).
+#[derive(Debug)]
+pub struct TenantGovernor {
+    tenants: Mutex<BTreeMap<String, TenantState>>,
+    max_inflight: u64,
+    threshold: u64,
+    cooldown: u64,
+}
+
+impl TenantGovernor {
+    /// A governor admitting `max_inflight` concurrent requests per
+    /// tenant, tripping breakers after `threshold` consecutive
+    /// poisoned requests, and half-opening after `cooldown` further
+    /// rejections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_inflight` or `threshold` is zero.
+    #[must_use]
+    pub fn new(max_inflight: u64, threshold: u64, cooldown: u64) -> TenantGovernor {
+        assert!(max_inflight > 0, "quota must admit at least one request");
+        assert!(threshold > 0, "breaker threshold must be positive");
+        TenantGovernor {
+            tenants: Mutex::new(BTreeMap::new()),
+            max_inflight,
+            threshold,
+            cooldown,
+        }
+    }
+
+    /// Tries to admit one request for `tenant`; on success the
+    /// tenant's in-flight count is incremented and the caller **must**
+    /// later call [`complete`](Self::complete) exactly once.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::QuotaExceeded`] or [`AdmitError::CircuitOpen`].
+    pub fn admit(&self, tenant: &str) -> Result<(), AdmitError> {
+        let mut tenants = self.lock();
+        let state = tenants
+            .entry(tenant.to_owned())
+            .or_insert_with(TenantState::new);
+        match state.breaker {
+            Breaker::Open { remaining } => {
+                if remaining > 1 {
+                    state.breaker = Breaker::Open {
+                        remaining: remaining - 1,
+                    };
+                    state.rejected += 1;
+                    return Err(AdmitError::CircuitOpen);
+                }
+                // Cooldown elapsed: admit this one request as the probe.
+                state.breaker = Breaker::HalfOpen;
+            }
+            Breaker::HalfOpen => {
+                // The probe is still out; keep everyone else away.
+                state.rejected += 1;
+                return Err(AdmitError::CircuitOpen);
+            }
+            Breaker::Closed => {}
+        }
+        if state.inflight >= self.max_inflight {
+            // A failed quota check must not consume the half-open
+            // probe admission.
+            if state.breaker == Breaker::HalfOpen {
+                state.breaker = Breaker::Open { remaining: 1 };
+            }
+            state.rejected += 1;
+            return Err(AdmitError::QuotaExceeded);
+        }
+        state.inflight += 1;
+        Ok(())
+    }
+
+    /// Releases one admitted request and feeds the breaker.
+    pub fn complete(&self, tenant: &str, outcome: RequestOutcome) {
+        let mut tenants = self.lock();
+        let Some(state) = tenants.get_mut(tenant) else {
+            return;
+        };
+        state.inflight = state.inflight.saturating_sub(1);
+        match outcome {
+            RequestOutcome::Served => {
+                state.served += 1;
+                state.consecutive_poisoned = 0;
+                if state.breaker == Breaker::HalfOpen {
+                    state.breaker = Breaker::Closed;
+                }
+            }
+            RequestOutcome::Poisoned => {
+                state.poisoned += 1;
+                state.consecutive_poisoned += 1;
+                if state.breaker == Breaker::HalfOpen
+                    || state.consecutive_poisoned >= self.threshold
+                {
+                    state.breaker = Breaker::Open {
+                        remaining: self.cooldown.max(1),
+                    };
+                    state.consecutive_poisoned = 0;
+                    paraconv_obs::counter_add("serve.circuit_trips", 1);
+                }
+            }
+            RequestOutcome::Aborted => {
+                if state.breaker == Breaker::HalfOpen {
+                    // The probe never reached a verdict; stay cautious.
+                    state.breaker = Breaker::Open { remaining: 1 };
+                }
+            }
+        }
+    }
+
+    /// Records a validation failure that never reached admission (the
+    /// request was poisoned on its face). Feeds the breaker exactly
+    /// like a poisoned planning attempt.
+    pub fn record_poisoned(&self, tenant: &str) {
+        let mut tenants = self.lock();
+        let state = tenants
+            .entry(tenant.to_owned())
+            .or_insert_with(TenantState::new);
+        state.poisoned += 1;
+        state.consecutive_poisoned += 1;
+        if state.consecutive_poisoned >= self.threshold {
+            state.breaker = Breaker::Open {
+                remaining: self.cooldown.max(1),
+            };
+            state.consecutive_poisoned = 0;
+            paraconv_obs::counter_add("serve.circuit_trips", 1);
+        }
+    }
+
+    /// Per-tenant fairness counters, sorted by tenant name.
+    #[must_use]
+    pub fn stats(&self) -> Vec<TenantStats> {
+        self.lock()
+            .iter()
+            .map(|(tenant, state)| TenantStats {
+                tenant: tenant.clone(),
+                served: state.served,
+                poisoned: state.poisoned,
+                rejected: state.rejected,
+                circuit_open: state.breaker != Breaker::Closed,
+            })
+            .collect()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, TenantState>> {
+        self.tenants
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_caps_inflight_per_tenant() {
+        let gov = TenantGovernor::new(2, 3, 4);
+        gov.admit("a").unwrap();
+        gov.admit("a").unwrap();
+        assert_eq!(gov.admit("a"), Err(AdmitError::QuotaExceeded));
+        // An unrelated tenant is unaffected — that is the fairness.
+        gov.admit("b").unwrap();
+        gov.complete("a", RequestOutcome::Served);
+        gov.admit("a").unwrap();
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_poisons_and_recovers() {
+        let gov = TenantGovernor::new(8, 3, 2);
+        for _ in 0..3 {
+            gov.admit("t").unwrap();
+            gov.complete("t", RequestOutcome::Poisoned);
+        }
+        // Open: the next `cooldown - 1` admissions are rejected.
+        assert_eq!(gov.admit("t"), Err(AdmitError::CircuitOpen));
+        // Cooldown elapsed: one half-open probe goes through.
+        gov.admit("t").unwrap();
+        // While the probe is out, others are still rejected.
+        assert_eq!(gov.admit("t"), Err(AdmitError::CircuitOpen));
+        // A served probe closes the breaker for good.
+        gov.complete("t", RequestOutcome::Served);
+        gov.admit("t").unwrap();
+        gov.complete("t", RequestOutcome::Served);
+    }
+
+    #[test]
+    fn poisoned_probe_reopens() {
+        let gov = TenantGovernor::new(8, 2, 2);
+        for _ in 0..2 {
+            gov.admit("t").unwrap();
+            gov.complete("t", RequestOutcome::Poisoned);
+        }
+        // cooldown=2: one rejection, then the probe goes through.
+        assert_eq!(gov.admit("t"), Err(AdmitError::CircuitOpen));
+        gov.admit("t").unwrap();
+        gov.complete("t", RequestOutcome::Poisoned);
+        // A poisoned probe re-opens for a full cooldown.
+        assert_eq!(gov.admit("t"), Err(AdmitError::CircuitOpen));
+    }
+
+    #[test]
+    fn successes_reset_the_consecutive_count() {
+        let gov = TenantGovernor::new(8, 3, 2);
+        for _ in 0..2 {
+            gov.admit("t").unwrap();
+            gov.complete("t", RequestOutcome::Poisoned);
+        }
+        gov.admit("t").unwrap();
+        gov.complete("t", RequestOutcome::Served);
+        // Two more poisons still do not trip (count was reset).
+        for _ in 0..2 {
+            gov.admit("t").unwrap();
+            gov.complete("t", RequestOutcome::Poisoned);
+        }
+        gov.admit("t").unwrap();
+    }
+
+    #[test]
+    fn facial_poisons_feed_the_breaker_too() {
+        let gov = TenantGovernor::new(8, 3, 2);
+        for _ in 0..3 {
+            gov.record_poisoned("t");
+        }
+        assert_eq!(gov.admit("t"), Err(AdmitError::CircuitOpen));
+    }
+
+    #[test]
+    fn stats_report_per_tenant() {
+        let gov = TenantGovernor::new(1, 3, 2);
+        gov.admit("a").unwrap();
+        gov.complete("a", RequestOutcome::Served);
+        gov.admit("b").unwrap();
+        assert_eq!(gov.admit("b"), Err(AdmitError::QuotaExceeded));
+        let stats = gov.stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].tenant, "a");
+        assert_eq!(stats[0].served, 1);
+        assert_eq!(stats[1].tenant, "b");
+        assert_eq!(stats[1].rejected, 1);
+    }
+}

@@ -15,6 +15,10 @@ const STREAM_VAULT: u64 = 0x5641_554C_5421_0001;
 const STREAM_NET: u64 = 0x4E45_5457_4F52_4B02;
 const STREAM_NET_MAG: u64 = 0x4E45_544A_4954_5403;
 const STREAM_IPR: u64 = 0x4950_5243_4845_4B04;
+const STREAM_SERVE_KILL: u64 = 0x5345_5256_4B49_4C05;
+const STREAM_SERVE_SLOW: u64 = 0x5345_5256_534C_4F06;
+const STREAM_SERVE_SLOW_MAG: u64 = 0x5345_5256_4D41_4707;
+const STREAM_SERVE_DISK: u64 = 0x5345_5256_4449_5308;
 
 /// A PE declared dead from a given cycle onward (fail-stop: it
 /// completes nothing that would still be running at that cycle).
@@ -57,6 +61,15 @@ impl RetryPolicy {
             return u64::MAX;
         }
         self.backoff_base.saturating_mul(1u64 << attempt)
+    }
+
+    /// True once `waited` cycles of accumulated backoff leave no budget
+    /// for another attempt. The deadline is **inclusive**: a sleep that
+    /// lands exactly on the deadline has spent the whole budget, so the
+    /// transfer must not retry past it.
+    #[must_use]
+    pub fn exhausted_by(&self, waited: u64) -> bool {
+        waited >= self.deadline
     }
 }
 
@@ -116,6 +129,10 @@ pub struct FaultSpec {
     corruption_bp: u32,
     pe_kills: Vec<PeKill>,
     retry: RetryPolicy,
+    worker_kill_bp: u32,
+    slow_request_bp: u32,
+    slow_request_jitter: u64,
+    cache_write_fail_bp: u32,
 }
 
 impl FaultSpec {
@@ -130,6 +147,10 @@ impl FaultSpec {
             corruption_bp: 0,
             pe_kills: Vec::new(),
             retry: RetryPolicy::default(),
+            worker_kill_bp: 0,
+            slow_request_bp: 0,
+            slow_request_jitter: 4,
+            cache_write_fail_bp: 0,
         }
     }
 
@@ -144,6 +165,10 @@ impl FaultSpec {
             corruption_bp: 0,
             pe_kills: Vec::new(),
             retry: RetryPolicy::default(),
+            worker_kill_bp: 0,
+            slow_request_bp: 0,
+            slow_request_jitter: 4,
+            cache_write_fail_bp: 0,
         }
     }
 
@@ -189,6 +214,24 @@ impl FaultSpec {
         &self.retry
     }
 
+    /// Worker fail-stop rate on the serving path, in basis points.
+    #[must_use]
+    pub fn worker_kill_bp(&self) -> u32 {
+        self.worker_kill_bp
+    }
+
+    /// Slow-request (latency injection) rate in basis points.
+    #[must_use]
+    pub fn slow_request_bp(&self) -> u32 {
+        self.slow_request_bp
+    }
+
+    /// Disk-full cache-write failure rate in basis points.
+    #[must_use]
+    pub fn cache_write_fail_bp(&self) -> u32 {
+        self.cache_write_fail_bp
+    }
+
     /// True when the spec can never perturb a replay.
     #[must_use]
     pub fn is_quiet(&self) -> bool {
@@ -196,6 +239,9 @@ impl FaultSpec {
             && self.congestion_bp == 0
             && self.corruption_bp == 0
             && self.pe_kills.is_empty()
+            && self.worker_kill_bp == 0
+            && self.slow_request_bp == 0
+            && self.cache_write_fail_bp == 0
     }
 
     /// SplitMix64 finalizer over the seed and a site key. Counter-mode:
@@ -267,6 +313,45 @@ impl FaultSpec {
     pub fn kill_cycle(&self, pe: u32) -> Option<u64> {
         self.pe_kills.iter().find(|k| k.pe == pe).map(|k| k.cycle)
     }
+
+    /// Does the worker die mid-plan on the `attempt`-th try at serving
+    /// request `seq`? The site is the daemon's request sequence
+    /// number, so a campaign replayed against the same request stream
+    /// kills the same requests regardless of worker count or pickup
+    /// order; keying by attempt lets the re-enqueued request survive a
+    /// later try.
+    #[must_use]
+    pub fn worker_kill(&self, seq: u64, attempt: u32) -> bool {
+        self.worker_kill_bp != 0
+            && self.fires(
+                self.mix(STREAM_SERVE_KILL, seq, 0, u64::from(attempt)),
+                self.worker_kill_bp,
+            )
+    }
+
+    /// Extra latency (in milliseconds) injected into request `seq`'s
+    /// planning; 0 when the request is not selected. The magnitude is
+    /// drawn from a separate stream so raising the *rate* never
+    /// changes an already-slow request's delay.
+    #[must_use]
+    pub fn slow_request_delay_ms(&self, seq: u64) -> u64 {
+        if self.slow_request_bp == 0
+            || !self.fires(self.mix(STREAM_SERVE_SLOW, seq, 0, 0), self.slow_request_bp)
+        {
+            return 0;
+        }
+        1 + self.mix(STREAM_SERVE_SLOW_MAG, seq, 0, 0) % self.slow_request_jitter.max(1)
+    }
+
+    /// Does the cache write-through for request `seq` hit a full disk?
+    #[must_use]
+    pub fn cache_write_fails(&self, seq: u64) -> bool {
+        self.cache_write_fail_bp != 0
+            && self.fires(
+                self.mix(STREAM_SERVE_DISK, seq, 0, 0),
+                self.cache_write_fail_bp,
+            )
+    }
 }
 
 /// Builder for [`FaultSpec`]; `build` validates every knob.
@@ -279,6 +364,10 @@ pub struct FaultSpecBuilder {
     corruption_bp: u32,
     pe_kills: Vec<PeKill>,
     retry: RetryPolicy,
+    worker_kill_bp: u32,
+    slow_request_bp: u32,
+    slow_request_jitter: u64,
+    cache_write_fail_bp: u32,
 }
 
 impl FaultSpecBuilder {
@@ -334,6 +423,34 @@ impl FaultSpecBuilder {
         self
     }
 
+    /// Worker fail-stop rate on the serving path, in basis points.
+    #[must_use]
+    pub fn worker_kill_bp(mut self, bp: u32) -> Self {
+        self.worker_kill_bp = bp;
+        self
+    }
+
+    /// Slow-request injection rate in basis points.
+    #[must_use]
+    pub fn slow_request_bp(mut self, bp: u32) -> Self {
+        self.slow_request_bp = bp;
+        self
+    }
+
+    /// Largest injected delay (milliseconds) one slow request picks up.
+    #[must_use]
+    pub fn slow_request_jitter(mut self, ms: u64) -> Self {
+        self.slow_request_jitter = ms;
+        self
+    }
+
+    /// Disk-full cache-write failure rate in basis points.
+    #[must_use]
+    pub fn cache_write_fail_bp(mut self, bp: u32) -> Self {
+        self.cache_write_fail_bp = bp;
+        self
+    }
+
     /// Validates and freezes the spec.
     ///
     /// # Errors
@@ -345,6 +462,9 @@ impl FaultSpecBuilder {
             ("vault_fault_bp", self.vault_fault_bp),
             ("congestion_bp", self.congestion_bp),
             ("corruption_bp", self.corruption_bp),
+            ("worker_kill_bp", self.worker_kill_bp),
+            ("slow_request_bp", self.slow_request_bp),
+            ("cache_write_fail_bp", self.cache_write_fail_bp),
         ] {
             if bp > BASIS_POINTS {
                 return Err(FaultSpecError::RateOutOfRange { knob, bp });
@@ -368,6 +488,10 @@ impl FaultSpecBuilder {
             corruption_bp: self.corruption_bp,
             pe_kills: self.pe_kills,
             retry: self.retry,
+            worker_kill_bp: self.worker_kill_bp,
+            slow_request_bp: self.slow_request_bp,
+            slow_request_jitter: self.slow_request_jitter,
+            cache_write_fail_bp: self.cache_write_fail_bp,
         })
     }
 }
@@ -466,6 +590,31 @@ mod tests {
     }
 
     #[test]
+    fn deadline_boundary_is_inclusive() {
+        // A sleep landing exactly on the deadline exhausts the budget:
+        // retrying past it would overshoot the promise the policy
+        // makes. Check the three boundary cases explicitly.
+        let retry = RetryPolicy {
+            max_retries: 6,
+            backoff_base: 2,
+            deadline: 4096,
+        };
+        assert!(!retry.exhausted_by(retry.deadline - 1));
+        assert!(retry.exhausted_by(retry.deadline));
+        assert!(retry.exhausted_by(retry.deadline + 1));
+    }
+
+    #[test]
+    fn zero_deadline_is_always_exhausted() {
+        let retry = RetryPolicy {
+            max_retries: 6,
+            backoff_base: 2,
+            deadline: 0,
+        };
+        assert!(retry.exhausted_by(0));
+    }
+
+    #[test]
     fn builder_rejects_bad_knobs() {
         assert!(matches!(
             FaultSpec::builder(0).vault_fault_bp(10_001).build(),
@@ -502,6 +651,58 @@ mod tests {
         ] {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn serve_streams_are_seeded_and_monotone() {
+        let quiet = FaultSpec::quiet(13);
+        for seq in 0..256 {
+            assert!(!quiet.worker_kill(seq, 0));
+            assert_eq!(quiet.slow_request_delay_ms(seq), 0);
+            assert!(!quiet.cache_write_fails(seq));
+        }
+        let low = FaultSpec::builder(13)
+            .worker_kill_bp(300)
+            .slow_request_bp(300)
+            .cache_write_fail_bp(300)
+            .build()
+            .unwrap();
+        let high = FaultSpec::builder(13)
+            .worker_kill_bp(3000)
+            .slow_request_bp(3000)
+            .cache_write_fail_bp(3000)
+            .build()
+            .unwrap();
+        let mut fired = 0;
+        for seq in 0..2048 {
+            if low.worker_kill(seq, 0) {
+                assert!(high.worker_kill(seq, 0));
+                fired += 1;
+            }
+            let dl = low.slow_request_delay_ms(seq);
+            if dl > 0 {
+                // Separate magnitude stream: same delay at any rate.
+                assert_eq!(dl, high.slow_request_delay_ms(seq));
+            }
+            if low.cache_write_fails(seq) {
+                assert!(high.cache_write_fails(seq));
+            }
+        }
+        assert!(
+            fired > 0,
+            "300 bp over 2048 sites should fire at least once"
+        );
+    }
+
+    #[test]
+    fn serve_rates_above_full_scale_are_rejected() {
+        assert!(matches!(
+            FaultSpec::builder(0).worker_kill_bp(10_001).build(),
+            Err(FaultSpecError::RateOutOfRange {
+                knob: "worker_kill_bp",
+                bp: 10_001,
+            })
+        ));
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Cooperative cancellation for long-running planning work.
+//!
+//! A [`CancelToken`] is a cloneable handle over one shared flag. The
+//! serving layer hands a token to each planning request; a deadline
+//! watchdog (or a drain sequence) sets it, and the scheduler / DP fill
+//! loop poll it at phase boundaries. Polling is a single relaxed
+//! atomic load, so the hot paths pay nothing measurable when no
+//! deadline is armed.
+//!
+//! The token carries no wall-clock state on purpose: plans stay
+//! byte-deterministic because cancellation only ever *aborts* work
+//! (yielding a typed error), never perturbs the bytes of a plan that
+//! completes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable cooperative-cancellation flag.
+///
+/// All clones observe the same flag; once [`cancel`](Self::cancel) is
+/// called the token stays cancelled forever (there is no reset — a
+/// request that missed its deadline cannot come back).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Sets the flag; every clone observes it from now on.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Polls the flag (one relaxed-class atomic load).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<CancelToken>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// RAII scope installing a token as the thread's ambient cancellation
+/// signal. While the scope is live, [`cancel_requested`] on this
+/// thread polls the token; deep loops (the DP fill, the plan-emit
+/// loop) poll the ambient signal so cancellation needs no signature
+/// changes along the call chain. Scopes nest; dropping restores the
+/// previous token.
+#[derive(Debug)]
+pub struct CancelScope {
+    prev: Option<CancelToken>,
+}
+
+impl CancelScope {
+    /// Installs `token` for the current thread until the scope drops.
+    #[must_use]
+    pub fn enter(token: CancelToken) -> CancelScope {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(token));
+        CancelScope { prev }
+    }
+}
+
+impl Drop for CancelScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Whether the thread's ambient [`CancelToken`] (if any) has fired.
+/// Always `false` outside a [`CancelScope`], so instrumented loops
+/// cost one thread-local read when no deadline is armed.
+#[must_use]
+pub fn cancel_requested() -> bool {
+    CURRENT.with(|c| c.borrow().as_ref().is_some_and(CancelToken::is_cancelled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ambient_scope_installs_and_restores() {
+        assert!(!cancel_requested());
+        let outer = CancelToken::new();
+        let scope = CancelScope::enter(outer.clone());
+        assert!(!cancel_requested());
+        {
+            let inner = CancelToken::new();
+            inner.cancel();
+            let _nested = CancelScope::enter(inner);
+            assert!(cancel_requested());
+        }
+        // Back to the (un-cancelled) outer token.
+        assert!(!cancel_requested());
+        outer.cancel();
+        assert!(cancel_requested());
+        drop(scope);
+        assert!(!cancel_requested());
+    }
+
+    #[test]
+    fn clones_share_one_flag() {
+        let token = CancelToken::new();
+        let peer = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!peer.is_cancelled());
+        peer.cancel();
+        assert!(token.is_cancelled());
+        assert!(peer.is_cancelled());
+    }
+
+    #[test]
+    fn cancellation_crosses_threads() {
+        let token = CancelToken::new();
+        let remote = token.clone();
+        std::thread::spawn(move || remote.cancel())
+            .join()
+            .expect("cancel thread completes");
+        assert!(token.is_cancelled());
+    }
+}

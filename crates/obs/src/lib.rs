@@ -59,6 +59,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod cancel;
 mod chrome;
 mod flight;
 pub mod json;
@@ -66,6 +67,7 @@ mod metrics;
 mod recorder;
 mod window;
 
+pub use cancel::{cancel_requested, CancelScope, CancelToken};
 pub use chrome::{ChromeEvent, ChromeTrace};
 pub use flight::{
     flight_active, flight_disable, flight_enable, flight_events, flight_record, flight_reset,

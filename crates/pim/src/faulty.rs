@@ -175,7 +175,10 @@ pub(crate) fn perturb(
                     }
                     let backoff = retry.backoff(attempt);
                     waited = waited.saturating_add(backoff);
-                    if waited > retry.deadline {
+                    // Inclusive boundary: a sleep landing exactly on the
+                    // deadline has spent the whole budget, so the old
+                    // `waited > deadline` test retried once past it.
+                    if retry.exhausted_by(waited) {
                         paraconv_obs::flight_record(
                             "fault",
                             "retry.exhausted",

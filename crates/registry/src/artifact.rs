@@ -198,18 +198,39 @@ pub struct PlanArtifact {
     pub bundle: PlanBundle,
 }
 
-/// Decodes and validates an artifact from raw bytes.
+/// Cheap integrity check over raw artifact bytes: line structure,
+/// header JSON (magic, version) and the body `content_hash` — but not
+/// the body codec or the registry-key recompute, so it costs one JSON
+/// parse of the short header plus one SHA-256 pass over the body.
 ///
-/// Validation runs outside-in, cheapest first, so tampering is caught
-/// before any expensive work: UTF-8 → line structure → header JSON →
-/// magic → format version → body `content_hash` → body codec →
-/// registry-key recompute. The `producer` field is not validated.
+/// This is the defense-in-depth gate [`Registry::get`] runs on every
+/// read: bit rot anywhere in a stored object surfaces as a typed
+/// [`ArtifactError::HashMismatch`] instead of being served.
+///
+/// [`Registry::get`]: crate::Registry::get
 ///
 /// # Errors
 ///
-/// Every malformed input maps to a typed [`ArtifactError`]; this
-/// function never panics, regardless of input.
-pub fn decode(bytes: &[u8]) -> Result<PlanArtifact, ArtifactError> {
+/// Returns the same typed errors as [`decode`] for the validation
+/// stages it runs; never panics on hostile bytes.
+pub fn verify_artifact_bytes(bytes: &[u8]) -> Result<(), ArtifactError> {
+    let (header, body_line) = split_artifact(bytes)?;
+    let computed = sha256_hex(body_line.as_bytes());
+    if computed != header.content_hash {
+        return Err(ArtifactError::HashMismatch {
+            field: "content_hash",
+            recorded: header.content_hash,
+            computed,
+        });
+    }
+    Ok(())
+}
+
+/// Splits raw bytes into a validated [`ArtifactHeader`] and the body
+/// line (without its trailing newline). Shared by [`decode`] and
+/// [`verify_artifact_bytes`]; checks UTF-8, two-line structure, header
+/// JSON, magic and format version — not the body hash.
+fn split_artifact(bytes: &[u8]) -> Result<(ArtifactHeader, &str), ArtifactError> {
     let text = core::str::from_utf8(bytes)
         .map_err(|_| ArtifactError::schema("artifact", "not valid UTF-8"))?;
     if text.is_empty() {
@@ -267,6 +288,36 @@ pub fn decode(bytes: &[u8]) -> Result<PlanArtifact, ArtifactError> {
     let producer = codec::str_field(header_obj, "header", "producer")?.to_owned();
     let content_hash = codec::str_field(header_obj, "header", "content_hash")?.to_owned();
     let key = codec::str_field(header_obj, "header", "key")?.to_owned();
+    Ok((
+        ArtifactHeader {
+            format,
+            producer,
+            content_hash,
+            key,
+        },
+        body_line,
+    ))
+}
+
+/// Decodes and validates an artifact from raw bytes.
+///
+/// Validation runs outside-in, cheapest first, so tampering is caught
+/// before any expensive work: UTF-8 → line structure → header JSON →
+/// magic → format version → body `content_hash` → body codec →
+/// registry-key recompute. The `producer` field is not validated.
+///
+/// # Errors
+///
+/// Every malformed input maps to a typed [`ArtifactError`]; this
+/// function never panics, regardless of input.
+pub fn decode(bytes: &[u8]) -> Result<PlanArtifact, ArtifactError> {
+    let (header, body_line) = split_artifact(bytes)?;
+    let ArtifactHeader {
+        format,
+        producer,
+        content_hash,
+        key,
+    } = header;
 
     // Body integrity before body parsing: a flipped byte anywhere in
     // the body line is a hash mismatch, not a confusing codec error.

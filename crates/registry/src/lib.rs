@@ -39,8 +39,8 @@ mod postmortem;
 mod store;
 
 pub use artifact::{
-    decode, request_key, ArtifactHeader, PlanArtifact, PlanBundle, PlanPolicy, FORMAT_VERSION,
-    MAGIC, PRODUCER,
+    decode, request_key, verify_artifact_bytes, ArtifactHeader, PlanArtifact, PlanBundle,
+    PlanPolicy, FORMAT_VERSION, MAGIC, PRODUCER,
 };
 pub use codec::{
     config_from_value, config_to_value, graph_from_value, graph_to_value, outcome_from_value,
@@ -52,4 +52,4 @@ pub use postmortem::{
     decode_postmortem, PostmortemArtifact, PostmortemBundle, PostmortemHeader,
     POSTMORTEM_FORMAT_VERSION, POSTMORTEM_MAGIC,
 };
-pub use store::{is_valid_key, Registry};
+pub use store::{is_valid_key, RecoveryReport, Registry};

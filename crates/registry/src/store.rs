@@ -10,14 +10,16 @@
 //! the key is a content hash, so re-putting the same request simply
 //! re-lands identical bytes.
 //!
-//! Observability: `registry.hits`, `registry.misses`, and
-//! `registry.puts` counters are recorded through `paraconv-obs` (a
-//! single relaxed atomic load when the recorder is disabled).
+//! Observability: `registry.hits`, `registry.misses`,
+//! `registry.puts`, and `registry.corrupt` counters are recorded
+//! through `paraconv-obs` (a single relaxed atomic load when the
+//! recorder is disabled).
 
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+use crate::artifact::verify_artifact_bytes;
 use crate::error::ArtifactError;
 
 /// A content-addressed artifact store rooted at a directory.
@@ -74,15 +76,27 @@ impl Registry {
     /// Returns the stored artifact bytes for `key`, or `None` on a
     /// miss. Records `registry.hits` / `registry.misses`.
     ///
+    /// Defense in depth: every read re-verifies the artifact's
+    /// `content_hash` (structure + header + body digest, no codec), so
+    /// bit rot under the registry root is a typed error — a corrupt
+    /// object is **never** served as a hit. Corrupt reads record
+    /// `registry.corrupt` instead of `registry.hits`.
+    ///
     /// # Errors
     ///
-    /// Returns [`ArtifactError::SchemaMismatch`] for a malformed key
-    /// and [`ArtifactError::Io`] for any filesystem failure other than
+    /// Returns [`ArtifactError::SchemaMismatch`] for a malformed key,
+    /// [`ArtifactError::HashMismatch`] (or another decode-stage error)
+    /// for an object whose bytes fail verification, and
+    /// [`ArtifactError::Io`] for any filesystem failure other than
     /// not-found.
     pub fn get(&self, key: &str) -> Result<Option<Vec<u8>>, ArtifactError> {
         Self::check_key(key)?;
         match fs::read(self.object_path(key)) {
             Ok(bytes) => {
+                if let Err(e) = verify_artifact_bytes(&bytes) {
+                    paraconv_obs::counter_add("registry.corrupt", 1);
+                    return Err(e);
+                }
                 paraconv_obs::counter_add("registry.hits", 1);
                 Ok(Some(bytes))
             }
@@ -178,6 +192,70 @@ impl Registry {
         out.sort();
         Ok(out)
     }
+
+    /// Crash recovery: sweeps the objects tree, deleting stranded
+    /// `.tmp-*` files from interrupted puts and quarantining (removing)
+    /// objects whose bytes no longer verify, and returns the keys that
+    /// survived. Run once at daemon startup so a restarted server
+    /// re-warms its cache from exactly the set of intact artifacts —
+    /// a kill mid-put can never poison a later read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactError::Io`] if the objects tree cannot be
+    /// walked (individual unreadable objects are dropped, not fatal).
+    pub fn recover(&self) -> Result<RecoveryReport, ArtifactError> {
+        let mut report = RecoveryReport::default();
+        let objects = self.root.join("objects");
+        for shard in fs::read_dir(&objects)? {
+            let shard = shard?;
+            if !shard.file_type()?.is_dir() {
+                continue;
+            }
+            let prefix = shard.file_name();
+            let Some(prefix) = prefix.to_str().map(str::to_owned) else {
+                continue;
+            };
+            for object in fs::read_dir(shard.path())? {
+                let object = object?;
+                let name = object.file_name();
+                let Some(name) = name.to_str().map(str::to_owned) else {
+                    continue;
+                };
+                if name.starts_with(".tmp-") {
+                    let _ = fs::remove_file(object.path());
+                    report.tmp_removed += 1;
+                    continue;
+                }
+                let key = format!("{prefix}{name}");
+                if !is_valid_key(&key) {
+                    continue;
+                }
+                let intact = fs::read(object.path())
+                    .is_ok_and(|bytes| verify_artifact_bytes(&bytes).is_ok());
+                if intact {
+                    report.intact.push(key);
+                } else {
+                    let _ = fs::remove_file(object.path());
+                    paraconv_obs::counter_add("registry.corrupt", 1);
+                    report.corrupt_removed += 1;
+                }
+            }
+        }
+        report.intact.sort();
+        Ok(report)
+    }
+}
+
+/// What [`Registry::recover`] found and fixed on startup.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Keys whose objects verified intact (sorted).
+    pub intact: Vec<String>,
+    /// Stranded `.tmp-*` files removed.
+    pub tmp_removed: u64,
+    /// Objects dropped because their bytes no longer verify.
+    pub corrupt_removed: u64,
 }
 
 #[cfg(test)]
@@ -194,17 +272,28 @@ mod tests {
         root
     }
 
+    /// Minimal bytes that pass `verify_artifact_bytes`: a well-formed
+    /// header over an arbitrary single-line body. `get()` verifies on
+    /// every read, so store tests must put verifiable objects.
+    fn mini_artifact(body: &str) -> Vec<u8> {
+        assert!(!body.is_empty() && !body.contains('\n'));
+        let hash = sha256_hex(body.as_bytes());
+        format!(
+            "{{\"content_hash\":\"{hash}\",\"format\":1,\"key\":\"{hash}\",\
+             \"magic\":\"paraconv-plan\",\"producer\":\"store-test\"}}\n{body}\n"
+        )
+        .into_bytes()
+    }
+
     #[test]
     fn put_get_round_trip_and_sharding() {
         let root = temp_root("roundtrip");
         let registry = Registry::open(&root).unwrap();
         let key = sha256_hex(b"some request");
+        let artifact = mini_artifact("{\"payload\":\"artifact bytes\"}");
         assert_eq!(registry.get(&key).unwrap(), None);
-        registry.put(&key, b"artifact bytes").unwrap();
-        assert_eq!(
-            registry.get(&key).unwrap().as_deref(),
-            Some(b"artifact bytes".as_slice())
-        );
+        registry.put(&key, &artifact).unwrap();
+        assert_eq!(registry.get(&key).unwrap().as_deref(), Some(&artifact[..]));
         assert!(registry.contains(&key).unwrap());
         // Sharded layout: objects/<2 hex>/<62 hex>.
         assert!(root
@@ -220,12 +309,68 @@ mod tests {
         let root = temp_root("idempotent");
         let registry = Registry::open(&root).unwrap();
         let key = sha256_hex(b"idempotent");
-        registry.put(&key, b"same bytes").unwrap();
-        registry.put(&key, b"same bytes").unwrap();
-        assert_eq!(
-            registry.get(&key).unwrap().as_deref(),
-            Some(b"same bytes".as_slice())
+        let artifact = mini_artifact("{\"payload\":\"same bytes\"}");
+        registry.put(&key, &artifact).unwrap();
+        registry.put(&key, &artifact).unwrap();
+        assert_eq!(registry.get(&key).unwrap().as_deref(), Some(&artifact[..]));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn flipped_byte_on_disk_is_hash_mismatch_not_a_hit() {
+        // Defense-in-depth regression: bit rot under the registry root
+        // must surface as a typed error on read, never be served.
+        let root = temp_root("bitrot");
+        let registry = Registry::open(&root).unwrap();
+        let key = sha256_hex(b"bitrot");
+        registry
+            .put(&key, &mini_artifact("{\"payload\":\"pristine\"}"))
+            .unwrap();
+        let path = root.join("objects").join(&key[..2]).join(&key[2..]);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one body byte without touching the header line.
+        let body_start = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        bytes[body_start + 12] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let err = registry.get(&key).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ArtifactError::HashMismatch {
+                    field: "content_hash",
+                    ..
+                }
+            ),
+            "{err}"
         );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn recover_sweeps_tmp_files_and_corrupt_objects() {
+        let root = temp_root("recover");
+        let registry = Registry::open(&root).unwrap();
+        let good = sha256_hex(b"good");
+        let bad = sha256_hex(b"bad");
+        registry
+            .put(&good, &mini_artifact("{\"payload\":\"good\"}"))
+            .unwrap();
+        registry
+            .put(&bad, &mini_artifact("{\"payload\":\"bad\"}"))
+            .unwrap();
+        // Simulate a crash: a stranded temp file and a truncated object.
+        let bad_path = root.join("objects").join(&bad[..2]).join(&bad[2..]);
+        fs::write(&bad_path, b"{\"truncated\":").unwrap();
+        let shard = root.join("objects").join(&good[..2]);
+        fs::write(shard.join(".tmp-999-0-deadbeef"), b"partial").unwrap();
+        let report = registry.recover().unwrap();
+        assert_eq!(report.intact, vec![good.clone()]);
+        assert_eq!(report.tmp_removed, 1);
+        assert_eq!(report.corrupt_removed, 1);
+        // The corrupt object is gone; the intact one still reads.
+        assert_eq!(registry.get(&bad).unwrap(), None);
+        assert!(registry.get(&good).unwrap().is_some());
+        assert!(!shard.join(".tmp-999-0-deadbeef").exists());
         let _ = fs::remove_dir_all(&root);
     }
 
@@ -252,7 +397,9 @@ mod tests {
         let registry = Registry::open(&root).unwrap();
         let mut expected: Vec<String> = (0u8..5).map(|i| sha256_hex(&[i])).collect();
         for key in &expected {
-            registry.put(key, key.as_bytes()).unwrap();
+            registry
+                .put(key, &mini_artifact(&format!("{{\"key\":\"{key}\"}}")))
+                .unwrap();
         }
         expected.sort();
         assert_eq!(registry.keys().unwrap(), expected);
@@ -265,7 +412,8 @@ mod tests {
         // process putting the same key used to share `.tmp-<pid>-…`,
         // so the loser's `create` truncated the winner mid-write.
         let root = temp_root("sameput");
-        let payload = vec![0xabu8; 1 << 16];
+        let body = format!("{{\"payload\":\"{}\"}}", "ab".repeat(1 << 15));
+        let payload = mini_artifact(&body);
         let key = sha256_hex(&payload);
         let threads: Vec<_> = (0..4)
             .map(|_| {
@@ -288,7 +436,9 @@ mod tests {
         let root = temp_root("tmpclean");
         let registry = Registry::open(&root).unwrap();
         let key = sha256_hex(b"clean");
-        registry.put(&key, b"bytes").unwrap();
+        registry
+            .put(&key, &mini_artifact("{\"payload\":\"clean\"}"))
+            .unwrap();
         let shard = root.join("objects").join(&key[..2]);
         let leftovers: Vec<_> = fs::read_dir(&shard)
             .unwrap()

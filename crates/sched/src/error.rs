@@ -12,6 +12,10 @@ pub enum SchedError {
     /// The movement analysis rejected the derived timing inputs; this
     /// indicates an internal inconsistency and carries the message.
     Analysis(String),
+    /// The request's [`CancelToken`](paraconv_obs::CancelToken) fired
+    /// (deadline expiry or daemon drain); the partial work was
+    /// discarded at a phase boundary.
+    Cancelled,
 }
 
 impl fmt::Display for SchedError {
@@ -19,6 +23,7 @@ impl fmt::Display for SchedError {
         match self {
             SchedError::ZeroIterations => f.write_str("at least one iteration must be scheduled"),
             SchedError::Analysis(msg) => write!(f, "movement analysis failed: {msg}"),
+            SchedError::Cancelled => f.write_str("scheduling cancelled before completion"),
         }
     }
 }

@@ -220,6 +220,20 @@ impl ParaConvScheduler {
         if iterations == 0 {
             return Err(SchedError::ZeroIterations);
         }
+        // Cooperative cancellation: the ambient token (installed by the
+        // serve worker's `CancelScope`) is polled at every phase
+        // boundary and inside the iteration-proportional emit loop, so
+        // a deadline expiry or daemon drain abandons the request
+        // within one phase. Plans that *complete* are byte-identical
+        // whether or not a token was armed.
+        let cancelled = || {
+            if paraconv_obs::cancel_requested() {
+                Err(SchedError::Cancelled)
+            } else {
+                Ok(())
+            }
+        };
+        cancelled()?;
         let cost = CostModel::new(&self.config, graph.edge_count());
 
         // Step 1: objective schedule. The kernel is unrolled by the
@@ -241,6 +255,7 @@ impl ParaConvScheduler {
         let gaps = kernel.gaps(graph);
 
         // Step 2: per-edge latencies and true retiming requirements.
+        cancelled()?;
         let phase = phase.next("sched.retime.analysis");
         let cache_times: Vec<u64> = graph
             .edges()
@@ -266,6 +281,7 @@ impl ParaConvScheduler {
         let analysis = MovementAnalysis::analyze(graph, p, &gaps, &cache_times, &edram_times)
             .map_err(|e| SchedError::Analysis(e.to_string()))?;
 
+        cancelled()?;
         let phase = phase.next("sched.alloc");
         // Step 3: optimal allocation. The knapsack space of an IPR is
         // its size scaled by the number of kernel instances its cache
@@ -311,6 +327,10 @@ impl ParaConvScheduler {
         let placements = allocation.to_placement_vec(graph.edge_count());
 
         // Step 4: minimal legal retiming for the chosen placements.
+        // This check also catches a DP fill that bailed out mid-table:
+        // the token stays cancelled, so the partial allocation above is
+        // discarded here before anything downstream can observe it.
+        cancelled()?;
         let phase = phase.next("sched.retime");
         let requirements: Vec<u64> = graph
             .edge_ids()
@@ -328,6 +348,9 @@ impl ParaConvScheduler {
         let _phase = phase.next("sched.emit");
         let mut plan = ExecutionPlan::new(iterations);
         for iter in 1..=iterations {
+            if iter % 64 == 0 {
+                cancelled()?;
+            }
             let group = (iter - 1) / unroll;
             let copy = (iter - 1) % unroll;
             for node in graph.nodes() {
@@ -455,6 +478,29 @@ mod tests {
         // Every emitted plan must also satisfy the independent auditor.
         paraconv_pim::audit(graph, &outcome.plan, &cfg, &report).unwrap();
         (outcome, report)
+    }
+
+    #[test]
+    fn cancelled_token_aborts_with_typed_error() {
+        let g = examples::motivational();
+        let cfg = PimConfig::neurocube(4).unwrap();
+        let token = paraconv_obs::CancelToken::new();
+        token.cancel();
+        let _scope = paraconv_obs::CancelScope::enter(token);
+        let err = ParaConvScheduler::new(cfg).schedule(&g, 12).unwrap_err();
+        assert_eq!(err, SchedError::Cancelled);
+    }
+
+    #[test]
+    fn armed_but_unfired_token_changes_nothing() {
+        let g = examples::motivational();
+        let cfg = PimConfig::neurocube(4).unwrap();
+        let plain = ParaConvScheduler::new(cfg.clone())
+            .schedule(&g, 12)
+            .unwrap();
+        let _scope = paraconv_obs::CancelScope::enter(paraconv_obs::CancelToken::new());
+        let scoped = ParaConvScheduler::new(cfg).schedule(&g, 12).unwrap();
+        assert_eq!(plain.plan, scoped.plan, "an idle token must be invisible");
     }
 
     #[test]

@@ -315,6 +315,17 @@ proptest! {
     }
 }
 
+/// Minimal bytes that pass the registry's read-side verification: a
+/// well-formed artifact header over an arbitrary single-line body.
+fn mini_artifact(body: &str) -> Vec<u8> {
+    let hash = sha256_hex(body.as_bytes());
+    format!(
+        "{{\"content_hash\":\"{hash}\",\"format\":1,\"key\":\"{hash}\",\
+         \"magic\":\"paraconv-plan\",\"producer\":\"storm-test\"}}\n{body}\n"
+    )
+    .into_bytes()
+}
+
 /// Serializes the tests that do registry operations: counter
 /// exactness needs the process-global obs recorder to itself.
 fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
@@ -332,7 +343,8 @@ fn concurrent_same_key_put_storm_never_tears_and_counts_exactly() {
 
     let dir = std::env::temp_dir().join(format!("paraconv-put-storm-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let payload: Vec<u8> = (0..1 << 16).map(|i| (i % 251) as u8).collect();
+    let body: String = format!("{{\"payload\":\"{}\"}}", "cd".repeat(1 << 15));
+    let payload = mini_artifact(&body);
     let key = sha256_hex(&payload);
     const WRITERS: usize = 8;
     const PUTS_EACH: usize = 4;
@@ -390,7 +402,8 @@ fn put_while_get_sees_none_or_the_whole_artifact() {
 
     let dir = std::env::temp_dir().join(format!("paraconv-put-get-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let payload: Vec<u8> = (0..1 << 16).map(|i| (i % 241) as u8).collect();
+    let body: String = format!("{{\"payload\":\"{}\"}}", "ef".repeat(1 << 15));
+    let payload = mini_artifact(&body);
     let key = sha256_hex(&payload);
     const PUTS: usize = 16;
     let writer = {
